@@ -1,0 +1,23 @@
+"""Shared report writing for the benchmark harness.
+
+Every benchmark regenerates the paper artifact it reproduces (table rows,
+figure series, trace) and writes it to ``benchmarks/reports/<exp>.txt`` so
+the reproduction evidence survives the pytest run.  The same text is
+printed, which ``pytest -s`` (or the tee'd benchmark log) makes visible.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def write_report(experiment_id: str, text: str) -> pathlib.Path:
+    """Persist one experiment's reproduced artifact."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n[{experiment_id}]")
+    print(text)
+    return path

@@ -1,0 +1,64 @@
+"""EXP-A1 (ablation): eq. (1) vs the Bauer et al. factor-of-2 form.
+
+Paper Section 6: the central-guardian requirements of Bauer et al. [2]
+double the ``delta_rho * f_max`` term; the paper keeps factor 1 but notes
+"the situation becomes more constrained ... if the equation in [2] is
+used".  This ablation quantifies how much: the frame-size limit halves and
+the admissible clock spreads halve.
+"""
+
+import pytest
+
+from _report import write_report
+
+from repro.analysis.tables import format_table
+from repro.core.buffer_analysis import (
+    BAUER_DRIFT_FACTOR,
+    max_delta_rho,
+    max_frame_bits,
+    minimum_buffer_bits,
+)
+from repro.ttp.constants import I_FRAME_BITS, N_FRAME_BITS, X_FRAME_BITS
+
+
+def compute_both_forms():
+    rows = []
+    # eq. (6): the frame limit at commodity-crystal spread.
+    rows.append(("f_max at delta_rho = 2e-4 (eq. 6)",
+                 max_frame_bits(N_FRAME_BITS, 2e-4),
+                 max_frame_bits(N_FRAME_BITS, 2e-4,
+                                drift_factor=BAUER_DRIFT_FACTOR)))
+    # eq. (8)/(9): the clock-spread limits.
+    rows.append(("delta_rho at f_max = 76 (eq. 8)",
+                 max_delta_rho(N_FRAME_BITS, I_FRAME_BITS),
+                 max_delta_rho(N_FRAME_BITS, I_FRAME_BITS,
+                               drift_factor=BAUER_DRIFT_FACTOR)))
+    rows.append(("delta_rho at f_max = 2076 (eq. 9)",
+                 max_delta_rho(N_FRAME_BITS, X_FRAME_BITS),
+                 max_delta_rho(N_FRAME_BITS, X_FRAME_BITS,
+                               drift_factor=BAUER_DRIFT_FACTOR)))
+    # B_min at the paper's operating points.
+    rows.append(("B_min for f_max = 2076, 2e-4 (bits)",
+                 minimum_buffer_bits(2e-4, X_FRAME_BITS),
+                 minimum_buffer_bits(2e-4, X_FRAME_BITS,
+                                     drift_factor=BAUER_DRIFT_FACTOR)))
+    return rows
+
+
+def test_exp_a1_bauer_factor_ablation(benchmark):
+    rows = benchmark(compute_both_forms)
+
+    for _label, paper_form, bauer_form in rows[:3]:
+        # Limits halve; buffers grow.
+        assert bauer_form == pytest.approx(paper_form / 2) or \
+            bauer_form > paper_form
+
+    assert rows[0][1] == pytest.approx(115_000.0)
+    assert rows[0][2] == pytest.approx(57_500.0)
+
+    table_rows = [(label, f"{paper_form:.6g}", f"{bauer_form:.6g}")
+                  for label, paper_form, bauer_form in rows]
+    write_report("EXP-A1", format_table(
+        ["quantity", "paper eq. (1) form", "Bauer et al. [2] form"],
+        table_rows, title="Drift-factor ablation: the [2] form halves every"
+                          " operating limit"))

@@ -1,0 +1,38 @@
+"""EXP-S4: blast radius of a block-all guardian fault (paper Section 1).
+
+The paper's motivating example: the same blocking fault silences one node
+when the guardian is local, and an entire channel when the guardian is
+central -- which is why the TTA's two redundant channels (with independent
+central guardians) are load-bearing for the star design.
+"""
+
+from _report import write_report
+
+from repro.analysis.tables import format_table
+from repro.faults.campaign import guardian_vs_coupler_blocking
+
+
+def test_exp_s4_blocking_asymmetry(benchmark):
+    result = benchmark.pedantic(guardian_vs_coupler_blocking,
+                                rounds=1, iterations=1)
+
+    assert result.bus_victims == ["B"]
+    assert sorted(result.bus_active) == ["A", "C", "D"]
+    assert result.star_channel0_delivered == 0
+    assert result.star_channel1_delivered > 0
+    assert result.star_victims == []
+
+    rows = [
+        ("bus: local guardian of B blocks all",
+         "node B silenced/expelled", ",".join(result.bus_victims),
+         f"{len(result.bus_active)}/4 nodes run on"),
+        ("star: central guardian of ch0 blocks all",
+         f"channel 0 dead ({result.star_channel0_delivered} frames); "
+         f"channel 1 carried {result.star_channel1_delivered}",
+         ",".join(result.star_victims) or "-",
+         f"{len(result.star_active)}/4 nodes run on (redundant channel)"),
+    ]
+    write_report("EXP-S4", format_table(
+        ["fault", "blast radius", "healthy victims", "outcome"],
+        rows, title="Block-all fault: local vs central guardian "
+                    "(paper Section 1 example)"))

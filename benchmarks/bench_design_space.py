@@ -1,0 +1,69 @@
+"""EXP-A3 (ablation): census of the joint design space.
+
+Sweeps coupler authority x frame mix x clock spread through
+``evaluate_design`` -- the API that folds both of the paper's results into
+one verdict -- and reports how each axis kills candidates:
+
+* every full-shifting design is rejected (the Section 5 result), no matter
+  how comfortable its buffers are;
+* passive/time-windows designs are always "buildable" but lose the
+  central-guardian protections the star design exists for;
+* small-shifting designs are the useful region, bounded exactly by the
+  Section 6 feasibility frontier.
+"""
+
+from _report import write_report
+
+from repro.analysis.tables import format_table
+from repro.core.authority import CouplerAuthority, all_authorities
+from repro.core.tradeoffs import explore_design_space
+
+F_MIN_VALUES = [28.0, 64.0, 128.0]
+F_MAX_VALUES = [76.0, 2076.0, 16_384.0, 115_000.0, 400_000.0]
+DELTA_RHO_VALUES = [1e-4, 2e-4, 1e-3, 1e-2, 0.1]
+
+
+def census():
+    results = {}
+    for authority in all_authorities():
+        verdicts = explore_design_space(F_MIN_VALUES, F_MAX_VALUES,
+                                        DELTA_RHO_VALUES,
+                                        authority=authority)
+        results[authority] = verdicts
+    return results
+
+
+def test_exp_a3_design_space_census(benchmark):
+    results = benchmark(census)
+
+    rows = []
+    for authority, verdicts in results.items():
+        total = len(verdicts)
+        acceptable = sum(1 for verdict in verdicts if verdict.acceptable)
+        fault_rejected = sum(1 for verdict in verdicts
+                             if not verdict.fault_tolerant)
+        buffer_rejected = sum(1 for verdict in verdicts
+                              if verdict.fault_tolerant
+                              and not verdict.buffer_feasible)
+        protections_lost = (len(verdicts[0].lost_protections)
+                            if verdicts else 0)
+        rows.append((authority.value, total, acceptable, fault_rejected,
+                     buffer_rejected, protections_lost))
+
+    by_authority = dict(zip([row[0] for row in rows], rows))
+    # Section 5 axis: every full-shifting candidate dies.
+    assert by_authority["full_shifting"][2] == 0
+    assert by_authority["full_shifting"][3] == by_authority["full_shifting"][1]
+    # Section 6 axis: small shifting is bounded by buffer feasibility only.
+    assert by_authority["small_shifting"][3] == 0
+    assert 0 < by_authority["small_shifting"][2] < by_authority["small_shifting"][1]
+    # Passive designs are unconstrained but unprotected.
+    assert by_authority["passive"][2] == by_authority["passive"][1]
+    assert by_authority["passive"][5] == 3
+
+    write_report("EXP-A3", format_table(
+        ["authority", "designs", "acceptable", "rejected: fault tolerance",
+         "rejected: buffer", "protections lost"],
+        rows, title="Design-space census over "
+                    f"{len(F_MIN_VALUES) * len(F_MAX_VALUES) * len(DELTA_RHO_VALUES)}"
+                    " candidate designs per authority"))

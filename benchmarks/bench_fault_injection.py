@@ -1,0 +1,51 @@
+"""EXP-S2: fault-injection campaign, bus vs. star (Section 2.2 / [7]).
+
+Reproduces the containment matrix of the fault-injection study that
+motivated the central-guardian star design:
+
+==========================  =====  ==============================
+fault                        bus    star (small-shifting coupler)
+==========================  =====  ==============================
+SOS signal                  leaks  contained (signal reshaping)
+masquerading cold start     leaks  contained (semantic analysis)
+invalid C-state             leaks  contained (semantic analysis)
+babbling idiot              contained on both (transmit windows)
+==========================  =====  ==============================
+"""
+
+from _report import write_report
+
+from repro.analysis.tables import format_table
+from repro.faults.campaign import run_campaign
+from repro.faults.types import FaultType
+
+EXPECTED = {
+    (FaultType.SOS_SIGNAL, "bus"): "propagated",
+    (FaultType.SOS_SIGNAL, "star"): "contained",
+    (FaultType.MASQUERADE_COLD_START, "bus"): "propagated",
+    (FaultType.MASQUERADE_COLD_START, "star"): "contained",
+    (FaultType.INVALID_C_STATE, "bus"): "propagated",
+    (FaultType.INVALID_C_STATE, "star"): "contained",
+    (FaultType.BABBLING_IDIOT, "bus"): "contained",
+    (FaultType.BABBLING_IDIOT, "star"): "contained",
+}
+
+
+def test_exp_s2_fault_injection_campaign(benchmark):
+    campaign = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+
+    rows = []
+    for outcome in campaign.outcomes:
+        measured = "contained" if outcome.contained else "propagated"
+        expected = EXPECTED[(outcome.fault.fault_type, outcome.topology)]
+        assert measured == expected, (
+            f"{outcome.fault.describe()} on {outcome.topology}: "
+            f"measured {measured}, paper-derived expectation {expected}")
+        rows.append((outcome.fault.describe(), outcome.topology,
+                     measured, expected,
+                     ",".join(outcome.victims) or "-"))
+
+    write_report("EXP-S2", format_table(
+        ["fault", "topology", "measured", "expected", "healthy victims"],
+        rows, title="Fault containment: bus with local guardians vs star "
+                    "with central guardians"))

@@ -1,0 +1,62 @@
+"""EXP-F3: Figure 3 -- frame-size range vs. admissible clock-rate ratio.
+
+Regenerates the eq. (10) curve (le = 4) whose underside is the buildable
+region, including the annotated f_min = f_max = 128 point where the ratio
+limit is ~25 (exactly 128/5 = 25.6) rather than 128 -- the paper's
+observation that the ``1 + le`` term dominates at high clock ratios.
+"""
+
+import pytest
+
+from _report import write_report
+
+from repro.analysis.figure3 import (
+    equal_frame_ratio,
+    figure3_reference_points,
+    figure3_series,
+)
+from repro.analysis.sweep import geometric_range
+from repro.analysis.tables import ascii_plot, format_table
+
+
+def generate_figure3():
+    f_max_values = geometric_range(28.0, 1_000_000.0, 16)
+    series = figure3_series(28.0, f_max_values)
+    references = figure3_reference_points()
+    return series, references
+
+
+def test_exp_f3_figure3_series(benchmark):
+    series, references = benchmark(generate_figure3)
+
+    # Shape: the admissible ratio falls monotonically as the range widens
+    # and approaches 1 (the region below the curve shrinks).
+    ratios = [point.ratio_limit for point in series]
+    assert ratios == sorted(ratios, reverse=True)
+    assert ratios[-1] == pytest.approx(1.0, abs=1e-3)
+    assert all(ratio > 1.0 for ratio in ratios)
+
+    # The annotated point: 128-bit frames allow a ratio of ~25, not 128.
+    annotated = references[0]
+    assert annotated.ratio_limit == pytest.approx(25.6)
+    assert equal_frame_ratio(128.0) == pytest.approx(128.0 / 5.0)
+
+    rows = [(f"{point.f_max:.0f}", f"{point.ratio_limit:.4f}")
+            for point in series]
+    plot = ascii_plot([(point.f_max, point.ratio_limit) for point in series],
+                      log_x=True, log_y=True,
+                      title="Figure 3 (shape): rho_max/rho_min limit vs f_max"
+                            " (log-log), buildable region below the curve",
+                      x_label="f_max (bits)")
+    text = plot + "\n\n" + format_table(
+        ["f_max (bits)", "rho_max/rho_min limit"], rows,
+        title="Figure 3 series, f_min = 28, le = 4")
+    text += "\n\n" + format_table(
+        ["f_min", "f_max", "ratio limit", "note"],
+        [(p.f_min, p.f_max, f"{p.ratio_limit:.4f}", note)
+         for p, note in zip(references,
+                            ["paper's annotated point (~25)",
+                             "eq. (8) operating point",
+                             "eq. (9) operating point"])],
+        title="Reference points")
+    write_report("EXP-F3", text)

@@ -1,0 +1,66 @@
+"""EXP-S1: dynamic validation of the B_min bound (paper eq. 1).
+
+The paper derives ``B_min = le + delta_rho * f_max`` from the leaky-bucket
+argument (Section 6).  This benchmark *measures* the peak buffer occupancy
+of the bit-level forwarding model over a sweep of frame sizes and clock
+spreads -- in both directions (coupler faster / slower than the sender) --
+and checks every measurement lands within one bit of the closed form.
+"""
+
+import pytest
+
+from _report import write_report
+
+from repro.analysis.tables import format_table
+from repro.core.buffer_analysis import maximum_buffer_bits, minimum_buffer_bits
+from repro.network.star_coupler import ForwardingBuffer
+from repro.sim.clock import ppm_to_rate
+
+FRAME_SIZES = [28, 76, 512, 2076, 16_384, 115_000]
+PPM_VALUES = [50.0, 100.0, 500.0, 2500.0]
+
+
+def run_sweep():
+    measurements = []
+    for ppm in PPM_VALUES:
+        for coupler_fast in (True, False):
+            if coupler_fast:
+                buffer_model = ForwardingBuffer(in_rate=ppm_to_rate(-ppm),
+                                                out_rate=ppm_to_rate(ppm))
+            else:
+                buffer_model = ForwardingBuffer(in_rate=ppm_to_rate(ppm),
+                                                out_rate=ppm_to_rate(-ppm))
+            fast = max(buffer_model.in_rate, buffer_model.out_rate)
+            slow = min(buffer_model.in_rate, buffer_model.out_rate)
+            delta_rho = (fast - slow) / fast
+            for frame_bits in FRAME_SIZES:
+                result = buffer_model.simulate(frame_bits)
+                predicted = minimum_buffer_bits(delta_rho, frame_bits)
+                measurements.append((ppm, coupler_fast, frame_bits,
+                                     predicted, result))
+    return measurements
+
+
+def test_exp_s1_leaky_bucket(benchmark):
+    measurements = benchmark(run_sweep)
+
+    rows = []
+    for ppm, coupler_fast, frame_bits, predicted, result in measurements:
+        assert not result.underrun
+        assert result.peak_occupancy_bits == pytest.approx(predicted, abs=1.0)
+        rows.append((f"+/-{ppm:g}",
+                     "coupler" if coupler_fast else "node",
+                     frame_bits,
+                     f"{predicted:.3f}",
+                     f"{result.peak_occupancy_bits:.3f}"))
+
+    # The eq. (6) operating point sits exactly at the B_max limit.
+    at_limit = [entry for entry in measurements
+                if entry[0] == 100.0 and entry[2] == 115_000]
+    for _ppm, _fast, _bits, _predicted, result in at_limit:
+        assert result.peak_occupancy_bits <= maximum_buffer_bits(28) + 0.1
+
+    write_report("EXP-S1", format_table(
+        ["crystal", "fast side", "frame bits", "B_min eq.(1)",
+         "measured peak"],
+        rows, title="Leaky-bucket peak occupancy vs closed form"))

@@ -1,0 +1,46 @@
+"""EXP-V2: verification of integration into a running cluster.
+
+The companion to EXP-V1 for the paper's second integration hazard
+("... or into a running cluster"): three nodes run, the fourth is
+reawakened by its host, and a full-shifting coupler replays a buffered
+C-state frame.  The restricted authority levels keep the property; full
+shifting loses it within a few slots because C-state frames to replay are
+always on the bus.
+"""
+
+from _report import write_report
+
+from repro.analysis.tables import format_table
+from repro.core.authority import all_authorities
+from repro.core.verification import verify_config
+from repro.model.scenarios import running_cluster_scenario
+
+
+def run_matrix():
+    return {authority: verify_config(running_cluster_scenario(authority))
+            for authority in all_authorities()}
+
+
+def test_exp_v2_running_cluster_matrix(benchmark):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    rows = []
+    for authority, result in results.items():
+        expected = authority.value != "full_shifting"
+        assert result.property_holds == expected
+        rows.append((authority.value,
+                     "HOLDS" if result.property_holds else "VIOLATED",
+                     result.check.states_explored,
+                     "-" if result.counterexample is None
+                     else f"{len(result.counterexample)} slots"))
+
+    violation = next(result for result in results.values()
+                     if not result.property_holds)
+    replays = [label for label in violation.counterexample.labels()
+               if "out_of_slot" in label["fault"]]
+    assert replays and replays[0]["ch0"].startswith("c_state")
+
+    write_report("EXP-V2", format_table(
+        ["coupler authority", "property", "states", "counterexample"],
+        rows, title="Integration into a running cluster (C-state replay "
+                    "attack)"))

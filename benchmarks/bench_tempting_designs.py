@@ -1,0 +1,38 @@
+"""EXP-A2 (ablation): the 'tempting' guardian designs of Section 6.
+
+The paper lists three reasons an architect might let the central guardian
+buffer whole frames -- cheap store-and-forward implementation, data-
+continuity mailboxes, CAN-style prioritized messaging -- and the analysis
+shows each requires ``B >= f_max`` bits, violating the ``B <= f_min - 1``
+dependability limit for every frame mix, which (per the Section 5 model
+checking) enables the out-of-slot replay fault.
+"""
+
+from _report import write_report
+
+from repro.analysis.tables import format_table
+from repro.core.tempting_designs import TemptingFeature, evaluate_all
+
+
+def test_exp_a2_tempting_designs(benchmark):
+    verdicts = benchmark(lambda: evaluate_all(f_min=28, f_max=2076))
+
+    assert len(verdicts) == 3
+    rows = []
+    for verdict in verdicts:
+        assert verdict.violates_safe_buffer
+        assert verdict.enables_out_of_slot_fault
+        rows.append((verdict.feature.value,
+                     f"{verdict.required_bits:.0f}",
+                     f"{verdict.allowed_bits:.0f}",
+                     "UNSAFE (enables out-of-slot replay)"))
+
+    # Even a uniform frame size cannot rescue the temptations.
+    uniform = evaluate_all(f_min=128, f_max=128)
+    assert all(verdict.violates_safe_buffer for verdict in uniform)
+
+    write_report("EXP-A2", format_table(
+        ["enhanced guardian function", "buffer needed (bits)",
+         "buffer allowed (bits)", "verdict"],
+        rows, title="Tempting full-frame-buffering designs vs the safe "
+                    "buffer limit (f_min=28, f_max=2076)"))

@@ -1,0 +1,50 @@
+"""EXP-T1: the first counterexample trace (duplicated cold-start frame).
+
+Paper Section 5.2: with the out-of-slot error budget limited to one, SMV
+produces a trace in which a replayed cold-start frame makes a node
+integrate at a stale position and freeze on the clique-avoidance test.
+The benchmark times the trace generation and regenerates the rendered
+trace; the causal-story assertions mirror the paper's narration.
+"""
+
+from _report import write_report
+
+from repro.core.verification import verify_config
+from repro.model.properties import clique_frozen_nodes
+from repro.model.scenarios import trace1_scenario
+from repro.model.narrate import narrate_trace
+from repro.modelcheck.trace import render_trace
+
+
+def test_exp_t1_duplicated_cold_start_trace(benchmark):
+    result = benchmark.pedantic(
+        lambda: verify_config(trace1_scenario()), rounds=1, iterations=1)
+
+    assert not result.property_holds
+    trace = result.counterexample
+    assert trace is not None
+
+    # Exactly one out-of-slot error, and it replays a cold-start frame.
+    replays = [label for label in trace.labels()
+               if "out_of_slot" in label["fault"]]
+    assert len(replays) == 1
+    assert replays[0]["ch0"].startswith("cold_start")
+
+    # The victim is a fault-free node that had integrated.
+    victims = clique_frozen_nodes(result.config, trace.final_view())
+    assert victims
+    victim = victims[0]
+    history = trace.variable_history(f"{victim.lower()}_state")
+    assert "passive" in history or "active" in history
+
+    # Paper narrates 10 steps; the slot-accurate shortest trace is close.
+    assert 8 <= len(trace) <= 16
+
+    header = (f"paper: 10 narrated steps, duplicated cold-start frame, "
+              f"victim freezes by clique error\n"
+              f"measured: {len(trace)} TDMA slots, replay of "
+              f"{replays[0]['ch0']}, victim node {victim}\n")
+    narration = narrate_trace(trace, result.config)
+    write_report("EXP-T1", header + "Paper-style narration:\n" + narration
+                 + "\n\n" + render_trace(
+                     trace, title="Shortest counterexample (out-of-slot budget = 1)"))

@@ -1,0 +1,46 @@
+"""EXP-T2: the second counterexample trace (duplicated C-state frame).
+
+Paper Section 5.2: "The error may also be triggered by duplicating a
+C-state frame.  We obtain such a trace by adding a constraint which
+prohibits the duplication of cold start frames."
+"""
+
+from _report import write_report
+
+from repro.core.verification import verify_config
+from repro.model.properties import clique_frozen_nodes
+from repro.model.scenarios import trace1_scenario, trace2_scenario
+from repro.model.narrate import narrate_trace
+from repro.modelcheck.trace import render_trace
+
+
+def test_exp_t2_duplicated_cstate_trace(benchmark):
+    result = benchmark.pedantic(
+        lambda: verify_config(trace2_scenario()), rounds=1, iterations=1)
+
+    assert not result.property_holds
+    trace = result.counterexample
+    assert trace is not None
+
+    # The single replay now duplicates a C-state frame (cold-start
+    # duplication is prohibited by the scenario constraint).
+    replays = [label for label in trace.labels()
+               if "out_of_slot" in label["fault"]]
+    assert len(replays) == 1
+    assert replays[0]["ch0"].startswith("c_state")
+
+    victims = clique_frozen_nodes(result.config, trace.final_view())
+    assert victims
+
+    # A C-state frame exists only after some node became active, so this
+    # trace is necessarily longer than the cold-start one.
+    baseline = verify_config(trace1_scenario())
+    assert len(trace) > len(baseline.counterexample)
+
+    header = (f"paper: 9 narrated steps, duplicated C-state frame\n"
+              f"measured: {len(trace)} TDMA slots, replay of "
+              f"{replays[0]['ch0']}, victim node {victims[0]}\n")
+    narration = narrate_trace(trace, result.config)
+    write_report("EXP-T2", header + "Paper-style narration:\n" + narration
+                 + "\n\n" + render_trace(
+                     trace, title="Shortest counterexample (cold-start replay prohibited)"))

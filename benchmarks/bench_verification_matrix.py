@@ -1,0 +1,43 @@
+"""EXP-V1: the Section 5.2 verification matrix.
+
+Paper result: for passive, time-windows, and small-shifting star couplers
+the correctness property holds; for full-shifting couplers the model
+checker produces a counterexample.  The benchmark times one full pass over
+all four configurations (the paper's whole experiment) and regenerates the
+verdict table.
+"""
+
+from _report import write_report
+
+from repro.analysis.tables import format_table
+from repro.core.authority import CouplerAuthority
+from repro.core.verification import expected_verdicts, verify_all_authorities
+
+
+def test_exp_v1_verification_matrix(benchmark):
+    results = benchmark.pedantic(verify_all_authorities, rounds=1, iterations=1)
+
+    expected = expected_verdicts()
+    rows = []
+    for authority, result in results.items():
+        assert result.property_holds == expected[authority], (
+            f"{authority.value}: verdict diverged from the paper")
+        rows.append((
+            authority.value,
+            "HOLDS" if result.property_holds else "VIOLATED",
+            "HOLDS" if expected[authority] else "VIOLATED",
+            result.check.states_explored,
+            f"{result.check.elapsed_seconds:.2f}s",
+            "-" if result.counterexample is None
+            else f"{len(result.counterexample)} slots",
+        ))
+
+    violation = results[CouplerAuthority.FULL_SHIFTING]
+    assert violation.counterexample is not None
+    assert any("out_of_slot" in label["fault"]
+               for label in violation.counterexample.labels())
+
+    write_report("EXP-V1", format_table(
+        ["coupler authority", "measured", "paper", "states", "time",
+         "counterexample"],
+        rows, title="Verification matrix (paper Section 5.2)"))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Size a central guardian's buffer for a custom network (Section 6).
+
+Run with::
+
+    python examples/buffer_sizing.py
+
+A worked engineering scenario beyond the paper's own numbers: a mixed
+cluster where slow, cheap sensor nodes exchange short frames and fast
+nodes exchange long frames over the same star coupler -- exactly the
+"different connection speeds to the hub" design the paper discusses (and
+shows to be constrained).  The script sweeps the clock-rate ratio and
+reports which frame-size mixes remain buildable, then cross-validates the
+closed-form bound against the bit-level leaky-bucket simulation.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.buffer_analysis import (
+    BufferConstraints,
+    clock_ratio_limit,
+    delta_rho_from_ratio,
+)
+from repro.core.tradeoffs import DesignPoint, evaluate_design
+from repro.core.authority import CouplerAuthority
+from repro.network.star_coupler import ForwardingBuffer
+
+
+def sweep_clock_ratios() -> None:
+    print("Which (f_min, f_max) mixes survive a given clock-rate ratio?")
+    mixes = [(28, 76), (28, 2076), (64, 512), (128, 128), (256, 4096)]
+    ratios = [1.001, 1.01, 1.1, 2.0, 10.0, 30.0]
+    rows = []
+    for f_min, f_max in mixes:
+        limit = clock_ratio_limit(f_min, f_max)
+        verdicts = ["ok" if ratio <= limit else "-" for ratio in ratios]
+        rows.append([f"{f_min}/{f_max}", f"{limit:.3f}"] + verdicts)
+    headers = ["f_min/f_max", "ratio limit"] + [f"x{ratio:g}" for ratio in ratios]
+    print(format_table(headers, rows))
+    print()
+
+
+def evaluate_mixed_cluster() -> None:
+    print("Design review: 64-bit sensor frames + 4096-bit camera frames")
+    for ratio in (1.005, 1.05, 1.2):
+        design = DesignPoint(authority=CouplerAuthority.SMALL_SHIFTING,
+                             f_min=64, f_max=4096,
+                             delta_rho=delta_rho_from_ratio(ratio))
+        verdict = evaluate_design(design)
+        status = "BUILDABLE" if verdict.acceptable else "REJECTED"
+        print(f"  clock ratio x{ratio:<6g} -> {status}")
+        for note in verdict.notes:
+            print(f"      {note}")
+    print()
+
+
+def cross_validate_leaky_bucket() -> None:
+    print("Leaky-bucket cross-check: closed form (eq. 1) vs simulation")
+    constraints = BufferConstraints(f_min=64, f_max=4096, delta_rho=0.002)
+    buffer_model = ForwardingBuffer(in_rate=1.0 - 0.002, out_rate=1.0)
+    result = buffer_model.simulate(4096)
+    rows = [
+        ("B_min, eq. (1)", f"{constraints.b_min:.3f} bits"),
+        ("simulated peak occupancy", f"{result.peak_occupancy_bits:.3f} bits"),
+        ("B_max, eq. (3)", f"{constraints.b_max:.0f} bits"),
+        ("underrun during forwarding", "no" if not result.underrun else "YES"),
+        ("design feasible", "yes" if constraints.feasible else "no"),
+    ]
+    print(format_table(["quantity", "value"], rows))
+
+
+def main() -> None:
+    sweep_clock_ratios()
+    evaluate_mixed_cluster()
+    cross_validate_leaky_bucket()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Application data over TTP/C: the CNI host interface.
+
+Run with::
+
+    python examples/data_continuity.py
+
+Hosts on a four-node cluster publish state messages (sensor readings)
+through their Communication Network Interface; the controllers broadcast
+them as X-frames in their TDMA slots and every node's CNI ends up with a
+fresh copy of every reading -- the temporal-firewall data flow of the TTA.
+
+The second half shows why the paper rules out the *guardian-side* mailbox
+variant of this feature ("slightly stale values instead of no value"):
+serving stale data from the star coupler requires the coupler to store
+whole frames, which is exactly the authority the model checking proves
+unsafe.  Data continuity must live in the hosts' CNIs (as here), not in
+the central guardian.
+"""
+
+from repro.analysis.tables import format_table
+from repro.cluster import Cluster, ClusterSpec
+from repro.core.tempting_designs import TemptingFeature, evaluate_tempting_design
+
+SENSOR_READINGS = {"A": 0x0111, "B": 0x0222, "C": 0x0333, "D": 0x0444}
+
+
+def broadcast_sensor_data() -> None:
+    print("State-message exchange through the CNI (slot = 400 bit times)")
+    cluster = Cluster(ClusterSpec(topology="star", slot_duration=400.0))
+    cluster.power_on()
+    for name, reading in SENSOR_READINGS.items():
+        cluster.controllers[name].cni.post_int(reading, 16)
+    cluster.run(rounds=25)
+
+    rows = []
+    for receiver_name, controller in cluster.controllers.items():
+        now = controller.cstate.global_time
+        cells = [receiver_name]
+        for sender_slot in (1, 2, 3, 4):
+            if sender_slot == controller.own_slot:
+                cells.append("(self)")
+                continue
+            message = controller.cni.read(sender_slot)
+            if message is None:
+                cells.append("-")
+            else:
+                age = controller.cni.freshness(sender_slot, now)
+                cells.append(f"{message.as_int():#06x} (age {age})")
+        rows.append(cells)
+    print(format_table(["receiver", "from A", "from B", "from C", "from D"],
+                       rows))
+    print()
+
+
+def why_not_guardian_mailboxes() -> None:
+    print("Why not keep the mailboxes in the central guardian instead?")
+    verdict = evaluate_tempting_design(TemptingFeature.MAILBOX_DATA_CONTINUITY,
+                                       f_min=28, f_max=2076)
+    print(f"  required guardian buffer : {verdict.required_bits:.0f} bits "
+          f"(a whole f_max frame)")
+    print(f"  allowed guardian buffer  : {verdict.allowed_bits:.0f} bits "
+          f"(f_min - 1, paper eq. 3)")
+    print(f"  safe?                    : "
+          f"{'yes' if not verdict.violates_safe_buffer else 'NO - enables the out-of-slot replay fault'}")
+    print(f"  rationale                : {verdict.rationale()}")
+
+
+def main() -> None:
+    broadcast_sensor_data()
+    why_not_guardian_mailboxes()
+
+
+if __name__ == "__main__":
+    main()

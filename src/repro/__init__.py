@@ -1,0 +1,36 @@
+"""repro: reproduction of "Fault Tolerance Tradeoffs in Moving from
+Decentralized to Centralized Embedded Systems" (Morris, Kroening, Koopman,
+DSN 2004).
+
+The package has two top-level entry points matching the paper's two
+results:
+
+>>> from repro.core import verify_authority, CouplerAuthority
+>>> result = verify_authority(CouplerAuthority.FULL_SHIFTING)
+>>> result.property_holds
+False
+
+>>> from repro.core import BufferConstraints
+>>> BufferConstraints(f_min=28, f_max=2076, delta_rho=0.0002).feasible
+True
+
+Subpackages:
+
+* :mod:`repro.core` -- the paper's contribution: authority levels,
+  verification driver, buffer-constraint analysis, tradeoff exploration;
+* :mod:`repro.model` -- the Section 4 formal model of TTP/C startup;
+* :mod:`repro.modelcheck` -- explicit-state model checker (SMV stand-in);
+* :mod:`repro.ttp` -- TTP/C protocol substrate (frames, CRC, MEDL,
+  controller state machine, clock sync, membership, clique avoidance);
+* :mod:`repro.network` -- channels, guardians, star couplers, topologies;
+* :mod:`repro.faults` -- fault taxonomy and injection campaigns;
+* :mod:`repro.sim` -- discrete-event simulation kernel;
+* :mod:`repro.analysis` -- worked examples, Figure 3 series, sweeps;
+* :mod:`repro.cluster` -- one-call assembly of simulated TTA clusters.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.authority import CouplerAuthority
+
+__all__ = ["CouplerAuthority", "__version__"]

@@ -1,0 +1,36 @@
+"""Worked numeric analyses, sweeps, and report-table helpers.
+
+* :mod:`repro.analysis.examples` -- the paper's worked examples
+  (eqs. 5, 6, 8, 9 with the exact printed inputs),
+* :mod:`repro.analysis.figure3` -- the Figure 3 data series,
+* :mod:`repro.analysis.sweep` -- generic parameter sweeps,
+* :mod:`repro.analysis.tables` -- plain-text table rendering shared by the
+  benchmarks and the CLI.
+"""
+
+from repro.analysis.examples import (
+    WorkedExample,
+    eq5_commodity_delta_rho,
+    eq6_max_frame,
+    eq8_minimal_protocol_delta_rho,
+    eq9_max_xframe_delta_rho,
+    worked_examples,
+)
+from repro.analysis.figure3 import Figure3Point, figure3_series, figure3_reference_points
+from repro.analysis.sweep import sweep_1d, sweep_2d
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "Figure3Point",
+    "WorkedExample",
+    "eq5_commodity_delta_rho",
+    "eq6_max_frame",
+    "eq8_minimal_protocol_delta_rho",
+    "eq9_max_xframe_delta_rho",
+    "figure3_reference_points",
+    "figure3_series",
+    "format_table",
+    "sweep_1d",
+    "sweep_2d",
+    "worked_examples",
+]

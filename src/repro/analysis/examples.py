@@ -1,0 +1,102 @@
+"""The paper's worked numeric examples (Section 6).
+
+Each function evaluates one printed calculation with exactly the inputs
+the paper uses and records the value the paper reports, so the benchmark
+harness can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.buffer_analysis import max_delta_rho, max_frame_bits
+from repro.ttp.constants import (
+    COMMODITY_CRYSTAL_PPM,
+    I_FRAME_BITS,
+    LINE_ENCODING_BITS,
+    N_FRAME_BITS,
+    X_FRAME_BITS,
+)
+
+
+@dataclass(frozen=True)
+class WorkedExample:
+    """One paper calculation: identity, inputs, paper value, our value."""
+
+    equation: str
+    description: str
+    paper_value: float
+    computed_value: float
+    unit: str = ""
+    #: Half the place value of the paper's last printed digit -- the
+    #: rounding slack the printed figure implies.
+    paper_precision: float = 0.5
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper_value == 0:
+            return abs(self.computed_value)
+        return abs(self.computed_value - self.paper_value) / abs(self.paper_value)
+
+    @property
+    def matches(self) -> bool:
+        """Whether our exact value rounds to the paper's printed figure."""
+        return abs(self.computed_value - self.paper_value) <= self.paper_precision
+
+
+def eq5_commodity_delta_rho() -> WorkedExample:
+    """Eq. (5): worst case for two +/-100 ppm commodity crystals.
+
+    The paper approximates ``2 * 0.0001 = 0.0002`` (the exact value,
+    ``(rho_max - rho_min)/rho_max`` with rates 1.0001 and 0.9999, is
+    0.00019998; the paper's rounding is what enters eq. 6).
+    """
+    computed = 2 * COMMODITY_CRYSTAL_PPM * 1e-6
+    return WorkedExample(
+        equation="(5)",
+        description="worst-case delta_rho for +/-100 ppm crystals",
+        paper_value=0.0002, computed_value=computed, paper_precision=5e-6)
+
+
+def eq6_max_frame() -> WorkedExample:
+    """Eq. (6): f_max = (28 - 1 - 4) / 0.0002 = 115,000 bits."""
+    computed = max_frame_bits(f_min=N_FRAME_BITS, delta_rho=0.0002,
+                              le=LINE_ENCODING_BITS)
+    return WorkedExample(
+        equation="(6)",
+        description="largest frame at commodity-crystal clock spread",
+        paper_value=115_000.0, computed_value=computed, unit="bits",
+        paper_precision=0.5)
+
+
+def eq8_minimal_protocol_delta_rho() -> WorkedExample:
+    """Eq. (8): delta_rho = (28 - 1 - 4) / 76 = 0.3026 (30.26%), with
+    f_max = 76 bits, the largest frame required for protocol operation."""
+    computed = max_delta_rho(f_min=N_FRAME_BITS, f_max=I_FRAME_BITS,
+                             le=LINE_ENCODING_BITS)
+    return WorkedExample(
+        equation="(8)",
+        description="max clock spread for minimal protocol operation (I-frames)",
+        paper_value=0.3026, computed_value=computed, paper_precision=5e-5)
+
+
+def eq9_max_xframe_delta_rho() -> WorkedExample:
+    """Eq. (9): delta_rho = 23 / 2076 = 0.0111 (1.11%) for maximum-length
+    X-frames."""
+    computed = max_delta_rho(f_min=N_FRAME_BITS, f_max=X_FRAME_BITS,
+                             le=LINE_ENCODING_BITS)
+    return WorkedExample(
+        equation="(9)",
+        description="max clock spread with maximum-length X-frames",
+        paper_value=0.0111, computed_value=computed, paper_precision=5e-5)
+
+
+def worked_examples() -> List[WorkedExample]:
+    """All of the paper's Section 6 calculations, in print order."""
+    return [
+        eq5_commodity_delta_rho(),
+        eq6_max_frame(),
+        eq8_minimal_protocol_delta_rho(),
+        eq9_max_xframe_delta_rho(),
+    ]

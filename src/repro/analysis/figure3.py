@@ -1,0 +1,79 @@
+"""Figure 3: admissible clock-rate ratio vs. frame-size range.
+
+The paper's Figure 3 plots eq. (10),
+
+    rho_max / rho_min = f_max / (f_max - f_min + 1 + le),
+
+for ``le = 4``: the region of buildable systems lies *below* the curve.
+The figure's headline observation is the f_min = f_max = 128 point, where
+the admissible ratio is not 128 but ``128 / (1 + 4 + ... ) ~= 25`` --
+the ``1 + le`` term dominates once the long frame's transmission time at
+the fast rate approaches the line-encoding time at the slow rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.buffer_analysis import clock_ratio_limit
+from repro.ttp.constants import LINE_ENCODING_BITS, N_FRAME_BITS, X_FRAME_BITS
+
+
+@dataclass(frozen=True)
+class Figure3Point:
+    """One point of the Figure 3 curve."""
+
+    f_min: float
+    f_max: float
+    ratio_limit: float
+
+    @property
+    def frame_range(self) -> float:
+        """Frame-size spread ``f_max - f_min`` (the figure's x-axis notion)."""
+        return self.f_max - self.f_min
+
+
+def figure3_series(f_min: float, f_max_values: Iterable[float],
+                   le: float = LINE_ENCODING_BITS) -> List[Figure3Point]:
+    """Curve of the ratio limit over ``f_max`` for a fixed ``f_min``."""
+    points = []
+    for f_max in f_max_values:
+        if f_max < f_min:
+            continue
+        points.append(Figure3Point(f_min=f_min, f_max=f_max,
+                                   ratio_limit=clock_ratio_limit(f_min, f_max, le)))
+    return points
+
+
+def figure3_grid(f_min_values: Iterable[float], f_max_values: Iterable[float],
+                 le: float = LINE_ENCODING_BITS) -> List[Figure3Point]:
+    """The full (f_min, f_max) grid below the curve."""
+    points = []
+    f_max_list = list(f_max_values)
+    for f_min in f_min_values:
+        points.extend(figure3_series(f_min, f_max_list, le))
+    return points
+
+
+def figure3_reference_points(le: float = LINE_ENCODING_BITS) -> List[Figure3Point]:
+    """The named points the paper's discussion singles out.
+
+    * f_min = f_max = 128: the figure's annotated point, ratio ~= 25
+      (exact eq. 10 value 128/5 = 25.6 -- the paper prints "f_max/5 = 25");
+    * f_min = 28 (N-frame) with f_max = 76 (I-frame) and f_max = 2076
+      (X-frame): the eq. (8)/(9) operating points expressed as ratios.
+    """
+    return [
+        Figure3Point(128.0, 128.0, clock_ratio_limit(128.0, 128.0, le)),
+        Figure3Point(float(N_FRAME_BITS), 76.0,
+                     clock_ratio_limit(N_FRAME_BITS, 76.0, le)),
+        Figure3Point(float(N_FRAME_BITS), float(X_FRAME_BITS),
+                     clock_ratio_limit(N_FRAME_BITS, X_FRAME_BITS, le)),
+    ]
+
+
+def equal_frame_ratio(frame_bits: float, le: float = LINE_ENCODING_BITS) -> float:
+    """Ratio limit when all frames have the same size (f_min = f_max):
+    ``f / (1 + le)`` -- the paper's "f_max / 5" observation for le = 4."""
+    return clock_ratio_limit(frame_bits, frame_bits, le)

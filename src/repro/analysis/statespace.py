@@ -1,0 +1,101 @@
+"""State-space statistics.
+
+Exhaustively explores a transition system and reports the structural
+numbers a model-checking paper quotes: reachable states, transitions,
+diameter (maximum BFS depth), branching factors, and deadlocks.  Used by
+the performance experiments (EXP-P1/P2) and the ``repro statespace`` CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.modelcheck.model import TransitionSystem
+
+
+@dataclass
+class StateSpaceStats:
+    """Structural summary of one reachable state space."""
+
+    states: int
+    transitions: int
+    diameter: int
+    max_branching: int
+    deadlock_states: int
+    elapsed_seconds: float
+    depth_histogram: Dict[int, int] = field(default_factory=dict)
+    truncated: bool = False
+
+    @property
+    def average_branching(self) -> float:
+        if self.states == 0:
+            return 0.0
+        return self.transitions / self.states
+
+    @property
+    def states_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.states / self.elapsed_seconds
+
+    def rows(self) -> List[tuple]:
+        """Key/value rows for table rendering."""
+        return [
+            ("reachable states", self.states),
+            ("transitions", self.transitions),
+            ("diameter (BFS depth)", self.diameter),
+            ("avg branching factor", f"{self.average_branching:.2f}"),
+            ("max branching factor", self.max_branching),
+            ("deadlock states", self.deadlock_states),
+            ("exploration time", f"{self.elapsed_seconds:.2f}s"),
+            ("exploration rate", f"{self.states_per_second:,.0f} states/s"),
+        ]
+
+
+def explore(system: TransitionSystem,
+            max_states: Optional[int] = None) -> StateSpaceStats:
+    """BFS over the reachable states, collecting structural statistics."""
+    started = time.perf_counter()
+    seen: Dict[tuple, int] = {}
+    frontier = deque()
+    transitions = 0
+    max_branching = 0
+    deadlocks = 0
+    histogram: Dict[int, int] = {}
+    truncated = False
+
+    for state in system.initial_states():
+        if state not in seen:
+            seen[state] = 0
+            frontier.append(state)
+            histogram[0] = histogram.get(0, 0) + 1
+
+    while frontier:
+        state = frontier.popleft()
+        depth = seen[state]
+        branching = 0
+        for transition in system.successors(state):
+            branching += 1
+            transitions += 1
+            target = transition.target
+            if target in seen:
+                continue
+            if max_states is not None and len(seen) >= max_states:
+                truncated = True
+                continue
+            seen[target] = depth + 1
+            histogram[depth + 1] = histogram.get(depth + 1, 0) + 1
+            frontier.append(target)
+        max_branching = max(max_branching, branching)
+        if branching == 0:
+            deadlocks += 1
+
+    diameter = max(histogram) if histogram else 0
+    return StateSpaceStats(states=len(seen), transitions=transitions,
+                           diameter=diameter, max_branching=max_branching,
+                           deadlock_states=deadlocks,
+                           elapsed_seconds=time.perf_counter() - started,
+                           depth_histogram=histogram, truncated=truncated)

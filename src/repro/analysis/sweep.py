@@ -1,0 +1,57 @@
+"""Generic parameter sweeps.
+
+Small helpers shared by the benchmark harnesses: evaluate a function over
+1-D and 2-D parameter grids, collecting (inputs, output) rows ready for
+table formatting or regression comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One sweep sample."""
+
+    inputs: Tuple[Any, ...]
+    output: Any
+
+
+def sweep_1d(function: Callable[[Any], Any],
+             values: Iterable[Any]) -> List[SweepRow]:
+    """Evaluate ``function`` over one parameter range."""
+    return [SweepRow(inputs=(value,), output=function(value)) for value in values]
+
+
+def sweep_2d(function: Callable[[Any, Any], Any],
+             first_values: Iterable[Any],
+             second_values: Iterable[Any]) -> List[SweepRow]:
+    """Evaluate ``function`` over the cartesian product of two ranges."""
+    second_list = list(second_values)
+    rows = []
+    for first in first_values:
+        for second in second_list:
+            rows.append(SweepRow(inputs=(first, second),
+                                 output=function(first, second)))
+    return rows
+
+
+def geometric_range(start: float, stop: float, points: int) -> List[float]:
+    """``points`` geometrically spaced values from ``start`` to ``stop``
+    inclusive (log-axis sampling for the Figure 3 style curves)."""
+    if points < 2:
+        raise ValueError(f"need at least 2 points, got {points}")
+    if start <= 0 or stop <= 0:
+        raise ValueError("geometric ranges need positive endpoints")
+    ratio = (stop / start) ** (1.0 / (points - 1))
+    return [start * ratio ** index for index in range(points)]
+
+
+def linear_range(start: float, stop: float, points: int) -> List[float]:
+    """``points`` linearly spaced values from ``start`` to ``stop``."""
+    if points < 2:
+        raise ValueError(f"need at least 2 points, got {points}")
+    step = (stop - start) / (points - 1)
+    return [start + step * index for index in range(points)]

@@ -1,0 +1,111 @@
+"""Plain-text table rendering.
+
+The benchmark harnesses print their reproduced tables through this one
+formatter so every report looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value)}"
+        return f"{value:.6g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned plain-text table."""
+    text_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * width for width in widths]))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def ascii_plot(points: Sequence[tuple], width: int = 64, height: int = 16,
+               log_x: bool = False, log_y: bool = False,
+               title: Optional[str] = None,
+               x_label: str = "x", y_label: str = "y") -> str:
+    """Render (x, y) points as a monospace scatter/curve plot.
+
+    Good enough to eyeball the *shape* of a reproduced figure in a
+    terminal or a report file; the exact series accompanies it as a table.
+    """
+    import math
+
+    if len(points) < 2:
+        raise ValueError("need at least two points to plot")
+
+    def x_of(value: float) -> float:
+        return math.log10(value) if log_x else value
+
+    def y_of(value: float) -> float:
+        return math.log10(value) if log_y else value
+
+    xs = [x_of(x) for x, _ in points]
+    ys = [y_of(y) for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x_value, y_value in zip(xs, ys):
+        column = round((x_value - x_low) / x_span * (width - 1))
+        row = round((y_value - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][column] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_high_label = f"{10 ** y_high:.4g}" if log_y else f"{y_high:.4g}"
+    y_low_label = f"{10 ** y_low:.4g}" if log_y else f"{y_low:.4g}"
+    margin = max(len(y_high_label), len(y_low_label), len(y_label))
+    lines.append(f"{y_high_label.rjust(margin)} |{''.join(grid[0])}")
+    for row in grid[1:-1]:
+        lines.append(f"{' ' * margin} |{''.join(row)}")
+    lines.append(f"{y_low_label.rjust(margin)} |{''.join(grid[-1])}")
+    lines.append(f"{' ' * margin} +{'-' * width}")
+    x_low_label = f"{10 ** x_low:.4g}" if log_x else f"{x_low:.4g}"
+    x_high_label = f"{10 ** x_high:.4g}" if log_x else f"{x_high:.4g}"
+    axis = (f"{' ' * margin}  {x_low_label}"
+            f"{x_label.center(width - len(x_low_label) - len(x_high_label))}"
+            f"{x_high_label}")
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Iterable[tuple], title: Optional[str] = None) -> str:
+    """Render key/value pairs as an aligned block."""
+    pairs = list(pairs)
+    if not pairs:
+        return title or ""
+    key_width = max(len(str(key)) for key, _ in pairs)
+    lines = []
+    if title:
+        lines.append(title)
+    for key, value in pairs:
+        lines.append(f"  {str(key).ljust(key_width)} : {_cell(value)}")
+    return "\n".join(lines)

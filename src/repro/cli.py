@@ -1,0 +1,262 @@
+"""Command-line interface.
+
+``repro verify``      -- the Section 5.2 verification matrix (EXP-V1)
+``repro trace``       -- render a counterexample trace (EXP-T1 / EXP-T2)
+``repro analysis``    -- Section 6 worked examples (EXP-E1..E3)
+``repro figure3``     -- the Figure 3 series (EXP-F3)
+``repro campaign``    -- DES fault-injection campaign (EXP-S2)
+``repro leaky``       -- leaky-bucket buffer validation (EXP-S1)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.examples import worked_examples
+from repro.analysis.figure3 import figure3_reference_points, figure3_series
+from repro.analysis.sweep import geometric_range
+from repro.analysis.tables import format_table
+from repro.core.authority import CouplerAuthority
+from repro.core.verification import verify_all_authorities, verify_config
+from repro.model.scenarios import trace1_scenario, trace2_scenario
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    results = verify_all_authorities(slots=args.slots)
+    rows = []
+    for authority, result in results.items():
+        rows.append((authority.value,
+                     "HOLDS" if result.property_holds else "VIOLATED",
+                     result.check.states_explored,
+                     f"{result.check.elapsed_seconds:.2f}s",
+                     "-" if result.counterexample is None
+                     else f"{len(result.counterexample)} slots"))
+    print(format_table(
+        ["coupler authority", "property", "states", "time", "counterexample"],
+        rows, title="EXP-V1: verification matrix (paper Section 5.2)"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = trace2_scenario() if args.variant == "cstate" else trace1_scenario()
+    result = verify_config(config)
+    if args.narrate:
+        from repro.model.narrate import narrate_trace
+
+        print(narrate_trace(result.counterexample, result.config))
+    else:
+        print(result.narrate())
+    return 0 if not result.property_holds else 1
+
+
+def _cmd_analysis(_args: argparse.Namespace) -> int:
+    rows = []
+    for example in worked_examples():
+        rows.append((example.equation, example.description,
+                     f"{example.paper_value:g}",
+                     f"{example.computed_value:g}",
+                     "match" if example.matches else "MISMATCH"))
+    print(format_table(["eq", "quantity", "paper", "computed", "verdict"],
+                       rows, title="EXP-E1..E3: Section 6 worked examples"))
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    f_max_values = geometric_range(args.f_min, args.f_max_limit, args.points)
+    series = figure3_series(args.f_min, f_max_values)
+    rows = [(f"{point.f_max:.0f}", f"{point.ratio_limit:.4f}") for point in series]
+    print(format_table(["f_max (bits)", "rho_max/rho_min limit"], rows,
+                       title=f"EXP-F3: Figure 3 series (f_min={args.f_min:g}, le=4)"))
+    print()
+    ref_rows = [(p.f_min, p.f_max, f"{p.ratio_limit:.4f}")
+                for p in figure3_reference_points()]
+    print(format_table(["f_min", "f_max", "ratio limit"], ref_rows,
+                       title="reference points (incl. the paper's 128-bit note)"))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import run_campaign
+
+    result = run_campaign(rounds=args.rounds)
+    rows = [(row["fault"], row.get("bus", "?"), row.get("star", "?"))
+            for row in result.containment_table()]
+    print(format_table(["fault", "bus topology", "star + central guardian"],
+                       rows, title="EXP-S2: fault containment, bus vs star"))
+    return 0
+
+
+def _cmd_leaky(args: argparse.Namespace) -> int:
+    from repro.core.buffer_analysis import minimum_buffer_bits
+    from repro.network.star_coupler import ForwardingBuffer
+    from repro.sim.clock import ppm_to_rate
+
+    rows = []
+    for frame_bits in (28, 76, 2076, 115000):
+        buffer_model = ForwardingBuffer(in_rate=ppm_to_rate(-args.ppm),
+                                        out_rate=ppm_to_rate(args.ppm))
+        delta_rho = ((buffer_model.out_rate - buffer_model.in_rate)
+                     / buffer_model.out_rate)
+        result = buffer_model.simulate(frame_bits)
+        predicted = minimum_buffer_bits(delta_rho, frame_bits)
+        rows.append((frame_bits, f"{result.peak_occupancy_bits:.4f}",
+                     f"{predicted:.4f}", "no" if result.underrun else "no",
+                     "ok" if abs(result.peak_occupancy_bits - predicted) < 1.0
+                     else "DIVERGED"))
+    print(format_table(
+        ["frame bits", "measured peak", "eq. (1) B_min", "underrun", "verdict"],
+        rows, title=f"EXP-S1: leaky-bucket buffer occupancy (+/-{args.ppm:g} ppm)"))
+    return 0
+
+
+def _cmd_statespace(args: argparse.Namespace) -> int:
+    from repro.analysis.statespace import explore
+    from repro.analysis.tables import format_kv
+    from repro.model.scenarios import scenario_for_authority
+    from repro.model.system_model import TTAStartupModel
+
+    authority = CouplerAuthority(args.authority)
+    system = TTAStartupModel(scenario_for_authority(authority,
+                                                    slots=args.slots))
+    stats = explore(system, max_states=args.max_states)
+    print(format_kv(stats.rows(),
+                    title=f"State space: {authority.value}, {args.slots} nodes"))
+    if stats.truncated:
+        print("  (truncated by --max-states)")
+    return 0
+
+
+def _cmd_blocking(_args: argparse.Namespace) -> int:
+    from repro.faults.campaign import guardian_vs_coupler_blocking
+
+    result = guardian_vs_coupler_blocking()
+    rows = [
+        ("bus: local guardian of B blocks all",
+         ",".join(result.bus_victims) or "-",
+         f"{len(result.bus_active)}/4 active"),
+        ("star: central guardian of ch0 blocks all",
+         ",".join(result.star_victims) or "-",
+         f"{len(result.star_active)}/4 active "
+         f"(ch0 delivered {result.star_channel0_delivered}, "
+         f"ch1 {result.star_channel1_delivered})"),
+    ]
+    print(format_table(["fault", "healthy victims", "outcome"], rows,
+                       title="EXP-S4: blast radius of a block-all fault"))
+    return 0
+
+
+def _cmd_clocksync(args: argparse.Namespace) -> int:
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.ttp.controller import ControllerConfig
+
+    ppm = {"A": args.ppm, "B": -args.ppm, "C": args.ppm / 2,
+           "D": -args.ppm / 2}
+    rows = []
+    for sync_enabled in (True, False):
+        spec = ClusterSpec(topology="star", node_ppm=dict(ppm))
+        if not sync_enabled:
+            spec.node_configs = {
+                name: ControllerConfig(clock_sync_enabled=False)
+                for name in ppm}
+        cluster = Cluster(spec)
+        cluster.power_on()
+        cluster.run(rounds=args.rounds)
+        states = sorted({state.value for state in cluster.states().values()})
+        rows.append(("on" if sync_enabled else "off",
+                     "/".join(states),
+                     ",".join(cluster.healthy_victims()) or "-"))
+    print(format_table(["clock sync", f"states after {args.rounds:g} rounds",
+                        "victims"], rows,
+                       title=f"EXP-S5: +/-{args.ppm:g} ppm crystals"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report()
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n(report written to {args.output})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Fault Tolerance Tradeoffs in Moving from "
+                    "Decentralized to Centralized Embedded Systems' (DSN 2004)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    verify = subparsers.add_parser("verify", help="EXP-V1 verification matrix")
+    verify.add_argument("--slots", type=int, default=4)
+    verify.set_defaults(func=_cmd_verify)
+
+    trace = subparsers.add_parser("trace", help="EXP-T1/T2 counterexample traces")
+    trace.add_argument("variant", choices=["coldstart", "cstate"],
+                       help="coldstart: duplicated cold-start frame; "
+                            "cstate: duplicated C-state frame")
+    trace.add_argument("--narrate", action="store_true",
+                       help="render the trace as numbered English steps, "
+                            "in the paper's own style")
+    trace.set_defaults(func=_cmd_trace)
+
+    analysis = subparsers.add_parser("analysis", help="EXP-E1..E3 worked examples")
+    analysis.set_defaults(func=_cmd_analysis)
+
+    figure3 = subparsers.add_parser("figure3", help="EXP-F3 Figure 3 series")
+    figure3.add_argument("--f-min", type=float, default=28.0, dest="f_min")
+    figure3.add_argument("--f-max-limit", type=float, default=1e6,
+                         dest="f_max_limit")
+    figure3.add_argument("--points", type=int, default=12)
+    figure3.set_defaults(func=_cmd_figure3)
+
+    campaign = subparsers.add_parser("campaign", help="EXP-S2 fault injection")
+    campaign.add_argument("--rounds", type=float, default=40.0)
+    campaign.set_defaults(func=_cmd_campaign)
+
+    leaky = subparsers.add_parser("leaky", help="EXP-S1 leaky-bucket validation")
+    leaky.add_argument("--ppm", type=float, default=100.0)
+    leaky.set_defaults(func=_cmd_leaky)
+
+    statespace = subparsers.add_parser(
+        "statespace", help="structural statistics of the formal model")
+    statespace.add_argument("--authority", default="full_shifting",
+                            choices=[level.value for level in CouplerAuthority])
+    statespace.add_argument("--slots", type=int, default=4)
+    statespace.add_argument("--max-states", type=int, default=None,
+                            dest="max_states")
+    statespace.set_defaults(func=_cmd_statespace)
+
+    blocking = subparsers.add_parser(
+        "blocking", help="EXP-S4 block-all fault blast radius")
+    blocking.set_defaults(func=_cmd_blocking)
+
+    clocksync = subparsers.add_parser(
+        "clocksync", help="EXP-S5 clock-sync necessity on drifting crystals")
+    clocksync.add_argument("--ppm", type=float, default=100.0)
+    clocksync.add_argument("--rounds", type=float, default=400.0)
+    clocksync.set_defaults(func=_cmd_clocksync)
+
+    report = subparsers.add_parser(
+        "report", help="run every core experiment and print the combined "
+                       "paper-vs-measured report")
+    report.add_argument("--output", default=None,
+                        help="also write the report to this file")
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

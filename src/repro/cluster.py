@@ -1,0 +1,212 @@
+"""Convenience assembly of a simulated TTA cluster.
+
+Builds the full stack -- simulator, monitor, topology (bus or star),
+controllers with individually drifting clocks -- from a compact
+:class:`ClusterSpec`, so examples and fault-injection campaigns do not
+repeat the wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.core.authority import CouplerAuthority
+from repro.network.guardian import GuardianFault
+from repro.network.signal import ReceiverTolerance
+from repro.network.star_coupler import CouplerFault
+from repro.network.topology import BusTopology, StarTopology
+from repro.sim.clock import ClockConfig, DriftingClock
+from repro.sim.engine import Simulator
+from repro.sim.monitor import TraceMonitor
+from repro.sim.rng import RandomStream
+from repro.ttp.constants import ControllerStateName
+from repro.ttp.controller import ControllerConfig, FreezeReason, TTPController
+from repro.ttp.medl import Medl
+
+DEFAULT_NODE_NAMES = ["A", "B", "C", "D"]
+
+
+@dataclass
+class ClusterSpec:
+    """Declarative description of a cluster to simulate."""
+
+    node_names: List[str] = field(default_factory=lambda: list(DEFAULT_NODE_NAMES))
+    topology: str = "star"  # "star" or "bus"
+    authority: CouplerAuthority = CouplerAuthority.SMALL_SHIFTING
+    slot_duration: float = 100.0
+    frame_bits: int = 76
+    #: Per-node oscillator offsets in ppm (missing nodes default to 0).
+    node_ppm: Dict[str, float] = field(default_factory=dict)
+    #: Per-node power-on delays in reference time units.
+    power_on_delays: Dict[str, float] = field(default_factory=dict)
+    #: Per-node controller-config overrides (fault behaviours etc.).
+    node_configs: Dict[str, ControllerConfig] = field(default_factory=dict)
+    #: Per-node receiver tolerances (hardware spread for the SOS model).
+    tolerances: Dict[str, ReceiverTolerance] = field(default_factory=dict)
+    #: Star-coupler fault per channel (star topology only).
+    coupler_faults: List[CouplerFault] = field(
+        default_factory=lambda: [CouplerFault.NONE, CouplerFault.NONE])
+    #: Local-guardian fault per node (bus topology only).
+    guardian_faults: Dict[str, GuardianFault] = field(default_factory=dict)
+    #: Passive channel faults (the TTP/C fault hypothesis: channels may
+    #: corrupt or drop frames, but never generate them).
+    channel_drop_probability: float = 0.0
+    channel_corrupt_probability: float = 0.0
+    #: Alternate operating modes (timing-compatible schedules); when given,
+    #: entry 0 replaces the uniform default schedule and hosts may request
+    #: deferred switches to the others.
+    modes: Optional[List[Medl]] = None
+    seed: int = 0
+
+
+class Cluster:
+    """A fully wired simulated cluster."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.sim = Simulator()
+        self.monitor = TraceMonitor()
+        if spec.modes:
+            from repro.ttp.modes import ModeSet
+
+            self.mode_set = ModeSet.of(spec.modes)
+            self.medl = self.mode_set.schedule(0)
+        else:
+            from repro.ttp.modes import ModeSet
+
+            self.medl = Medl.uniform(spec.node_names,
+                                     slot_duration=spec.slot_duration,
+                                     frame_bits=spec.frame_bits)
+            self.mode_set = ModeSet.single(self.medl)
+        rng = RandomStream(seed=spec.seed, path="cluster")
+
+        if spec.topology == "star":
+            self.topology = StarTopology(
+                self.sim, self.medl, authority=spec.authority,
+                monitor=self.monitor,
+                coupler_faults=list(spec.coupler_faults),
+                drop_probability=spec.channel_drop_probability,
+                corrupt_probability=spec.channel_corrupt_probability,
+                rng=rng)
+        elif spec.topology == "bus":
+            self.topology = BusTopology(
+                self.sim, self.medl, monitor=self.monitor,
+                guardian_faults=dict(spec.guardian_faults),
+                drop_probability=spec.channel_drop_probability,
+                corrupt_probability=spec.channel_corrupt_probability,
+                rng=rng)
+        else:
+            raise ValueError(f"unknown topology {spec.topology!r}")
+
+        self.controllers: Dict[str, TTPController] = {}
+        for index, name in enumerate(spec.node_names):
+            ppm = spec.node_ppm.get(name, 0.0)
+            clock = DriftingClock(ClockConfig(ppm=ppm))
+            base_config = spec.node_configs.get(name, ControllerConfig())
+            config = replace(base_config, slot_duration=spec.slot_duration)
+            tolerance = spec.tolerances.get(name, ReceiverTolerance())
+            controller = TTPController(self.sim, name, self.medl, self.topology,
+                                       clock=clock, monitor=self.monitor,
+                                       config=config, tolerance=tolerance,
+                                       modes=self.mode_set)
+            self.controllers[name] = controller
+
+    def power_on(self, stagger: float = 37.0) -> None:
+        """Power on every node, staggered unless a per-node delay is given.
+
+        The default stagger is deliberately not a multiple of the slot
+        duration so that unsynchronized nodes start on incommensurate
+        grids, as they would in reality.
+        """
+        for index, (name, controller) in enumerate(self.controllers.items()):
+            delay = self.spec.power_on_delays.get(name, index * stagger)
+            controller.power_on(delay)
+
+    def run(self, rounds: float = 20.0) -> None:
+        """Run the simulation for ``rounds`` more TDMA rounds."""
+        horizon = self.sim.now + rounds * self.medl.round_duration()
+        self.sim.run(until=horizon)
+
+    # -- outcome queries -----------------------------------------------------------
+
+    def states(self) -> Dict[str, ControllerStateName]:
+        """Current protocol state of every node."""
+        return {name: controller.state
+                for name, controller in self.controllers.items()}
+
+    def integrated_nodes(self) -> List[str]:
+        """Nodes currently active or passive."""
+        return [name for name, controller in self.controllers.items()
+                if controller.integrated]
+
+    def clique_frozen_nodes(self) -> List[str]:
+        """Nodes forced to freeze by the clique-avoidance test."""
+        return [name for name, controller in self.controllers.items()
+                if controller.state is ControllerStateName.FREEZE
+                and controller.freeze_reason is FreezeReason.CLIQUE_ERROR]
+
+    def protocol_frozen_nodes(self) -> List[str]:
+        """Nodes frozen by the protocol itself (clique error or
+        acknowledgment send-fault), as opposed to host commands."""
+        from repro.ttp.controller import PROTOCOL_FORCED_FREEZES
+
+        return [name for name, controller in self.controllers.items()
+                if controller.state is ControllerStateName.FREEZE
+                and controller.freeze_reason in PROTOCOL_FORCED_FREEZES]
+
+    def legitimate_grid_phases(self) -> List[float]:
+        """Round phases of every grid established by a *healthy*
+        cold-starter.  Two healthy nodes racing to cold-start both propose
+        legitimate grids (the clique test picks the winner); a masquerading
+        node's grid never appears here because it forges cold-start frames
+        without entering the cold-start state."""
+        from repro.ttp.controller import NodeFaultBehavior
+
+        healthy = {name for name, controller in self.controllers.items()
+                   if controller.config.fault is NodeFaultBehavior.HEALTHY}
+        round_duration = self.medl.round_duration()
+        phases = []
+        for record in self.monitor.select(kind="cold_start_grid"):
+            node_name = record.source.split(":", 1)[1]
+            if node_name in healthy:
+                phases.append(record.details["round_start"] % round_duration)
+        return phases
+
+    def legitimate_grid_phase(self) -> Optional[float]:
+        """First legitimate grid phase (see :meth:`legitimate_grid_phases`)."""
+        phases = self.legitimate_grid_phases()
+        return phases[0] if phases else None
+
+    def healthy_victims(self, grid_tolerance: float = 1.0) -> List[str]:
+        """Fault-free nodes harmed by the injected fault.
+
+        A healthy node is a victim when it was forced to freeze by the
+        clique-avoidance test, never managed to integrate, or ended up
+        running on a TDMA grid other than the legitimate one (grid capture
+        by a masquerading cold-starter -- the paper's "integrate into the
+        cluster at the incorrect time").
+        """
+        from repro.ttp.controller import NodeFaultBehavior
+
+        legit_phases = self.legitimate_grid_phases()
+        round_duration = self.medl.round_duration()
+        victims = []
+        for name, controller in self.controllers.items():
+            if controller.config.fault is not NodeFaultBehavior.HEALTHY:
+                continue
+            from repro.ttp.controller import PROTOCOL_FORCED_FREEZES
+
+            clique_frozen = (controller.state is ControllerStateName.FREEZE
+                             and controller.freeze_reason in PROTOCOL_FORCED_FREEZES)
+            wrong_grid = False
+            if legit_phases and controller.round_anchor is not None:
+                phase = controller.round_anchor % round_duration
+                distance = min(
+                    min((phase - legit) % round_duration,
+                        (legit - phase) % round_duration)
+                    for legit in legit_phases)
+                wrong_grid = distance > grid_tolerance
+            if clique_frozen or wrong_grid or not controller.ever_integrated:
+                victims.append(name)
+        return victims

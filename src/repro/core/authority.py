@@ -1,0 +1,120 @@
+"""Star-coupler authority levels (paper Section 4.1).
+
+The paper compares four feature sets for the central star coupler, each a
+strict superset of the previous:
+
+========================  =====================================================
+``PASSIVE``               does not stop frames, does not shift frames in time
+``TIME_WINDOWS``          can open/close bus write access per node slot
+``SMALL_SHIFTING``        + slight frame timing adjustments (fits a marginal
+                          frame back into its window); implies buffering a few
+                          bits and active signal reshaping
+``FULL_SHIFTING``         + can buffer *entire frames* and replay them later
+========================  =====================================================
+
+The ``FULL_SHIFTING`` level is the one the paper shows to be dangerous: it
+makes the *out-of-slot* coupler fault possible, which breaks the TTP/C
+assumption that channel faults are passive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+
+class CouplerAuthority(enum.Enum):
+    """The four authority levels, ordered by increasing capability."""
+
+    PASSIVE = "passive"
+    TIME_WINDOWS = "time_windows"
+    SMALL_SHIFTING = "small_shifting"
+    FULL_SHIFTING = "full_shifting"
+
+    @property
+    def rank(self) -> int:
+        """Ordering index (PASSIVE=0 .. FULL_SHIFTING=3)."""
+        return _RANKS[self]
+
+    def __ge__(self, other: "CouplerAuthority") -> bool:
+        if not isinstance(other, CouplerAuthority):
+            return NotImplemented
+        return self.rank >= other.rank
+
+    def __gt__(self, other: "CouplerAuthority") -> bool:
+        if not isinstance(other, CouplerAuthority):
+            return NotImplemented
+        return self.rank > other.rank
+
+    def __le__(self, other: "CouplerAuthority") -> bool:
+        if not isinstance(other, CouplerAuthority):
+            return NotImplemented
+        return self.rank <= other.rank
+
+    def __lt__(self, other: "CouplerAuthority") -> bool:
+        if not isinstance(other, CouplerAuthority):
+            return NotImplemented
+        return self.rank < other.rank
+
+
+_RANKS = {
+    CouplerAuthority.PASSIVE: 0,
+    CouplerAuthority.TIME_WINDOWS: 1,
+    CouplerAuthority.SMALL_SHIFTING: 2,
+    CouplerAuthority.FULL_SHIFTING: 3,
+}
+
+
+@dataclass(frozen=True)
+class AuthorityFeatures:
+    """Capability flags implied by an authority level."""
+
+    #: Can refuse to forward a transmission (close the node's write access).
+    can_block: bool
+    #: Can adjust frame timing slightly (bounded by the buffer limit).
+    can_shift_small: bool
+    #: Can buffer whole frames and emit them in a later slot.
+    can_shift_full: bool
+    #: Performs active signal reshaping (value-domain SOS removal).
+    reshapes_signal: bool
+    #: Performs semantic analysis of frame content (cold-start sender
+    #: verification, C-state checks) -- requires buffering at least
+    #: ``B_min`` bits (paper eq. 1).
+    semantic_analysis: bool
+
+    @property
+    def may_exhibit_out_of_slot_fault(self) -> bool:
+        """The out-of-slot (replay) fault is only physically possible when
+        whole frames can be stored (paper Section 4.4)."""
+        return self.can_shift_full
+
+
+#: Feature sets per authority level, exactly as listed in Section 4.1, with
+#: the implied capabilities of the central-guardian design of [2] (signal
+#: reshaping and semantic analysis come with the shifting levels, which are
+#: the ones that buffer bits).
+FEATURE_SETS = {
+    CouplerAuthority.PASSIVE: AuthorityFeatures(
+        can_block=False, can_shift_small=False, can_shift_full=False,
+        reshapes_signal=False, semantic_analysis=False),
+    CouplerAuthority.TIME_WINDOWS: AuthorityFeatures(
+        can_block=True, can_shift_small=False, can_shift_full=False,
+        reshapes_signal=False, semantic_analysis=False),
+    CouplerAuthority.SMALL_SHIFTING: AuthorityFeatures(
+        can_block=True, can_shift_small=True, can_shift_full=False,
+        reshapes_signal=True, semantic_analysis=True),
+    CouplerAuthority.FULL_SHIFTING: AuthorityFeatures(
+        can_block=True, can_shift_small=True, can_shift_full=True,
+        reshapes_signal=True, semantic_analysis=True),
+}
+
+
+def features_of(authority: CouplerAuthority) -> AuthorityFeatures:
+    """Feature set for an authority level."""
+    return FEATURE_SETS[authority]
+
+
+def all_authorities() -> List[CouplerAuthority]:
+    """All levels in increasing-capability order."""
+    return sorted(CouplerAuthority, key=lambda level: level.rank)

@@ -1,0 +1,190 @@
+"""Buffer-size / frame-size / clock-rate tradeoff (paper Section 6).
+
+A central guardian whose clock rate differs from a sender's must buffer
+part of each frame it forwards.  The paper derives the following chain of
+constraints (equation numbers match the paper):
+
+* eq. (1)  ``B_min = le + delta_rho * f_max`` -- bits the guardian *must*
+  buffer (line-encoding bits plus the leaky-bucket backlog caused by the
+  rate mismatch over the longest frame);
+* eq. (2)  ``delta_rho = (rho_max - rho_min) / rho_max`` -- relative clock
+  rate difference (implemented in :mod:`repro.sim.clock`);
+* eq. (3)  ``B_max = f_min - 1`` -- bits the guardian *may* buffer: one
+  less than the shortest frame, because storing a whole frame enables the
+  out-of-slot replay fault the model checking shows to be dangerous;
+* eq. (4)  ``f_max = (f_min - 1 - le) / delta_rho`` -- largest allowed
+  frame, from ``B_min = B_max``;
+* eq. (7)  ``delta_rho = (f_min - 1 - le) / f_max`` -- largest allowed
+  clock-rate difference;
+* eq. (10) ``rho_max/rho_min = f_max / (f_max - f_min + 1 + le)`` -- the
+  Figure 3 curve: admissible clock-rate *ratio* as a function of the frame
+  size range.
+
+All frame sizes are in bits; ``delta_rho`` is dimensionless.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ttp.constants import LINE_ENCODING_BITS
+
+
+def _validate_frames(f_min: float, f_max: Optional[float] = None,
+                     le: float = LINE_ENCODING_BITS) -> None:
+    if f_min <= 0:
+        raise ValueError(f"f_min must be positive, got {f_min!r}")
+    if f_max is not None and f_max < f_min:
+        raise ValueError(f"f_max ({f_max!r}) must be >= f_min ({f_min!r})")
+    if le < 0:
+        raise ValueError(f"line-encoding bits cannot be negative, got {le!r}")
+
+
+#: The drift-term multiplier of Bauer et al. [2].  The paper notes their
+#: central-guardian requirement doubles the ``delta_rho * f_max`` term but
+#: finds the underlying assumptions unclear and proceeds with factor 1;
+#: both variants are supported so the tightening can be quantified.
+BAUER_DRIFT_FACTOR = 2.0
+
+
+def minimum_buffer_bits(delta_rho: float, f_max: float,
+                        le: float = LINE_ENCODING_BITS,
+                        drift_factor: float = 1.0) -> float:
+    """Paper eq. (1): minimum guardian buffer for semantic analysis and
+    signal reshaping.
+
+    ``drift_factor`` selects between the paper's form (1.0, the default)
+    and the Bauer et al. [2] form (:data:`BAUER_DRIFT_FACTOR`).
+    """
+    if delta_rho < 0:
+        raise ValueError(f"delta_rho cannot be negative, got {delta_rho!r}")
+    if f_max <= 0:
+        raise ValueError(f"f_max must be positive, got {f_max!r}")
+    if drift_factor <= 0:
+        raise ValueError(f"drift_factor must be positive, got {drift_factor!r}")
+    return le + drift_factor * delta_rho * f_max
+
+
+def maximum_buffer_bits(f_min: float) -> float:
+    """Paper eq. (3): maximum safe buffer -- strictly less than the
+    shortest frame, i.e. at most ``f_min - 1`` whole bits."""
+    _validate_frames(f_min)
+    return f_min - 1
+
+
+def max_frame_bits(f_min: float, delta_rho: float,
+                   le: float = LINE_ENCODING_BITS,
+                   drift_factor: float = 1.0) -> float:
+    """Paper eq. (4): the largest frame forwardable without ever buffering
+    a whole minimum-size frame.  With the Bauer et al. drift factor the
+    bound halves ("the situation becomes more constrained ... if the
+    equation in [2] is used", Section 6)."""
+    _validate_frames(f_min, le=le)
+    if delta_rho <= 0:
+        raise ValueError(
+            f"delta_rho must be positive for a finite bound, got {delta_rho!r}")
+    budget = f_min - 1 - le
+    if budget <= 0:
+        raise ValueError(
+            f"no buffer budget: f_min - 1 - le = {budget!r} (f_min={f_min!r}, le={le!r})")
+    return budget / (drift_factor * delta_rho)
+
+
+def max_delta_rho(f_min: float, f_max: float,
+                  le: float = LINE_ENCODING_BITS,
+                  drift_factor: float = 1.0) -> float:
+    """Paper eq. (7): the largest admissible relative clock-rate
+    difference for a given frame-size range."""
+    _validate_frames(f_min, f_max, le)
+    budget = f_min - 1 - le
+    if budget < 0:
+        raise ValueError(
+            f"no buffer budget: f_min - 1 - le = {budget!r}")
+    return budget / (drift_factor * f_max)
+
+
+def clock_ratio_limit(f_min: float, f_max: float,
+                      le: float = LINE_ENCODING_BITS) -> float:
+    """Paper eq. (10): maximum ratio ``rho_max/rho_min`` of the fastest to
+    the slowest clock (the Figure 3 curve).
+
+    Diverges (returns ``inf``) when the denominator ``f_max - f_min + 1 +
+    le`` reaches zero -- transmission of the long frame at the high rate
+    takes no longer than the line-encoding time at the low rate.
+    """
+    _validate_frames(f_min, f_max, le)
+    denominator = f_max - f_min + 1 + le
+    if denominator <= 0:
+        return math.inf
+    return f_max / denominator
+
+
+def delta_rho_from_ratio(ratio: float) -> float:
+    """Convert a clock ratio ``rho_max/rho_min`` to the relative difference
+    of eq. (2): ``delta_rho = 1 - 1/ratio``."""
+    if ratio < 1:
+        raise ValueError(f"clock ratio must be >= 1, got {ratio!r}")
+    return 1.0 - 1.0 / ratio
+
+
+def ratio_from_delta_rho(delta_rho: float) -> float:
+    """Inverse of :func:`delta_rho_from_ratio`."""
+    if not 0 <= delta_rho < 1:
+        raise ValueError(f"delta_rho must be in [0, 1), got {delta_rho!r}")
+    return 1.0 / (1.0 - delta_rho)
+
+
+@dataclass(frozen=True)
+class BufferConstraints:
+    """Joint feasibility check for one candidate system design.
+
+    A design is *feasible* when the buffer the guardian needs (eq. 1) does
+    not exceed the buffer it is allowed (eq. 3).
+    """
+
+    f_min: float
+    f_max: float
+    delta_rho: float
+    le: float = LINE_ENCODING_BITS
+
+    def __post_init__(self) -> None:
+        _validate_frames(self.f_min, self.f_max, self.le)
+        if self.delta_rho < 0:
+            raise ValueError(f"delta_rho cannot be negative, got {self.delta_rho!r}")
+
+    @property
+    def b_min(self) -> float:
+        """Required buffer, eq. (1)."""
+        return minimum_buffer_bits(self.delta_rho, self.f_max, self.le)
+
+    @property
+    def b_max(self) -> float:
+        """Allowed buffer, eq. (3)."""
+        return maximum_buffer_bits(self.f_min)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the guardian can be built without full-frame buffering."""
+        return self.b_min <= self.b_max
+
+    @property
+    def slack_bits(self) -> float:
+        """Spare buffer bits (negative when infeasible)."""
+        return self.b_max - self.b_min
+
+    def limiting_frame_bits(self) -> float:
+        """Largest f_max feasible at this (f_min, delta_rho), eq. (4)."""
+        return max_frame_bits(self.f_min, self.delta_rho, self.le) \
+            if self.delta_rho > 0 else math.inf
+
+    def limiting_delta_rho(self) -> float:
+        """Largest delta_rho feasible at this (f_min, f_max), eq. (7)."""
+        return max_delta_rho(self.f_min, self.f_max, self.le)
+
+    def summary(self) -> str:
+        verdict = "feasible" if self.feasible else "INFEASIBLE"
+        return (f"f_min={self.f_min:g}b f_max={self.f_max:g}b "
+                f"delta_rho={self.delta_rho:g}: B_min={self.b_min:.2f}b "
+                f"B_max={self.b_max:.0f}b -> {verdict}")

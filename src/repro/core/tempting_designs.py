@@ -1,0 +1,110 @@
+"""The "tempting" central-guardian designs of paper Section 6.
+
+The paper explains why a system architect might give the central guardian
+full-frame buffering even though the model checking shows it is unsafe:
+
+* **store and forward** -- reusing a stock controller that receives frames
+  whole and retransmits them is the cheapest implementation;
+* **mailboxes** -- a guardian keeping "recent data values could help
+  provide data continuity if frames are corrupted by providing slightly
+  stale values instead of no value";
+* **CAN emulation** -- "prioritized message service ... if it were allowed
+  to buffer frames and send them in a specially reserved time slice, in
+  priority order".
+
+Each of these needs ``B >= f_max`` bits, while dependability limits the
+buffer to ``B <= f_min - 1`` bits -- so all of them violate the safe-buffer
+constraint for every real frame mix.  :func:`evaluate_tempting_design`
+quantifies that head-on, tying the Section 6 temptations back to the
+Section 5 verdict.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.buffer_analysis import maximum_buffer_bits
+
+
+class TemptingFeature(enum.Enum):
+    """Enhanced guardian functions that require whole-frame storage."""
+
+    #: Receive-buffer-retransmit using a stock controller.
+    STORE_AND_FORWARD = "store_and_forward"
+    #: Keep last-known-good data values per slot for data continuity.
+    MAILBOX_DATA_CONTINUITY = "mailbox_data_continuity"
+    #: Buffer frames and emit them in priority order in a reserved slice.
+    CAN_EMULATION = "can_emulation"
+
+
+#: Why each feature needs the whole frame in the guardian's memory.
+FEATURE_RATIONALE = {
+    TemptingFeature.STORE_AND_FORWARD:
+        "the controller's receive path completes the whole frame before "
+        "the transmit path restarts it",
+    TemptingFeature.MAILBOX_DATA_CONTINUITY:
+        "a stale value can only be served if the full frame (data + "
+        "protection) was retained from an earlier slot",
+    TemptingFeature.CAN_EMULATION:
+        "priority reordering implies holding losing frames across at "
+        "least one slot boundary",
+}
+
+
+def required_buffer_bits(feature: TemptingFeature, f_max: float) -> float:
+    """Buffer the feature needs: one entire maximum-size frame."""
+    if f_max <= 0:
+        raise ValueError(f"f_max must be positive, got {f_max!r}")
+    return float(f_max)
+
+
+@dataclass(frozen=True)
+class TemptingVerdict:
+    """Assessment of one enhanced-function design."""
+
+    feature: TemptingFeature
+    f_min: float
+    f_max: float
+
+    @property
+    def required_bits(self) -> float:
+        return required_buffer_bits(self.feature, self.f_max)
+
+    @property
+    def allowed_bits(self) -> float:
+        return maximum_buffer_bits(self.f_min)
+
+    @property
+    def violates_safe_buffer(self) -> bool:
+        """Whether the feature forces buffering beyond ``f_min - 1``.
+
+        True for every real frame mix (``f_max >= f_min > f_min - 1``):
+        the temptations are *inherently* unsafe, which is the point of the
+        paper's Section 6 discussion.
+        """
+        return self.required_bits > self.allowed_bits
+
+    @property
+    def enables_out_of_slot_fault(self) -> bool:
+        """Whole-frame storage is exactly the precondition of the
+        out-of-slot replay the model checking exposes."""
+        return self.violates_safe_buffer
+
+    def rationale(self) -> str:
+        return FEATURE_RATIONALE[self.feature]
+
+
+def evaluate_tempting_design(feature: TemptingFeature, f_min: float,
+                             f_max: float) -> TemptingVerdict:
+    """Judge one enhanced-function guardian design."""
+    if f_max < f_min:
+        raise ValueError(f"f_max ({f_max!r}) must be >= f_min ({f_min!r})")
+    return TemptingVerdict(feature=feature, f_min=f_min, f_max=f_max)
+
+
+def evaluate_all(f_min: float, f_max: float) -> List[TemptingVerdict]:
+    """All three temptations against one frame mix."""
+    return [evaluate_tempting_design(feature, f_min, f_max)
+            for feature in TemptingFeature]

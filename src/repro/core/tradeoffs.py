@@ -1,0 +1,116 @@
+"""Design-space exploration combining both halves of the paper.
+
+A candidate system design fixes the coupler authority level and the
+(f_min, f_max, clock-tolerance) envelope.  :func:`evaluate_design` judges
+it on both axes the paper develops:
+
+* **fault tolerance** -- full-shifting couplers violate the startup
+  property (Section 5), so any design requiring whole-frame buffering is
+  rejected outright;
+* **buffer feasibility** -- the remaining (buffering) designs must satisfy
+  ``B_min <= B_max`` (Section 6), which couples the frame-size range to
+  the clock-rate spread.
+
+Passive and time-windows couplers buffer nothing, so the Section 6
+constraint does not bind them -- but they also provide none of the
+central-guardian protections (no SOS reshaping, no semantic analysis),
+which :func:`evaluate_design` reports as lost capabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.core.authority import AuthorityFeatures, CouplerAuthority, features_of
+from repro.core.buffer_analysis import BufferConstraints
+from repro.ttp.constants import LINE_ENCODING_BITS
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate system design."""
+
+    authority: CouplerAuthority
+    f_min: float
+    f_max: float
+    delta_rho: float
+    le: float = LINE_ENCODING_BITS
+
+
+@dataclass
+class DesignVerdict:
+    """Full evaluation of one design point."""
+
+    design: DesignPoint
+    fault_tolerant: bool
+    buffer_feasible: bool
+    constraints: Optional[BufferConstraints]
+    lost_protections: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def acceptable(self) -> bool:
+        """Safe to build: fault tolerant and physically realizable."""
+        return self.fault_tolerant and self.buffer_feasible
+
+
+def evaluate_design(design: DesignPoint) -> DesignVerdict:
+    """Judge a design point on both of the paper's axes."""
+    features = features_of(design.authority)
+
+    # Axis 1: the model-checking result.  Whole-frame buffering admits the
+    # out-of-slot fault, which defeats the startup property.
+    fault_tolerant = not features.can_shift_full
+
+    # Axis 2: the buffer feasibility constraint binds only designs that
+    # buffer bits at all (small-shifting and above).
+    constraints: Optional[BufferConstraints] = None
+    buffer_feasible = True
+    notes: List[str] = []
+    if features.semantic_analysis or features.can_shift_small:
+        constraints = BufferConstraints(f_min=design.f_min, f_max=design.f_max,
+                                        delta_rho=design.delta_rho, le=design.le)
+        buffer_feasible = constraints.feasible
+        if not buffer_feasible:
+            notes.append(
+                f"required buffer {constraints.b_min:.1f}b exceeds allowed "
+                f"{constraints.b_max:.0f}b: shrink f_max below "
+                f"{constraints.limiting_frame_bits():.0f}b or tighten clocks "
+                f"below delta_rho={constraints.limiting_delta_rho():.4g}")
+
+    lost = _lost_protections(features)
+    return DesignVerdict(design=design, fault_tolerant=fault_tolerant,
+                         buffer_feasible=buffer_feasible,
+                         constraints=constraints,
+                         lost_protections=lost, notes=notes)
+
+
+def _lost_protections(features: AuthorityFeatures) -> List[str]:
+    lost = []
+    if not features.can_block:
+        lost.append("babbling-idiot containment (no write-access windows)")
+    if not features.reshapes_signal:
+        lost.append("SOS fault removal (no active signal reshaping)")
+    if not features.semantic_analysis:
+        lost.append("startup masquerading / invalid C-state filtering "
+                     "(no semantic analysis)")
+    return lost
+
+
+def explore_design_space(f_min_values: Iterable[float],
+                         f_max_values: Iterable[float],
+                         delta_rho_values: Iterable[float],
+                         authority: CouplerAuthority = CouplerAuthority.SMALL_SHIFTING,
+                         le: float = LINE_ENCODING_BITS) -> List[DesignVerdict]:
+    """Evaluate the cartesian product of the given parameter ranges."""
+    verdicts = []
+    for f_min in f_min_values:
+        for f_max in f_max_values:
+            if f_max < f_min:
+                continue
+            for delta_rho in delta_rho_values:
+                design = DesignPoint(authority=authority, f_min=f_min,
+                                     f_max=f_max, delta_rho=delta_rho, le=le)
+                verdicts.append(evaluate_design(design))
+    return verdicts

@@ -1,0 +1,23 @@
+"""Fault models and injection campaigns.
+
+* :mod:`repro.faults.types` -- the taxonomy of faults used across the
+  repository (node, guardian, coupler, channel),
+* :mod:`repro.faults.injector` -- applies a fault description to a
+  :class:`repro.cluster.ClusterSpec`,
+* :mod:`repro.faults.campaign` -- runs injection campaigns over both
+  topologies and tabulates containment vs. propagation (EXP-S2).
+"""
+
+from repro.faults.campaign import CampaignResult, InjectionOutcome, run_campaign
+from repro.faults.injector import apply_fault
+from repro.faults.types import FaultDescriptor, FaultSite, FaultType
+
+__all__ = [
+    "CampaignResult",
+    "FaultDescriptor",
+    "FaultSite",
+    "FaultType",
+    "InjectionOutcome",
+    "apply_fault",
+    "run_campaign",
+]

@@ -1,0 +1,205 @@
+"""Fault-injection campaigns (EXP-S2).
+
+Reproduces, on the discrete-event simulation, the qualitative result of the
+fault-injection study the paper builds on (Ademaj et al. [7], Section 2.2):
+node faults that propagate to healthy nodes on the **bus** topology (SOS
+signals, masquerading cold-start frames, invalid C-states) are contained by
+a central guardian on the **star** topology, while babbling idiots are
+contained on both (local and central guardians each enforce time windows).
+
+An injection *propagates* when at least one fault-free node becomes a
+victim: it is forced to freeze by the clique-avoidance test, or it never
+manages to integrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core.authority import CouplerAuthority
+from repro.faults.injector import apply_fault
+from repro.faults.types import FaultDescriptor, FaultType
+from repro.network.signal import ReceiverTolerance
+
+
+@dataclass
+class InjectionOutcome:
+    """Result of one fault injection on one topology."""
+
+    fault: FaultDescriptor
+    topology: str
+    victims: List[str]
+    integrated: List[str]
+    states: Dict[str, str]
+
+    @property
+    def propagated(self) -> bool:
+        """Whether the fault harmed at least one fault-free node."""
+        return bool(self.victims)
+
+    @property
+    def contained(self) -> bool:
+        return not self.propagated
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of a campaign, with table helpers."""
+
+    outcomes: List[InjectionOutcome] = field(default_factory=list)
+
+    def outcome(self, fault_type: FaultType, topology: str) -> InjectionOutcome:
+        for entry in self.outcomes:
+            if entry.fault.fault_type is fault_type and entry.topology == topology:
+                return entry
+        raise KeyError(f"no outcome for {fault_type} on {topology}")
+
+    def containment_table(self) -> List[Dict[str, str]]:
+        """Rows of fault type vs. per-topology containment verdicts."""
+        rows: Dict[str, Dict[str, str]] = {}
+        for entry in self.outcomes:
+            row = rows.setdefault(entry.fault.fault_type.value,
+                                  {"fault": entry.fault.fault_type.value})
+            row[entry.topology] = "contained" if entry.contained else "propagated"
+        return list(rows.values())
+
+
+#: Receiver hardware spread used for the SOS experiments: thresholds differ
+#: slightly between units, all compliant with the spec limit of 0.6.
+SOS_TOLERANCES = {
+    "A": ReceiverTolerance(threshold=0.50),
+    "B": ReceiverTolerance(threshold=0.52),
+    "C": ReceiverTolerance(threshold=0.58),
+    "D": ReceiverTolerance(threshold=0.45),
+}
+
+#: The node faults of the paper's Section 2.2 narrative.  The SOS fault
+#: activates once the cluster runs (degrading output stage); the
+#: invalid-C-state fault activates exactly while a late node is listening,
+#: the integration hazard the paper describes.
+DEFAULT_FAULTS = [
+    FaultDescriptor(FaultType.SOS_SIGNAL, target="B", sos_level=0.55,
+                    fault_start_time=2000.0),
+    FaultDescriptor(FaultType.MASQUERADE_COLD_START, target="D", masquerade_as=1),
+    FaultDescriptor(FaultType.INVALID_C_STATE, target="C",
+                    fault_start_time=4750.0),
+    FaultDescriptor(FaultType.BABBLING_IDIOT, target="B"),
+]
+
+#: Power-on schedule for the masquerade scenario: node C enters listen only
+#: after the real cold-starter's first frame, so the masquerading frame is
+#: C's *first* sighting (big-bang arms) while it is B's *second* (B
+#: integrates on it) -- producing the clique split of Section 2.2 rather
+#: than a wholesale takeover of the cluster grid.
+MASQUERADE_POWER_ON = {"A": 0.0, "B": 37.0, "C": 700.0, "D": 111.0}
+
+#: Power-on schedule for the invalid-C-state scenario: node D arrives late
+#: and starts listening just before the faulty node's slot, so the first
+#: explicit-C-state frame it can adopt is the corrupted one.
+LATE_INTEGRATOR_POWER_ON = {"A": 0.0, "B": 37.0, "C": 74.0, "D": 4690.0}
+
+
+def _base_spec(topology: str, authority: CouplerAuthority,
+               fault: FaultDescriptor, seed: int) -> ClusterSpec:
+    spec = ClusterSpec(topology=topology, authority=authority, seed=seed)
+    if fault.fault_type is FaultType.SOS_SIGNAL:
+        spec.tolerances = dict(SOS_TOLERANCES)
+    elif fault.fault_type is FaultType.MASQUERADE_COLD_START:
+        spec.power_on_delays = dict(MASQUERADE_POWER_ON)
+    elif fault.fault_type is FaultType.INVALID_C_STATE:
+        spec.power_on_delays = dict(LATE_INTEGRATOR_POWER_ON)
+    return spec
+
+
+def run_injection(fault: FaultDescriptor, topology: str,
+                  authority: CouplerAuthority = CouplerAuthority.SMALL_SHIFTING,
+                  rounds: float = 40.0, seed: int = 0) -> InjectionOutcome:
+    """Inject one fault into a fresh cluster and report the outcome."""
+    spec = _base_spec(topology, authority, fault, seed)
+    spec = apply_fault(spec, fault)
+    cluster = Cluster(spec)
+    cluster.power_on()
+    cluster.run(rounds=rounds)
+    return InjectionOutcome(
+        fault=fault,
+        topology=topology,
+        victims=cluster.healthy_victims(),
+        integrated=cluster.integrated_nodes(),
+        states={name: state.value for name, state in cluster.states().items()})
+
+
+@dataclass
+class BlockingAsymmetryResult:
+    """EXP-S4: the paper's Section 1 motivating example, measured.
+
+    A local bus guardian stuck in block-all silences *one node* (which the
+    cluster then expels); the same fault in a central guardian silences
+    *every node on that channel* -- survivable only because the TTA demands
+    a redundant second channel with an independent guardian.
+    """
+
+    bus_victims: List[str]
+    bus_excluded: List[str]
+    bus_active: List[str]
+    star_victims: List[str]
+    star_active: List[str]
+    star_channel0_delivered: int
+    star_channel1_delivered: int
+
+
+def guardian_vs_coupler_blocking(blocked_node: str = "B",
+                                 rounds: float = 40.0,
+                                 seed: int = 0) -> BlockingAsymmetryResult:
+    """Compare a block-all local guardian against a silent central one."""
+    bus_spec = ClusterSpec(topology="bus", seed=seed)
+    bus_spec = apply_fault(bus_spec, FaultDescriptor(
+        FaultType.GUARDIAN_BLOCK_ALL, target=blocked_node))
+    bus = Cluster(bus_spec)
+    bus.power_on()
+    bus.run(rounds=rounds)
+
+    star_spec = ClusterSpec(topology="star", seed=seed)
+    star_spec = apply_fault(star_spec, FaultDescriptor(
+        FaultType.COUPLER_SILENCE, target="0"))
+    star = Cluster(star_spec)
+    star.power_on()
+    star.run(rounds=rounds)
+
+    # On the bus, the silenced node drops out of everyone else's
+    # membership even if it never formally freezes.
+    survivors = [name for name in bus.controllers if name != blocked_node
+                 and bus.controllers[name].integrated]
+    excluded = []
+    if survivors:
+        witness = bus.controllers[survivors[0]]
+        excluded = [name for name in bus.controllers
+                    if bus.medl.slot_of(name) not in witness.view.membership_set()]
+
+    return BlockingAsymmetryResult(
+        bus_victims=bus.healthy_victims(),
+        bus_excluded=excluded,
+        bus_active=[name for name, controller in bus.controllers.items()
+                    if controller.state.value == "active"],
+        star_victims=star.healthy_victims(),
+        star_active=[name for name, controller in star.controllers.items()
+                     if controller.state.value == "active"],
+        star_channel0_delivered=star.topology.channels[0].delivered_count,
+        star_channel1_delivered=star.topology.channels[1].delivered_count)
+
+
+def run_campaign(faults: Optional[List[FaultDescriptor]] = None,
+                 topologies: Optional[List[str]] = None,
+                 authority: CouplerAuthority = CouplerAuthority.SMALL_SHIFTING,
+                 rounds: float = 40.0, seed: int = 0) -> CampaignResult:
+    """Run every fault on every topology."""
+    faults = faults if faults is not None else list(DEFAULT_FAULTS)
+    topologies = topologies if topologies is not None else ["bus", "star"]
+    result = CampaignResult()
+    for fault in faults:
+        for topology in topologies:
+            result.outcomes.append(
+                run_injection(fault, topology, authority=authority,
+                              rounds=rounds, seed=seed))
+    return result

@@ -1,0 +1,76 @@
+"""Applying fault descriptors to cluster specifications.
+
+The injector is purely declarative: it rewrites a
+:class:`repro.cluster.ClusterSpec` so that, when the cluster is built, the
+designated component misbehaves.  Keeping injection at the spec level means
+every experiment run is reproducible from its spec alone.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import replace
+
+from repro.cluster import ClusterSpec
+from repro.faults.types import FaultDescriptor, FaultType
+from repro.network.guardian import GuardianFault
+from repro.network.star_coupler import CouplerFault
+from repro.ttp.controller import ControllerConfig, NodeFaultBehavior
+
+_NODE_BEHAVIOUR = {
+    FaultType.SOS_SIGNAL: NodeFaultBehavior.SOS_SIGNAL,
+    FaultType.MASQUERADE_COLD_START: NodeFaultBehavior.MASQUERADE_COLD_START,
+    FaultType.INVALID_C_STATE: NodeFaultBehavior.INVALID_C_STATE,
+    FaultType.BABBLING_IDIOT: NodeFaultBehavior.BABBLING_IDIOT,
+}
+
+_GUARDIAN_FAULT = {
+    FaultType.GUARDIAN_BLOCK_ALL: GuardianFault.BLOCK_ALL,
+    FaultType.GUARDIAN_PASS_ALL: GuardianFault.PASS_ALL,
+}
+
+_COUPLER_FAULT = {
+    FaultType.COUPLER_SILENCE: CouplerFault.SILENCE,
+    FaultType.COUPLER_BAD_FRAME: CouplerFault.BAD_FRAME,
+    FaultType.COUPLER_OUT_OF_SLOT: CouplerFault.OUT_OF_SLOT,
+}
+
+
+def apply_fault(spec: ClusterSpec, fault: FaultDescriptor) -> ClusterSpec:
+    """A deep copy of ``spec`` with the fault wired in."""
+    spec = copy.deepcopy(spec)
+
+    if fault.fault_type in _NODE_BEHAVIOUR:
+        if fault.target not in spec.node_names:
+            raise ValueError(f"unknown node {fault.target!r} for fault injection")
+        base = spec.node_configs.get(fault.target, ControllerConfig())
+        spec.node_configs[fault.target] = replace(
+            base,
+            fault=_NODE_BEHAVIOUR[fault.fault_type],
+            masquerade_as=fault.masquerade_as,
+            sos_level=fault.sos_level,
+            sos_offset=fault.sos_offset,
+            fault_start_time=fault.fault_start_time)
+        return spec
+
+    if fault.fault_type in _GUARDIAN_FAULT:
+        if fault.target not in spec.node_names:
+            raise ValueError(f"unknown node {fault.target!r} for guardian fault")
+        spec.guardian_faults[fault.target] = _GUARDIAN_FAULT[fault.fault_type]
+        return spec
+
+    if fault.fault_type in _COUPLER_FAULT:
+        channel_index = int(fault.target)
+        if not 0 <= channel_index < len(spec.coupler_faults):
+            raise ValueError(f"channel index {channel_index} out of range")
+        spec.coupler_faults[channel_index] = _COUPLER_FAULT[fault.fault_type]
+        return spec
+
+    if fault.fault_type is FaultType.CHANNEL_DROP:
+        spec.channel_drop_probability = fault.probability
+        return spec
+    if fault.fault_type is FaultType.CHANNEL_CORRUPT:
+        spec.channel_corrupt_probability = fault.probability
+        return spec
+
+    raise ValueError(f"unsupported fault type {fault.fault_type}")

@@ -1,0 +1,89 @@
+"""Fault taxonomy.
+
+One shared vocabulary for the faults exercised anywhere in the repository.
+Sites and types mirror the paper's discussion:
+
+* node faults (Section 2.2): SOS signals, masquerading cold-start frames,
+  invalid C-states, babbling idiots;
+* guardian faults (Section 1): a local guardian that blocks everything;
+* coupler faults (Section 4.4): silence, bad frames, out-of-slot replay;
+* channel faults (fault hypothesis): passive corruption or loss.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class FaultSite(enum.Enum):
+    """Which component carries the fault."""
+
+    NODE = "node"
+    LOCAL_GUARDIAN = "local_guardian"
+    STAR_COUPLER = "star_coupler"
+    CHANNEL = "channel"
+
+
+class FaultType(enum.Enum):
+    """What the faulty component does."""
+
+    # Node faults.
+    SOS_SIGNAL = "sos_signal"
+    MASQUERADE_COLD_START = "masquerade_cold_start"
+    INVALID_C_STATE = "invalid_c_state"
+    BABBLING_IDIOT = "babbling_idiot"
+    # Local guardian faults.
+    GUARDIAN_BLOCK_ALL = "guardian_block_all"
+    GUARDIAN_PASS_ALL = "guardian_pass_all"
+    # Star-coupler faults.
+    COUPLER_SILENCE = "coupler_silence"
+    COUPLER_BAD_FRAME = "coupler_bad_frame"
+    COUPLER_OUT_OF_SLOT = "coupler_out_of_slot"
+    # Channel faults (passive, per the fault hypothesis).
+    CHANNEL_DROP = "channel_drop"
+    CHANNEL_CORRUPT = "channel_corrupt"
+
+
+#: Which fault types are legal at which sites.
+SITE_OF_TYPE = {
+    FaultType.SOS_SIGNAL: FaultSite.NODE,
+    FaultType.MASQUERADE_COLD_START: FaultSite.NODE,
+    FaultType.INVALID_C_STATE: FaultSite.NODE,
+    FaultType.BABBLING_IDIOT: FaultSite.NODE,
+    FaultType.GUARDIAN_BLOCK_ALL: FaultSite.LOCAL_GUARDIAN,
+    FaultType.GUARDIAN_PASS_ALL: FaultSite.LOCAL_GUARDIAN,
+    FaultType.COUPLER_SILENCE: FaultSite.STAR_COUPLER,
+    FaultType.COUPLER_BAD_FRAME: FaultSite.STAR_COUPLER,
+    FaultType.COUPLER_OUT_OF_SLOT: FaultSite.STAR_COUPLER,
+    FaultType.CHANNEL_DROP: FaultSite.CHANNEL,
+    FaultType.CHANNEL_CORRUPT: FaultSite.CHANNEL,
+}
+
+
+@dataclass(frozen=True)
+class FaultDescriptor:
+    """One injected fault: type, location, and optional parameters."""
+
+    fault_type: FaultType
+    #: Node name for node/guardian faults; channel index (as str) otherwise.
+    target: str = "A"
+    #: Slot claimed by a masquerading node.
+    masquerade_as: int = 1
+    #: Marginal signal level for an SOS sender (value-domain SOS).
+    sos_level: float = 0.55
+    #: Marginal timing offset for an SOS sender (time-domain SOS).
+    sos_offset: float = 0.0
+    #: Event probability for channel faults (drop/corrupt).
+    probability: float = 0.1
+    #: Reference time at which the fault activates (0 = from power-on).
+    fault_start_time: float = 0.0
+
+    @property
+    def site(self) -> FaultSite:
+        return SITE_OF_TYPE[self.fault_type]
+
+    def describe(self) -> str:
+        """Short human-readable label for tables."""
+        return f"{self.fault_type.value}@{self.target}"

@@ -1,0 +1,39 @@
+"""The paper's Section 4 formal model of TTP/C startup with star couplers.
+
+A synchronous, slot-granularity model: one transition corresponds to one
+TDMA slot.  Nodes follow the paper's Section 4.3 constraints (freeze, init,
+listen with big-bang and timeout, cold start with clique test, active,
+passive); the two star couplers follow Section 4.4 (fault modes none /
+silence / bad_frame / out_of_slot, with out_of_slot possible only at the
+full-shifting authority level).
+
+* :mod:`repro.model.config` -- model configuration (authority level, fault
+  budgets, trace-2 style constraints),
+* :mod:`repro.model.node_model` -- per-node transition constraints,
+* :mod:`repro.model.coupler_model` -- channel contents, buffer bookkeeping,
+  and fault-choice enumeration,
+* :mod:`repro.model.system_model` -- the synchronous composition as a
+  :class:`repro.modelcheck.TransitionSystem`,
+* :mod:`repro.model.properties` -- the checked correctness property,
+* :mod:`repro.model.scenarios` -- ready-made configurations for each
+  experiment (EXP-V1, EXP-T1, EXP-T2).
+"""
+
+from repro.model.config import ModelConfig
+from repro.model.properties import no_clique_freeze, property_description
+from repro.model.scenarios import (
+    scenario_for_authority,
+    trace1_scenario,
+    trace2_scenario,
+)
+from repro.model.system_model import TTAStartupModel
+
+__all__ = [
+    "ModelConfig",
+    "TTAStartupModel",
+    "no_clique_freeze",
+    "property_description",
+    "scenario_for_authority",
+    "trace1_scenario",
+    "trace2_scenario",
+]

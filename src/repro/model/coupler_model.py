@@ -1,0 +1,125 @@
+"""Star-coupler model: channel contents, frame buffer, fault choices.
+
+Follows paper Section 4.4.  Each coupler owns one channel.  Per transition
+(= per TDMA slot) the coupler either relays what the nodes send or, when
+faulty, overrides it:
+
+* ``silence``   -- replaces any frame by silence,
+* ``bad_frame`` -- places a bad frame / noise on the bus, whether or not a
+  frame was sent,
+* ``out_of_slot`` -- re-sends the last frame the coupler received (only a
+  full-shifting coupler can store one).
+
+The coupler's buffer (``buffered_kind``, ``buffered_id``) records the last
+identifiable frame seen on its channel, initialized to (none, 0), exactly
+as the paper's ``buffered_frame``/``buffered_id`` variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.model.config import (
+    FAULT_BAD_FRAME,
+    FAULT_NONE,
+    FAULT_OUT_OF_SLOT,
+    FAULT_SILENCE,
+    ModelConfig,
+)
+
+#: Frame kinds that can appear on a channel in the model.
+KIND_NONE = "none"
+KIND_COLD_START = "cold_start"
+KIND_C_STATE = "c_state"
+KIND_BAD_FRAME = "bad_frame"
+
+
+@dataclass(frozen=True)
+class ChannelContent:
+    """What one channel carries during one slot.
+
+    ``frame_id`` is the slot position claimed by the frame's sender (its
+    C-state / cold-start round-slot field); 0 means the frame carries no
+    identifiable position (silence, noise, collisions).
+    """
+
+    kind: str
+    frame_id: int
+
+    @property
+    def identifiable(self) -> bool:
+        """Whether the frame carries a usable sender/slot identity."""
+        return self.frame_id != 0 and self.kind in (KIND_COLD_START, KIND_C_STATE)
+
+
+SILENT = ChannelContent(kind=KIND_NONE, frame_id=0)
+NOISE = ChannelContent(kind=KIND_BAD_FRAME, frame_id=0)
+
+
+def nominal_content(senders: Sequence[Tuple[int, str]]) -> ChannelContent:
+    """Channel content produced by the sending nodes alone.
+
+    ``senders`` lists (node_id, kind) for every node transmitting this
+    slot.  Two simultaneous transmissions interfere: the result is a bad
+    frame (the paper's validity rule: a valid frame "is not interfered with
+    by another transmission during the time slot").
+    """
+    if not senders:
+        return SILENT
+    if len(senders) > 1:
+        return NOISE
+    node_id, kind = senders[0]
+    return ChannelContent(kind=kind, frame_id=node_id)
+
+
+def apply_fault(fault: str, nominal: ChannelContent,
+                buffered: ChannelContent) -> ChannelContent:
+    """Channel content after the coupler's fault mode is applied."""
+    if fault == FAULT_NONE:
+        return nominal
+    if fault == FAULT_SILENCE:
+        return SILENT
+    if fault == FAULT_BAD_FRAME:
+        return NOISE
+    if fault == FAULT_OUT_OF_SLOT:
+        return buffered
+    raise ValueError(f"unknown coupler fault {fault!r}")
+
+
+def update_buffer(buffered: ChannelContent,
+                  content: ChannelContent) -> ChannelContent:
+    """Paper Section 4.4: the buffer keeps the last identifiable frame.
+
+    ``buffered_id' = if channel_id = 0 then buffered_id else channel_id``
+    (and analogously for the type).
+    """
+    if content.frame_id == 0:
+        return buffered
+    return ChannelContent(kind=content.kind, frame_id=content.frame_id)
+
+
+def enumerate_fault_choices(config: ModelConfig, buffers: List[ChannelContent],
+                            out_of_slot_left: int) -> Iterator[Tuple[str, str]]:
+    """All (fault_channel0, fault_channel1) pairs allowed this step.
+
+    Enforces the fault hypothesis (at most one faulty coupler at a time),
+    the authority level's physically possible fault modes, the out-of-slot
+    budget, and the optional cold-start-replay prohibition.  Replaying an
+    empty buffer is identical to silence and is skipped to avoid redundant
+    branching.
+    """
+    yield (FAULT_NONE, FAULT_NONE)
+    for index in config.fault_coupler_indices():
+        for mode in config.fault_modes():
+            if mode == FAULT_OUT_OF_SLOT:
+                if out_of_slot_left == 0:
+                    continue
+                buffered = buffers[index]
+                if buffered.frame_id == 0:
+                    continue
+                if not config.allow_cold_start_replay and buffered.kind == KIND_COLD_START:
+                    continue
+            pair = [FAULT_NONE, FAULT_NONE]
+            pair[index] = mode
+            yield (pair[0], pair[1])

@@ -1,0 +1,74 @@
+"""The checked correctness property (paper Section 5.1).
+
+The paper's criterion: "As the nodes are modeled not to fail, no single
+fault may prevent any node from integrating or losing membership.  The
+TTP/C standard requires that the affected node makes a transition into the
+freeze state in this situation, i.e., we check that
+``(state=active | state=passive) -> state != freeze`` holds on all
+reachable states."
+
+The model distinguishes the protocol-forced freeze (``freeze_clique``,
+entered exactly when an integrated node loses the clique-avoidance
+majority test) from the host-commanded freeze, so the property is the
+state invariant "no node is ever in ``freeze_clique``" -- equivalent to the
+paper's transition formulation because ``freeze_clique`` is reachable only
+from active/passive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.model.config import ModelConfig
+from repro.model.node_model import (
+    INTEGRATED_STATES,
+    ST_ACTIVE,
+    ST_COLD_START,
+    ST_FREEZE_CLIQUE,
+    ST_PASSIVE,
+)
+from repro.modelcheck.state import StateView
+
+
+def property_description() -> str:
+    """One-line statement of the checked property."""
+    return ("no single star-coupler fault forces a fault-free integrated "
+            "node into the freeze state (clique-avoidance error)")
+
+
+def no_clique_freeze(config: ModelConfig) -> Callable[[StateView], bool]:
+    """Invariant: no node is in the protocol-forced freeze state."""
+    state_vars = [f"{name.lower()}_state" for name in config.node_names]
+
+    def invariant(view: StateView) -> bool:
+        return all(view[name] != ST_FREEZE_CLIQUE for name in state_vars)
+
+    return invariant
+
+
+def some_node_integrated(config: ModelConfig) -> Callable[[StateView], bool]:
+    """Predicate: at least one node is active or passive (reachability
+    probe used in sanity tests -- its *negation* must be violated, proving
+    integration is possible at all)."""
+    state_vars = [f"{name.lower()}_state" for name in config.node_names]
+
+    def predicate(view: StateView) -> bool:
+        return any(view[name] in INTEGRATED_STATES for name in state_vars)
+
+    return predicate
+
+
+def all_nodes_active(config: ModelConfig) -> Callable[[StateView], bool]:
+    """Predicate: every node reached the active state (full startup)."""
+    state_vars = [f"{name.lower()}_state" for name in config.node_names]
+
+    def predicate(view: StateView) -> bool:
+        return all(view[name] == ST_ACTIVE for name in state_vars)
+
+    return predicate
+
+
+def clique_frozen_nodes(config: ModelConfig, view: StateView) -> List[str]:
+    """Names of nodes in the protocol-forced freeze state."""
+    return [name for name in config.node_names
+            if view[f"{name.lower()}_state"] == ST_FREEZE_CLIQUE]

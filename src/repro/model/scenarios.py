@@ -1,0 +1,76 @@
+"""Ready-made model configurations for the paper's experiments.
+
+* :func:`scenario_for_authority` -- EXP-V1, one configuration per
+  star-coupler feature set of Section 4.1;
+* :func:`trace1_scenario` -- EXP-T1, the full-shifting configuration with
+  the out-of-slot budget limited to one error (paper Section 5.2, first
+  trace: a duplicated cold-start frame);
+* :func:`trace2_scenario` -- EXP-T2, additionally prohibiting cold-start
+  duplication, which forces the counterexample through a duplicated
+  C-state frame (second trace).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.authority import CouplerAuthority
+from repro.model.config import ModelConfig
+
+
+def scenario_for_authority(authority: CouplerAuthority,
+                           slots: int = 4,
+                           out_of_slot_budget: Optional[int] = 1,
+                           faulty_coupler: Optional[int] = 0) -> ModelConfig:
+    """Verification scenario for one coupler feature set (EXP-V1)."""
+    return ModelConfig(authority=authority, slots=slots,
+                       out_of_slot_budget=out_of_slot_budget,
+                       allow_cold_start_replay=True,
+                       faulty_coupler=faulty_coupler)
+
+
+def trace1_scenario(slots: int = 4) -> ModelConfig:
+    """EXP-T1: full-shifting couplers, at most one out-of-slot error.
+
+    The paper notes the unconstrained shortest trace contains four
+    out-of-slot errors; limiting the budget to one yields the narrated
+    counterexample driven by a *duplicated cold-start frame*.
+    """
+    return ModelConfig(authority=CouplerAuthority.FULL_SHIFTING, slots=slots,
+                       out_of_slot_budget=1, allow_cold_start_replay=True,
+                       faulty_coupler=0)
+
+
+def trace2_scenario(slots: int = 4) -> ModelConfig:
+    """EXP-T2: as trace 1, but cold-start frames may not be duplicated,
+    forcing the counterexample through a *duplicated C-state frame*."""
+    return ModelConfig(authority=CouplerAuthority.FULL_SHIFTING, slots=slots,
+                       out_of_slot_budget=1, allow_cold_start_replay=False,
+                       faulty_coupler=0)
+
+
+def running_cluster_scenario(authority: CouplerAuthority,
+                             slots: int = 4,
+                             out_of_slot_budget: Optional[int] = 1) -> ModelConfig:
+    """EXP-V2: integration into a *running* cluster.
+
+    The paper's Section 2.2/6 discussion: "nodes that are integrating,
+    either during a cold-start or into a running cluster, are not able to
+    determine that the frame is incorrect, and may use the faulty frame."
+    All nodes but the last start active; the last is powered off and will
+    be reawakened by its host.  A full-shifting coupler can replay a
+    buffered C-state frame; the integrating node adopts its stale position
+    and is forced into the clique-error freeze.
+    """
+    return ModelConfig(authority=authority, slots=slots,
+                       out_of_slot_budget=out_of_slot_budget,
+                       allow_cold_start_replay=True,
+                       faulty_coupler=0, start_running=True)
+
+
+def unconstrained_full_shifting(slots: int = 4) -> ModelConfig:
+    """Full-shifting couplers with an unlimited out-of-slot budget (the
+    paper's first, unconstrained check)."""
+    return ModelConfig(authority=CouplerAuthority.FULL_SHIFTING, slots=slots,
+                       out_of_slot_budget=None, allow_cold_start_replay=True,
+                       faulty_coupler=0)

@@ -1,0 +1,208 @@
+"""Synchronous composition: the full TTA startup model.
+
+Implements the :class:`repro.modelcheck.TransitionSystem` interface.  One
+transition of the system corresponds to one TDMA slot (paper Section 4.2):
+within a step,
+
+1. the frames driven by the nodes determine the nominal channel content
+   (both channels carry the same nominal content -- nodes send on both);
+2. a nondeterministic coupler-fault choice (respecting the single-fault
+   hypothesis, the authority level, and the out-of-slot budget) yields the
+   actual content of each channel;
+3. every node takes one step of its Section 4.3 transition relation given
+   the two channel contents;
+4. the couplers' frame buffers record the last identifiable frame on their
+   channel (full-shifting only).
+
+State layout (see :meth:`TTAStartupModel._build_space`): six variables per
+node, plus two buffer variables per coupler and the remaining out-of-slot
+budget when the authority level supports frame buffering.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.model.config import FAULT_NONE, FAULT_OUT_OF_SLOT, ModelConfig
+from repro.model.coupler_model import (
+    SILENT,
+    ChannelContent,
+    apply_fault,
+    enumerate_fault_choices,
+    nominal_content,
+    update_buffer,
+)
+from repro.model.node_model import (
+    NodeLocal,
+    frame_sent,
+    initial_local,
+    node_step,
+)
+from repro.modelcheck.model import Transition
+from repro.modelcheck.state import StateSpace, Variable
+
+#: Sentinel for "unlimited out-of-slot errors".
+UNLIMITED = -1
+
+
+class TTAStartupModel:
+    """The Section 4 model as an explicit transition system."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        self.config = config
+        self.space = self._build_space()
+        self._node_ids = config.node_ids
+        self._has_buffers = config.couplers_can_buffer
+
+    # -- state layout -------------------------------------------------------------
+
+    def _build_space(self) -> StateSpace:
+        variables: List[Variable] = []
+        for name in self.config.node_names:
+            prefix = name.lower()
+            variables.append(Variable(f"{prefix}_state"))
+            variables.append(Variable(f"{prefix}_slot"))
+            variables.append(Variable(f"{prefix}_big_bang"))
+            variables.append(Variable(f"{prefix}_timeout"))
+            variables.append(Variable(f"{prefix}_agreed"))
+            variables.append(Variable(f"{prefix}_failed"))
+        if self.config.couplers_can_buffer:
+            for index in (0, 1):
+                variables.append(Variable(f"c{index}_buf_kind"))
+                variables.append(Variable(f"c{index}_buf_id"))
+            variables.append(Variable("oos_left"))
+        return StateSpace(variables)
+
+    def _pack(self, locals_: List[NodeLocal], buffers: List[ChannelContent],
+              oos_left: int) -> tuple:
+        values: List = []
+        for local in locals_:
+            values.extend(local)
+        if self._has_buffers:
+            for buffered in buffers:
+                values.append(buffered.kind)
+                values.append(buffered.frame_id)
+            values.append(oos_left)
+        return tuple(values)
+
+    def _unpack(self, state: tuple) -> Tuple[List[NodeLocal], List[ChannelContent], int]:
+        locals_: List[NodeLocal] = []
+        position = 0
+        for _ in self._node_ids:
+            locals_.append(NodeLocal(*state[position:position + 6]))
+            position += 6
+        if self._has_buffers:
+            buffers = [
+                ChannelContent(kind=state[position], frame_id=state[position + 1]),
+                ChannelContent(kind=state[position + 2], frame_id=state[position + 3]),
+            ]
+            oos_left = state[position + 4]
+        else:
+            buffers = [SILENT, SILENT]
+            oos_left = 0
+        return locals_, buffers, oos_left
+
+    # -- TransitionSystem interface -----------------------------------------------------
+
+    def initial_states(self) -> Iterator[tuple]:
+        budget = self.config.out_of_slot_budget
+        oos_left = UNLIMITED if budget is None else budget
+        if not self.config.start_running:
+            locals_ = [initial_local() for _ in self._node_ids]
+            yield self._pack(locals_, [SILENT, SILENT], oos_left)
+            return
+        # Running cluster: every node but the last is active, at each
+        # possible round position (the late node sees an arbitrary phase).
+        # Each active node carries the clique counters it would have
+        # accumulated since its own last round test: one agreed slot per
+        # completed slot whose sender is up (its own send included), none
+        # for the down node's silent slot.  Anything less would fabricate
+        # round tests on empty counters and freeze healthy nodes.
+        from repro.model.node_model import ST_ACTIVE
+
+        slots = self.config.slots
+        down_node = slots
+
+        def agreed_since_own_test(node_id: int, current_slot: int) -> int:
+            agreed = 0
+            slot = node_id
+            while slot != current_slot:
+                if slot != down_node:
+                    agreed += 1
+                slot = 1 if slot == slots else slot + 1
+            return min(agreed, self.config.counter_cap)
+
+        for slot in range(1, slots + 1):
+            locals_ = [
+                NodeLocal(ST_ACTIVE, slot, False, 0,
+                          agreed_since_own_test(node_id, slot), 0)
+                for node_id in self._node_ids[:-1]
+            ]
+            locals_.append(initial_local())
+            yield self._pack(locals_, [SILENT, SILENT], oos_left)
+
+    def successors(self, state: tuple) -> Iterator[Transition]:
+        config = self.config
+        locals_, buffers, oos_left = self._unpack(state)
+
+        senders = []
+        for node_id, local in zip(self._node_ids, locals_):
+            kind = frame_sent(local, node_id)
+            if kind != "none":
+                senders.append((node_id, kind))
+        nominal = nominal_content(senders)
+
+        seen: Dict[tuple, None] = {}
+        budget_for_choice = 1 if oos_left == UNLIMITED else oos_left
+        for fault0, fault1 in enumerate_fault_choices(config, buffers,
+                                                      budget_for_choice):
+            channel0 = apply_fault(fault0, nominal, buffers[0])
+            channel1 = apply_fault(fault1, nominal, buffers[1])
+            channels = (channel0, channel1)
+
+            new_buffers = [update_buffer(buffers[0], channel0),
+                           update_buffer(buffers[1], channel1)]
+            used_out_of_slot = FAULT_OUT_OF_SLOT in (fault0, fault1)
+            if oos_left == UNLIMITED:
+                new_oos = UNLIMITED
+            else:
+                new_oos = oos_left - (1 if used_out_of_slot else 0)
+
+            per_node_options = [
+                node_step(config, node_id, local, channels)
+                for node_id, local in zip(self._node_ids, locals_)
+            ]
+            label = {
+                "fault": self._fault_label(fault0, fault1),
+                "ch0": self._content_label(channel0),
+                "ch1": self._content_label(channel1),
+            }
+            for combo in itertools.product(*per_node_options):
+                packed = self._pack(list(combo), new_buffers, new_oos)
+                if packed in seen:
+                    continue
+                seen[packed] = None
+                yield Transition(target=packed, label=label)
+
+    # -- labels ------------------------------------------------------------------------
+
+    @staticmethod
+    def _fault_label(fault0: str, fault1: str) -> str:
+        if fault0 == FAULT_NONE and fault1 == FAULT_NONE:
+            return "none"
+        if fault0 != FAULT_NONE:
+            return f"coupler0:{fault0}"
+        return f"coupler1:{fault1}"
+
+    def _content_label(self, content: ChannelContent) -> str:
+        if content.frame_id == 0:
+            return content.kind
+        return f"{content.kind}#{self.config.name_of(content.frame_id)}"
+
+    # -- conveniences -----------------------------------------------------------------------
+
+    def node_view(self, state: tuple, node_id: int) -> NodeLocal:
+        """The local state of one node inside a packed state."""
+        locals_, _, _ = self._unpack(state)
+        return locals_[node_id - 1]

@@ -1,0 +1,35 @@
+"""Explicit-state model checking.
+
+A small but complete explicit-state model checker that plays the role SMV
+plays in the paper: it exhaustively explores the reachable state space of a
+finite nondeterministic transition system, checks invariants, and -- like
+SMV -- returns a *shortest* counterexample trace when a property fails
+(breadth-first search visits states in distance order, so the first
+violation found is at minimum depth).
+
+* :mod:`repro.modelcheck.state` -- variable declarations and immutable
+  state representation,
+* :mod:`repro.modelcheck.model` -- the transition-system interface,
+* :mod:`repro.modelcheck.checker` -- BFS reachability and invariant
+  checking with counterexample extraction,
+* :mod:`repro.modelcheck.trace` -- counterexample rendering.
+"""
+
+from repro.modelcheck.checker import CheckResult, InvariantChecker, check_invariant
+from repro.modelcheck.model import Transition, TransitionSystem
+from repro.modelcheck.state import StateSpace, StateView, Variable
+from repro.modelcheck.trace import Trace, TraceStep, render_trace
+
+__all__ = [
+    "CheckResult",
+    "InvariantChecker",
+    "StateSpace",
+    "StateView",
+    "Trace",
+    "TraceStep",
+    "Transition",
+    "TransitionSystem",
+    "Variable",
+    "check_invariant",
+    "render_trace",
+]

@@ -1,0 +1,213 @@
+"""Breadth-first invariant checking with shortest counterexamples.
+
+The checker explores the reachable states of a
+:class:`repro.modelcheck.model.TransitionSystem` in breadth-first order.
+Because BFS visits states in order of distance from the initial states, the
+first state violating the invariant yields a counterexample of *minimum
+length* -- the same guarantee the paper relies on from SMV ("SMV produces
+the shortest possible trace").
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.modelcheck.model import Transition, TransitionSystem
+from repro.modelcheck.state import StateView
+from repro.modelcheck.trace import Trace, TraceStep
+
+#: Invariant signature: predicate over a named state view; True = OK.
+Invariant = Callable[[StateView], bool]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of an invariant check."""
+
+    holds: bool
+    states_explored: int
+    transitions_explored: int
+    depth_reached: int
+    elapsed_seconds: float
+    counterexample: Optional[Trace] = None
+    #: True when the search hit a limit before exhausting the state space.
+    truncated: bool = False
+
+    @property
+    def verdict(self) -> str:
+        if self.holds and not self.truncated:
+            return "HOLDS"
+        if self.holds and self.truncated:
+            return "NO VIOLATION FOUND (search truncated)"
+        return "VIOLATED"
+
+    def summary(self) -> str:
+        lines = [
+            f"verdict: {self.verdict}",
+            f"states explored: {self.states_explored}",
+            f"transitions explored: {self.transitions_explored}",
+            f"depth reached: {self.depth_reached}",
+            f"elapsed: {self.elapsed_seconds:.3f}s",
+        ]
+        if self.counterexample is not None:
+            lines.append(f"counterexample length: {len(self.counterexample)} steps")
+        return "\n".join(lines)
+
+
+class InvariantChecker:
+    """Reusable checker with limits and progress hooks."""
+
+    def __init__(self, system: TransitionSystem,
+                 max_states: Optional[int] = None,
+                 max_depth: Optional[int] = None,
+                 progress: Optional[Callable[[int, int], None]] = None,
+                 progress_interval: int = 50_000) -> None:
+        self.system = system
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.progress = progress
+        self.progress_interval = progress_interval
+
+    def check(self, invariant: Invariant) -> CheckResult:
+        """BFS over reachable states, checking ``invariant`` at each."""
+        space = self.system.space
+        started = time.perf_counter()
+
+        # parent[state] = (predecessor state or None, transition label).
+        parent: Dict[tuple, Any] = {}
+        depth_of: Dict[tuple, int] = {}
+        frontier = deque()
+        transitions_explored = 0
+        max_depth_seen = 0
+        truncated = False
+
+        def make_result(holds: bool, violating: Optional[tuple]) -> CheckResult:
+            elapsed = time.perf_counter() - started
+            trace = None
+            if violating is not None:
+                trace = self._rebuild_trace(parent, violating)
+            return CheckResult(holds=holds,
+                               states_explored=len(parent),
+                               transitions_explored=transitions_explored,
+                               depth_reached=max_depth_seen,
+                               elapsed_seconds=elapsed,
+                               counterexample=trace,
+                               truncated=truncated)
+
+        for state in self.system.initial_states():
+            if state in parent:
+                continue
+            parent[state] = (None, {})
+            depth_of[state] = 0
+            if not invariant(space.view(state)):
+                return make_result(holds=False, violating=state)
+            frontier.append(state)
+
+        while frontier:
+            state = frontier.popleft()
+            depth = depth_of[state]
+            if self.max_depth is not None and depth >= self.max_depth:
+                truncated = True
+                continue
+            for transition in self.system.successors(state):
+                transitions_explored += 1
+                target = transition.target
+                if target in parent:
+                    continue
+                if self.max_states is not None and len(parent) >= self.max_states:
+                    truncated = True
+                    continue
+                parent[target] = (state, transition.label)
+                depth_of[target] = depth + 1
+                max_depth_seen = max(max_depth_seen, depth + 1)
+                if self.progress is not None and len(parent) % self.progress_interval == 0:
+                    self.progress(len(parent), depth + 1)
+                if not invariant(space.view(target)):
+                    return make_result(holds=False, violating=target)
+                frontier.append(target)
+
+        return make_result(holds=True, violating=None)
+
+    def _rebuild_trace(self, parent: Dict[tuple, Any], violating: tuple) -> Trace:
+        chain: List[TraceStep] = []
+        state = violating
+        while state is not None:
+            predecessor, label = parent[state]
+            chain.append(TraceStep(state=state, label=label))
+            state = predecessor
+        chain.reverse()
+        return Trace(space=self.system.space, steps=chain)
+
+
+def check_invariant(system: TransitionSystem, invariant: Invariant,
+                    max_states: Optional[int] = None,
+                    max_depth: Optional[int] = None) -> CheckResult:
+    """One-shot convenience wrapper over :class:`InvariantChecker`."""
+    checker = InvariantChecker(system, max_states=max_states, max_depth=max_depth)
+    return checker.check(invariant)
+
+
+def find_trace_to(system: TransitionSystem, target: Invariant,
+                  max_states: Optional[int] = None,
+                  max_depth: Optional[int] = None) -> Optional[Trace]:
+    """Shortest witness trace to a state satisfying ``target``.
+
+    The EF-reachability dual of :func:`check_invariant`: returns ``None``
+    when no reachable state satisfies the predicate (within the limits).
+    """
+    result = check_invariant(system, lambda view: not target(view),
+                             max_states=max_states, max_depth=max_depth)
+    return result.counterexample
+
+
+def find_deadlocks(system: TransitionSystem,
+                   max_states: Optional[int] = None) -> List[Trace]:
+    """Shortest traces to reachable states with no outgoing transitions.
+
+    A synchronous protocol model should be deadlock-free (every state has
+    at least the all-stutter successor); a deadlock indicates a modeling
+    error, so this is the standard model-hygiene check SMV users run
+    alongside their properties.
+    """
+    space = system.space
+    parent: Dict[tuple, Any] = {}
+    depth_of: Dict[tuple, int] = {}
+    frontier = deque()
+    deadlocked: List[tuple] = []
+
+    for state in system.initial_states():
+        if state not in parent:
+            parent[state] = (None, {})
+            depth_of[state] = 0
+            frontier.append(state)
+
+    while frontier:
+        state = frontier.popleft()
+        successor_count = 0
+        for transition in system.successors(state):
+            successor_count += 1
+            target = transition.target
+            if target in parent:
+                continue
+            if max_states is not None and len(parent) >= max_states:
+                continue
+            parent[target] = (state, transition.label)
+            depth_of[target] = depth_of[state] + 1
+            frontier.append(target)
+        if successor_count == 0:
+            deadlocked.append(state)
+
+    traces = []
+    for state in deadlocked:
+        chain: List[TraceStep] = []
+        cursor: Optional[tuple] = state
+        while cursor is not None:
+            predecessor, label = parent[cursor]
+            chain.append(TraceStep(state=cursor, label=label))
+            cursor = predecessor
+        chain.reverse()
+        traces.append(Trace(space=space, steps=chain))
+    return traces

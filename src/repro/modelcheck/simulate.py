@@ -1,0 +1,120 @@
+"""Monte-Carlo exploration of transition systems.
+
+Exhaustive BFS is exact but exponential in cluster size; random walks
+trade completeness for scale.  A walk starts at an initial state, picks a
+uniformly random enabled transition each step, and checks the invariant
+along the way.  Many independent walks give a statistical read on how
+*dense* violations are -- useful both as a sanity check against the
+exhaustive verdicts and for configurations too large to enumerate.
+
+Walks cannot prove a property (absence of a found violation is not
+HOLDS); they can only refute it, with a witness trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.modelcheck.checker import Invariant
+from repro.modelcheck.model import TransitionSystem
+from repro.modelcheck.trace import Trace, TraceStep
+from repro.sim.rng import RandomStream
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one random walk."""
+
+    violated: bool
+    steps_taken: int
+    trace: Optional[Trace] = None
+
+
+@dataclass
+class MonteCarloResult:
+    """Aggregate over many walks."""
+
+    walks: int
+    max_depth: int
+    violations: int
+    total_steps: int
+    elapsed_seconds: float
+    first_witness: Optional[Trace] = None
+    #: Depth of the shortest violation found (not necessarily minimal).
+    shortest_violation_depth: Optional[int] = None
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of walks that hit a violating state."""
+        if self.walks == 0:
+            return 0.0
+        return self.violations / self.walks
+
+    @property
+    def found_violation(self) -> bool:
+        return self.violations > 0
+
+
+def random_walk(system: TransitionSystem, invariant: Invariant,
+                rng: RandomStream, max_depth: int = 100,
+                keep_trace: bool = True) -> WalkResult:
+    """One walk from a random initial state.
+
+    Stops at the first violation, at a state with no successors, or at
+    ``max_depth`` steps.
+    """
+    space = system.space
+    initial_states = list(system.initial_states())
+    state = rng.choice(initial_states)
+    steps: List[TraceStep] = [TraceStep(state=state, label={})]
+
+    if not invariant(space.view(state)):
+        trace = Trace(space=space, steps=steps) if keep_trace else None
+        return WalkResult(violated=True, steps_taken=0, trace=trace)
+
+    for depth in range(max_depth):
+        transitions = list(system.successors(state))
+        if not transitions:
+            break
+        transition = rng.choice(transitions)
+        state = transition.target
+        if keep_trace:
+            steps.append(TraceStep(state=state, label=transition.label))
+        if not invariant(space.view(state)):
+            trace = Trace(space=space, steps=steps) if keep_trace else None
+            return WalkResult(violated=True, steps_taken=depth + 1, trace=trace)
+    return WalkResult(violated=False, steps_taken=len(steps) - 1, trace=None)
+
+
+def monte_carlo_check(system: TransitionSystem, invariant: Invariant,
+                      walks: int = 200, max_depth: int = 100,
+                      seed: int = 0) -> MonteCarloResult:
+    """Run many independent random walks and aggregate."""
+    if walks < 1:
+        raise ValueError(f"need at least one walk, got {walks}")
+    rng = RandomStream(seed=seed, path="monte-carlo")
+    started = time.perf_counter()
+    violations = 0
+    total_steps = 0
+    first_witness: Optional[Trace] = None
+    shortest: Optional[int] = None
+
+    for index in range(walks):
+        result = random_walk(system, invariant, rng.child(f"walk{index}"),
+                             max_depth=max_depth,
+                             keep_trace=first_witness is None)
+        total_steps += result.steps_taken
+        if result.violated:
+            violations += 1
+            if first_witness is None:
+                first_witness = result.trace
+            if shortest is None or result.steps_taken < shortest:
+                shortest = result.steps_taken
+
+    return MonteCarloResult(walks=walks, max_depth=max_depth,
+                            violations=violations, total_steps=total_steps,
+                            elapsed_seconds=time.perf_counter() - started,
+                            first_witness=first_witness,
+                            shortest_violation_depth=shortest)

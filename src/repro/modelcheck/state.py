@@ -1,0 +1,135 @@
+"""State-variable declarations and immutable state representation.
+
+A :class:`StateSpace` declares an ordered set of named variables with
+finite domains.  Concrete states are stored as plain tuples (one entry per
+variable, in declaration order) so that hashing and equality -- the hot
+operations of explicit-state search -- are as cheap as Python allows.
+:class:`StateView` wraps a tuple for ergonomic named access in predicates
+and trace rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One declared state variable.
+
+    ``domain`` is optional; when given it is used to validate states in
+    debug mode and to report the theoretical state-space size.
+    """
+
+    name: str
+    domain: Optional[tuple] = None
+
+    def validate(self, value: Any) -> None:
+        if self.domain is not None and value not in self.domain:
+            raise ValueError(
+                f"value {value!r} not in domain of variable {self.name!r}")
+
+
+class StateSpace:
+    """An ordered collection of state variables."""
+
+    def __init__(self, variables: Sequence[Variable]) -> None:
+        if not variables:
+            raise ValueError("a state space needs at least one variable")
+        names = [variable.name for variable in variables]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate variable names: {names}")
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self.index: Dict[str, int] = {name: position
+                                      for position, name in enumerate(names)}
+
+    @property
+    def names(self) -> List[str]:
+        return [variable.name for variable in self.variables]
+
+    def make(self, assignment: Mapping[str, Any]) -> tuple:
+        """Build a state tuple from a full name->value mapping."""
+        missing = set(self.index) - set(assignment)
+        if missing:
+            raise ValueError(f"missing variables in state: {sorted(missing)}")
+        extra = set(assignment) - set(self.index)
+        if extra:
+            raise ValueError(f"unknown variables in state: {sorted(extra)}")
+        return tuple(assignment[variable.name] for variable in self.variables)
+
+    def view(self, state: tuple) -> "StateView":
+        """Named read access to a state tuple."""
+        return StateView(self, state)
+
+    def validate(self, state: tuple) -> None:
+        """Check a state tuple against the declared domains."""
+        if len(state) != len(self.variables):
+            raise ValueError(
+                f"state has {len(state)} entries, expected {len(self.variables)}")
+        for variable, value in zip(self.variables, state):
+            variable.validate(value)
+
+    def updated(self, state: tuple, **changes: Any) -> tuple:
+        """A copy of ``state`` with the named variables replaced."""
+        values = list(state)
+        for name, value in changes.items():
+            values[self.index[name]] = value
+        return tuple(values)
+
+    def theoretical_size(self) -> Optional[int]:
+        """Product of domain sizes, or ``None`` if any domain is open."""
+        size = 1
+        for variable in self.variables:
+            if variable.domain is None:
+                return None
+            size *= len(variable.domain)
+        return size
+
+    def diff(self, before: tuple, after: tuple) -> Dict[str, Tuple[Any, Any]]:
+        """Variables whose value changed between two states."""
+        changes = {}
+        for position, variable in enumerate(self.variables):
+            if before[position] != after[position]:
+                changes[variable.name] = (before[position], after[position])
+        return changes
+
+
+class StateView:
+    """Read-only named access to a state tuple."""
+
+    __slots__ = ("_space", "_state")
+
+    def __init__(self, space: StateSpace, state: tuple) -> None:
+        object.__setattr__(self, "_space", space)
+        object.__setattr__(self, "_state", state)
+
+    def __getattr__(self, name: str) -> Any:
+        space = object.__getattribute__(self, "_space")
+        state = object.__getattribute__(self, "_state")
+        try:
+            return state[space.index[name]]
+        except KeyError:
+            raise AttributeError(f"no state variable named {name!r}") from None
+
+    def __getitem__(self, name: str) -> Any:
+        space = object.__getattribute__(self, "_space")
+        state = object.__getattribute__(self, "_state")
+        return state[space.index[name]]
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("StateView is read-only")
+
+    @property
+    def raw(self) -> tuple:
+        return object.__getattribute__(self, "_state")
+
+    def as_dict(self) -> Dict[str, Any]:
+        space = object.__getattribute__(self, "_space")
+        state = object.__getattribute__(self, "_state")
+        return {variable.name: value
+                for variable, value in zip(space.variables, state)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        pairs = ", ".join(f"{key}={value!r}" for key, value in self.as_dict().items())
+        return f"StateView({pairs})"

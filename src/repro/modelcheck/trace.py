@@ -1,0 +1,94 @@
+"""Counterexample traces and their rendering.
+
+A :class:`Trace` is the sequence of states from an initial state to the
+violating state, each step annotated with the transition label the model
+attached (which frame was on each channel, which coupler fault fired).
+Rendering shows, per step, the label and only the variables that *changed*,
+which is how the paper narrates its counterexamples ("Node A makes a
+transition into the listen state...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.modelcheck.state import StateSpace, StateView
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One trace entry: the state reached and how it was reached."""
+
+    state: tuple
+    label: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Trace:
+    """A counterexample: initial state first, violating state last."""
+
+    space: StateSpace
+    steps: List[TraceStep]
+
+    def __len__(self) -> int:
+        """Number of transitions (steps minus the initial state)."""
+        return max(0, len(self.steps) - 1)
+
+    def __iter__(self) -> Iterator[TraceStep]:
+        return iter(self.steps)
+
+    def view(self, index: int) -> StateView:
+        """Named view of the state at position ``index``."""
+        return self.space.view(self.steps[index].state)
+
+    def final_view(self) -> StateView:
+        return self.view(len(self.steps) - 1)
+
+    def labels(self) -> List[Dict[str, Any]]:
+        """All transition labels, skipping the (empty) initial label."""
+        return [step.label for step in self.steps[1:]]
+
+    def find_step(self, **label_match: Any) -> Optional[int]:
+        """Index of the first step whose label matches all given items."""
+        for index, step in enumerate(self.steps):
+            if all(step.label.get(key) == value for key, value in label_match.items()):
+                return index
+        return None
+
+    def variable_history(self, name: str) -> List[Any]:
+        """Values a variable takes along the trace."""
+        position = self.space.index[name]
+        return [step.state[position] for step in self.steps]
+
+
+def _format_value(value: Any) -> str:
+    if hasattr(value, "value"):
+        return str(value.value)
+    return str(value)
+
+
+def render_trace(trace: Trace, title: str = "Counterexample") -> str:
+    """Human-readable multi-line rendering with per-step diffs."""
+    lines = [title, "=" * len(title)]
+    previous: Optional[tuple] = None
+    for index, step in enumerate(trace.steps):
+        header = f"step {index}"
+        if step.label:
+            annotations = ", ".join(
+                f"{key}={_format_value(value)}" for key, value in sorted(step.label.items()))
+            header += f"  [{annotations}]"
+        lines.append(header)
+        if previous is None:
+            view = trace.space.view(step.state)
+            for name, value in view.as_dict().items():
+                lines.append(f"    {name} = {_format_value(value)}")
+        else:
+            changes = trace.space.diff(previous, step.state)
+            if not changes:
+                lines.append("    (no state change)")
+            for name, (before, after) in sorted(changes.items()):
+                lines.append(
+                    f"    {name}: {_format_value(before)} -> {_format_value(after)}")
+        previous = step.state
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Communication substrate: channels, topologies, guardians, star couplers.
+
+* :mod:`repro.network.signal` -- analog signal quality and the
+  slightly-off-specification (SOS) fault model,
+* :mod:`repro.network.channel` -- broadcast channels and transmissions,
+* :mod:`repro.network.guardian` -- node-local bus guardians (bus topology),
+* :mod:`repro.network.star_coupler` -- central guardians with the paper's
+  four authority levels, including the frame-forwarding ("leaky bucket")
+  buffer model,
+* :mod:`repro.network.topology` -- wiring nodes, guardians, and channels
+  into bus or star clusters.
+"""
+
+from repro.network.channel import Channel, Transmission
+from repro.network.guardian import LocalBusGuardian
+from repro.network.signal import SignalShape, is_sos_time, is_sos_value, reshape
+from repro.network.star_coupler import (
+    CouplerFault,
+    ForwardingBuffer,
+    StarCoupler,
+)
+from repro.network.topology import BusTopology, StarTopology
+
+__all__ = [
+    "BusTopology",
+    "Channel",
+    "CouplerFault",
+    "ForwardingBuffer",
+    "LocalBusGuardian",
+    "SignalShape",
+    "StarCoupler",
+    "StarTopology",
+    "Transmission",
+    "is_sos_time",
+    "is_sos_value",
+    "reshape",
+]

@@ -1,0 +1,141 @@
+"""Broadcast channels and transmissions.
+
+A :class:`Channel` is one of the TTA's two independent broadcast media.
+Transmissions occupy the channel for their duration; two overlapping
+transmissions interfere and both are delivered corrupted (the receivers
+see an invalid frame -- "interfered with by another transmission during the
+time slot" in the paper's validity definition).
+
+Per the TTP/C fault hypothesis, the channel itself may *corrupt or drop*
+frames (passive faults) but never generates them; active behaviour such as
+replaying frames can only come from a star coupler placed between the
+transmitters and the channel (exactly the paper's concern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.network.signal import SignalShape
+from repro.sim.engine import Simulator
+from repro.sim.monitor import TraceMonitor
+from repro.ttp.frames import Frame
+
+#: Subscriber signature: (transmission, corrupted) -> None.
+Subscriber = Callable[["Transmission", bool], None]
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One frame being driven onto a medium.
+
+    ``source`` is the physical port identity (node name) -- a star coupler
+    knows which port a transmission arrives on even when the frame content
+    claims another sender (the masquerading case).
+    """
+
+    frame: Frame
+    source: str
+    start_time: float
+    duration: float
+    shape: SignalShape = field(default_factory=SignalShape)
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+    def overlaps(self, other: "Transmission") -> bool:
+        """Whether two transmissions interfere in time."""
+        return self.start_time < other.end_time and other.start_time < self.end_time
+
+
+class Channel:
+    """A broadcast medium with collision semantics.
+
+    Receivers subscribe a callback invoked when a transmission *completes*
+    (store-and-forward at the receiver: a frame can only be judged once it
+    has fully arrived).
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 monitor: Optional[TraceMonitor] = None,
+                 drop_probability: float = 0.0,
+                 corrupt_probability: float = 0.0,
+                 rng=None) -> None:
+        self.sim = sim
+        self.name = name
+        self.monitor = monitor
+        self.drop_probability = drop_probability
+        self.corrupt_probability = corrupt_probability
+        self.rng = rng
+        self._subscribers: List[Subscriber] = []
+        self._active: List[Transmission] = []
+        self._collided: set = set()
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.corrupted_count = 0
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Register a receiver callback."""
+        self._subscribers.append(subscriber)
+
+    def transmit(self, transmission: Transmission) -> None:
+        """Begin driving a transmission onto the medium.
+
+        Must be called at ``transmission.start_time`` (the current simulated
+        instant); completion is scheduled automatically.
+        """
+        if abs(transmission.start_time - self.sim.now) > 1e-9:
+            raise ValueError(
+                f"transmission start {transmission.start_time!r} is not now "
+                f"({self.sim.now!r})")
+        for other in self._active:
+            if transmission.overlaps(other):
+                self._collided.add(id(other))
+                self._collided.add(id(transmission))
+        self._active.append(transmission)
+        if self.monitor is not None:
+            self.monitor.record(self.sim.now, f"channel:{self.name}", "tx_start",
+                                sender=transmission.source,
+                                frame_kind=transmission.frame.kind.value)
+        self.sim.schedule(transmission.duration,
+                          lambda: self._complete(transmission))
+
+    def _complete(self, transmission: Transmission) -> None:
+        self._active.remove(transmission)
+        collided = id(transmission) in self._collided
+        self._collided.discard(id(transmission))
+
+        # Passive channel faults: drop or corrupt.
+        if self._chance(self.drop_probability):
+            self.dropped_count += 1
+            if self.monitor is not None:
+                self.monitor.record(self.sim.now, f"channel:{self.name}",
+                                    "tx_dropped", sender=transmission.source)
+            return
+        corrupted = collided or self._chance(self.corrupt_probability)
+        if corrupted:
+            self.corrupted_count += 1
+
+        self.delivered_count += 1
+        if self.monitor is not None:
+            self.monitor.record(self.sim.now, f"channel:{self.name}", "tx_complete",
+                                sender=transmission.source,
+                                frame_kind=transmission.frame.kind.value,
+                                corrupted=corrupted)
+        for subscriber in list(self._subscribers):
+            subscriber(transmission, corrupted)
+
+    def _chance(self, probability: float) -> bool:
+        if probability <= 0.0 or self.rng is None:
+            return False
+        return self.rng.bernoulli(probability)
+
+    @property
+    def busy(self) -> bool:
+        """Whether any transmission is currently on the medium."""
+        return bool(self._active)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Channel({self.name!r}, active={len(self._active)})"

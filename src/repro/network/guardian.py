@@ -1,0 +1,107 @@
+"""Node-local bus guardians (bus topology).
+
+In the TTA bus topology every node has its own bus guardian: an independent
+device (own clock, physical isolation) that opens the node's transmitter
+only during the node's MEDL slot.  A healthy local guardian contains
+babbling-idiot faults, but -- unlike the central guardian -- it cannot
+reshape marginal signals (SOS faults pass through) and performs no semantic
+analysis (masquerading cold-start frames and invalid C-states pass
+through).  These gaps are exactly what motivated the central-guardian star
+design the paper analyzes.
+
+A *faulty* local guardian that blocks everything silences only its own node
+(the paper's Section 1 contrast with a faulty central guardian, which
+silences the whole channel).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.network.channel import Channel, Transmission
+from repro.sim.engine import Simulator
+from repro.sim.monitor import TraceMonitor
+from repro.ttp.medl import Medl
+
+
+class GuardianFault(enum.Enum):
+    """Local guardian fault modes."""
+
+    NONE = "none"
+    #: Blocks every transmission of its node (fail-silent guardian).
+    BLOCK_ALL = "block_all"
+    #: Stops enforcing the time window (a babbling node gets through).
+    PASS_ALL = "pass_all"
+
+
+@dataclass
+class GuardianStats:
+    """Counters for experiment reporting."""
+
+    forwarded: int = 0
+    blocked_out_of_window: int = 0
+    blocked_by_fault: int = 0
+
+
+class LocalBusGuardian:
+    """Per-node transmit gate for the bus topology."""
+
+    def __init__(self, sim: Simulator, node_name: str, medl: Medl,
+                 channel: Channel, monitor: Optional[TraceMonitor] = None,
+                 fault: GuardianFault = GuardianFault.NONE) -> None:
+        self.sim = sim
+        self.node_name = node_name
+        self.medl = medl
+        self.channel = channel
+        self.monitor = monitor
+        self.fault = fault
+        self.stats = GuardianStats()
+        self._sync_anchor: Optional[float] = None
+
+    def synchronize(self, round_start_ref_time: float) -> None:
+        """Anchor the guardian's independent slot schedule."""
+        self._sync_anchor = round_start_ref_time
+
+    @property
+    def synchronized(self) -> bool:
+        return self._sync_anchor is not None
+
+    def window_open(self, ref_time: float) -> bool:
+        """Whether the node's transmit window is currently open.
+
+        Before synchronization (startup) the guardian cannot enforce
+        windows and leaves the transmitter enabled -- the reason startup
+        masquerading is possible on the bus topology.
+        """
+        if self._sync_anchor is None:
+            return True
+        slot_id = self.medl.slot_of(self.node_name)
+        round_duration = self.medl.round_duration()
+        phase = (ref_time - self._sync_anchor) % round_duration
+        start = self.medl.slot_start_offset(slot_id)
+        end = start + self.medl.slot(slot_id).duration
+        return start - 1e-9 <= phase < end - 1e-9
+
+    def transmit(self, transmission: Transmission) -> bool:
+        """Gate one transmission from the node; returns True if forwarded."""
+        if self.fault is GuardianFault.BLOCK_ALL:
+            self.stats.blocked_by_fault += 1
+            self._record("blocked_by_fault", sender=transmission.source)
+            return False
+        if self.fault is not GuardianFault.PASS_ALL and not self.window_open(self.sim.now):
+            self.stats.blocked_out_of_window += 1
+            self._record("blocked_out_of_window", sender=transmission.source)
+            return False
+        self.stats.forwarded += 1
+        self.channel.transmit(transmission)
+        return True
+
+    def _record(self, kind: str, **details) -> None:
+        if self.monitor is not None:
+            self.monitor.record(self.sim.now, f"guardian:{self.node_name}",
+                                kind, **details)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LocalBusGuardian({self.node_name!r}, fault={self.fault.value})"

@@ -1,0 +1,109 @@
+"""Analog signal quality and the slightly-off-specification (SOS) model.
+
+An SOS fault (Ademaj [3], paper Section 2.2) is a frame whose signal level
+or timing is *marginal*: close enough to the specification that receivers
+with slightly different hardware tolerances disagree about its validity.
+The disagreement -- not the marginal frame itself -- is what breaks group
+membership, because some receivers keep the sender in the membership while
+others expel it.
+
+We model a frame's analog shape as a (signal level, timing offset) pair and
+each receiver's tolerance as a (threshold, window) pair.  A frame is SOS in
+a *population* of receivers when at least one accepts it and at least one
+rejects it.  The central guardian's *active signal reshaping* restores a
+forwarded frame to nominal shape, which removes the disagreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Tuple
+
+#: Nominal (fully in-spec) values.
+NOMINAL_LEVEL = 1.0
+NOMINAL_OFFSET = 0.0
+
+#: Specification limits: a strictly conforming transmitter never exceeds
+#: these; receivers must accept anything within them.
+SPEC_MIN_LEVEL = 0.6
+SPEC_MAX_OFFSET = 0.8
+
+
+@dataclass(frozen=True)
+class SignalShape:
+    """The analog shape of one frame: amplitude and timing offset."""
+
+    level: float = NOMINAL_LEVEL
+    timing_offset: float = NOMINAL_OFFSET
+
+    def within_spec(self) -> bool:
+        """Whether a conforming transmitter could have produced this shape."""
+        return (self.level >= SPEC_MIN_LEVEL
+                and abs(self.timing_offset) <= SPEC_MAX_OFFSET)
+
+
+@dataclass(frozen=True)
+class ReceiverTolerance:
+    """One receiver's actual analog acceptance region.
+
+    Hardware tolerances differ slightly between units; a compliant receiver
+    accepts at least the spec region, so ``threshold <= SPEC_MIN_LEVEL`` and
+    ``window >= SPEC_MAX_OFFSET``.
+    """
+
+    threshold: float = 0.5
+    window: float = 1.0
+
+    def accepts(self, shape: SignalShape) -> bool:
+        """Whether this receiver judges the frame's analog shape valid."""
+        return shape.level >= self.threshold and abs(shape.timing_offset) <= self.window
+
+
+def is_sos_value(shape: SignalShape, tolerances: Iterable[ReceiverTolerance]) -> bool:
+    """SOS in the value domain: receivers disagree because of amplitude."""
+    verdicts = [tolerance.level_ok(shape) if hasattr(tolerance, "level_ok")
+                else shape.level >= tolerance.threshold
+                for tolerance in tolerances]
+    return any(verdicts) and not all(verdicts)
+
+
+def is_sos_time(shape: SignalShape, tolerances: Iterable[ReceiverTolerance]) -> bool:
+    """SOS in the time domain: receivers disagree because of timing."""
+    verdicts = [abs(shape.timing_offset) <= tolerance.window for tolerance in tolerances]
+    return any(verdicts) and not all(verdicts)
+
+
+def is_sos(shape: SignalShape, tolerances: Iterable[ReceiverTolerance]) -> bool:
+    """SOS overall: at least one receiver accepts and one rejects."""
+    tolerances = list(tolerances)
+    verdicts = [tolerance.accepts(shape) for tolerance in tolerances]
+    return any(verdicts) and not all(verdicts)
+
+
+def reshape(shape: SignalShape, boost_value: bool = True,
+            realign_time: bool = True,
+            max_time_shift: float = float("inf")) -> SignalShape:
+    """Active signal reshaping as performed by a central guardian.
+
+    ``boost_value`` restores the amplitude to nominal; ``realign_time``
+    pulls the timing offset toward zero, limited by ``max_time_shift`` (a
+    small-shifting coupler can only adjust slightly; a full-shifting coupler
+    is unlimited).
+    """
+    level = NOMINAL_LEVEL if boost_value else shape.level
+    offset = shape.timing_offset
+    if realign_time:
+        if abs(offset) <= max_time_shift:
+            offset = 0.0
+        elif offset > 0:
+            offset -= max_time_shift
+        else:
+            offset += max_time_shift
+    return SignalShape(level=level, timing_offset=offset)
+
+
+def disagreement_profile(shape: SignalShape,
+                         tolerances: List[ReceiverTolerance]) -> Tuple[int, int]:
+    """How many receivers accept vs. reject the shape (diagnostics)."""
+    accepted = sum(1 for tolerance in tolerances if tolerance.accepts(shape))
+    return accepted, len(tolerances) - accepted

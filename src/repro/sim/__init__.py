@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate.
+
+This subpackage is a self-contained discrete-event simulation (DES) kernel
+used by the TTP/C protocol simulation and the fault-injection experiments.
+It plays the role SimPy would play in the paper's setting (no external
+dependency is used):
+
+* :mod:`repro.sim.engine` -- the event queue and simulation clock,
+* :mod:`repro.sim.process` -- generator-based cooperative processes,
+* :mod:`repro.sim.clock` -- per-component drifting clocks (ppm offsets),
+* :mod:`repro.sim.rng` -- deterministic seeded random streams,
+* :mod:`repro.sim.monitor` -- structured event tracing.
+
+The public names below are the stable API; everything else is internal.
+"""
+
+from repro.sim.clock import ClockConfig, DriftingClock, ppm_to_rate, relative_rate_difference
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.monitor import TraceMonitor, TraceRecord
+from repro.sim.process import Interrupt, Process, ProcessDied, Signal, Timeout
+from repro.sim.rng import RandomStream
+
+__all__ = [
+    "ClockConfig",
+    "DriftingClock",
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessDied",
+    "RandomStream",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "TraceMonitor",
+    "TraceRecord",
+    "ppm_to_rate",
+    "relative_rate_difference",
+]

@@ -1,0 +1,170 @@
+"""Event queue and simulation clock.
+
+The engine is a classic calendar-queue discrete-event simulator: callbacks
+are scheduled at absolute simulated times and executed in time order.  Ties
+are broken first by an integer priority (lower runs first) and then by
+insertion order, which makes every run fully deterministic.
+
+Time is a ``float`` in arbitrary units; the TTP/C layer uses microseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised for scheduling errors (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` and can be
+    cancelled until they have fired.  A cancelled event stays in the heap
+    but is skipped when popped.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "fired")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[[], None]) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time!r}, prio={self.priority}, {state})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(5.0, lambda: print("hello at t=5"))
+        sim.run(until=10.0)
+
+    Generator-based processes (see :mod:`repro.sim.process`) are layered on
+    top of this primitive scheduling interface.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 priority: int = 0) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Returns the :class:`Event`, which may be cancelled before it fires.
+        ``delay`` must be non-negative; zero-delay events run after all
+        events already scheduled for the current instant with equal
+        priority.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r} time units in the past")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, which is before now={self._now!r}")
+        event = Event(time, priority, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def stop(self) -> None:
+        """Stop the run loop after the currently executing event returns."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Execute the single next pending event.
+
+        Returns ``False`` when the queue is empty (nothing was executed).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fired = True
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` events have fired.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier.  Returns the final time.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def call_soon(self, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` at the current instant (after running events)."""
+        return self.schedule(0.0, callback, priority)
+
+    def process(self, generator: Any, name: str = "") -> "Any":
+        """Convenience wrapper: start a :class:`repro.sim.process.Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)

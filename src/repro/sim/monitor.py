@@ -1,0 +1,109 @@
+"""Structured event tracing for simulations.
+
+Components record :class:`TraceRecord` entries (time, source, kind,
+details) on a shared :class:`TraceMonitor`.  The fault-injection campaigns
+and the DES cross-validation benchmark query these traces to decide
+experiment outcomes (e.g. "did any integrated node freeze?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One recorded simulation event."""
+
+    time: float
+    source: str
+    kind: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Single-line human-readable rendering."""
+        detail_text = " ".join(f"{key}={value}" for key, value in sorted(self.details.items()))
+        suffix = f" {detail_text}" if detail_text else ""
+        return f"[t={self.time:.6f}] {self.source}: {self.kind}{suffix}"
+
+
+class TraceMonitor:
+    """Collects trace records and answers queries over them."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def record(self, time: float, source: str, kind: str, **details: Any) -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        entry = TraceRecord(time=time, source=source, kind=kind, details=dict(details))
+        self._records.append(entry)
+        for listener in self._listeners:
+            listener(entry)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``listener`` on every future record."""
+        self._listeners.append(listener)
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All records, in time order (copy)."""
+        return list(self._records)
+
+    def select(self, source: Optional[str] = None, kind: Optional[str] = None,
+               after: Optional[float] = None,
+               before: Optional[float] = None) -> List[TraceRecord]:
+        """Records matching all the given filters."""
+        matched = []
+        for entry in self._records:
+            if source is not None and entry.source != source:
+                continue
+            if kind is not None and entry.kind != kind:
+                continue
+            if after is not None and entry.time < after:
+                continue
+            if before is not None and entry.time > before:
+                continue
+            matched.append(entry)
+        return matched
+
+    def first(self, kind: str, source: Optional[str] = None) -> Optional[TraceRecord]:
+        """Earliest record of the given kind, or ``None``."""
+        matches = self.select(source=source, kind=kind)
+        return matches[0] if matches else None
+
+    def count(self, kind: str, source: Optional[str] = None) -> int:
+        """Number of records of the given kind."""
+        return len(self.select(source=source, kind=kind))
+
+    def sources(self) -> List[str]:
+        """Distinct sources seen, in first-appearance order."""
+        seen: List[str] = []
+        for entry in self._records:
+            if entry.source not in seen:
+                seen.append(entry.source)
+        return seen
+
+    def clear(self) -> None:
+        """Drop all records (listeners stay subscribed)."""
+        self._records.clear()
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Multi-line rendering of (up to ``limit``) records."""
+        entries = self._records if limit is None else self._records[:limit]
+        lines = [entry.describe() for entry in entries]
+        if limit is not None and len(self._records) > limit:
+            lines.append(f"... ({len(self._records) - limit} more)")
+        return "\n".join(lines)

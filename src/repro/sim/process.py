@@ -1,0 +1,211 @@
+"""Generator-based cooperative processes on top of the event engine.
+
+A process is an ordinary Python generator that ``yield``s *commands*:
+
+* ``Timeout(delay)`` -- resume after ``delay`` simulated time units,
+* ``Signal`` -- resume when some other process triggers the signal,
+* another ``Process`` -- resume when that process terminates.
+
+Example::
+
+    def sender(sim, channel):
+        while True:
+            yield Timeout(10.0)
+            channel.broadcast("frame")
+
+    sim = Simulator()
+    Process(sim, sender(sim, channel))
+    sim.run(until=100.0)
+
+Processes may be interrupted with :meth:`Process.interrupt`, which raises
+:class:`Interrupt` inside the generator at the point of the pending yield.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessDied(SimulationError):
+    """Raised when waiting on a process that terminated with an error."""
+
+
+class Timeout:
+    """Yieldable command: resume the process after ``delay`` time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay!r}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay!r})"
+
+
+class Signal:
+    """A broadcast condition processes can wait on.
+
+    ``trigger(value)`` resumes every currently waiting process with
+    ``value`` as the result of its ``yield``.  Signals are reusable:
+    processes that wait after a trigger block until the next trigger.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List["Process"] = []
+
+    def trigger(self, value: Any = None) -> int:
+        """Wake all waiting processes; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._resume_soon(value)
+        return len(waiters)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def _discard_waiter(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+    @property
+    def waiting(self) -> int:
+        """Number of processes currently blocked on this signal."""
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}, waiting={self.waiting})"
+
+
+class Process:
+    """Drives a generator as a cooperative simulation process."""
+
+    def __init__(self, sim: Simulator, generator: Generator[Any, Any, Any],
+                 name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._alive = True
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._pending_event: Optional[Event] = None
+        self._waiting_signal: Optional[Signal] = None
+        self._joiners: List["Process"] = []
+        # Start on the next tick so the creator finishes its own setup first.
+        sim.call_soon(lambda: self._resume(None))
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Whether the generator has not yet terminated."""
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """Value returned by the generator (``None`` until it terminates)."""
+        return self._result
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """Exception that killed the process, if any."""
+        return self._error
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process at its pending yield.
+
+        No-op if the process already terminated.
+        """
+        if not self._alive:
+            return
+        self._unblock()
+        self.sim.call_soon(lambda: self._throw(Interrupt(cause)))
+
+    # -- wiring -------------------------------------------------------------
+
+    def _unblock(self) -> None:
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._waiting_signal is not None:
+            self._waiting_signal._discard_waiter(self)
+            self._waiting_signal = None
+
+    def _resume_soon(self, value: Any) -> None:
+        self._waiting_signal = None
+        self.sim.call_soon(lambda: self._resume(value))
+
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        self._pending_event = None
+        try:
+            command = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - recorded, re-raised on join
+            self._finish(error=error)
+            return
+        self._dispatch(command)
+
+    def _throw(self, error: BaseException) -> None:
+        if not self._alive:
+            return
+        try:
+            command = self._generator.throw(error)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001
+            self._finish(error=err)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self._pending_event = self.sim.schedule(
+                command.delay, lambda: self._resume(None))
+        elif isinstance(command, Signal):
+            self._waiting_signal = command
+            command._add_waiter(self)
+        elif isinstance(command, Process):
+            if not command._alive:
+                if command._error is not None:
+                    self.sim.call_soon(
+                        lambda: self._throw(ProcessDied(str(command._error))))
+                else:
+                    self._resume_soon(command._result)
+            else:
+                command._joiners.append(self)
+        else:
+            self._finish(error=SimulationError(
+                f"process {self.name!r} yielded unsupported command {command!r}"))
+
+    def _finish(self, result: Any = None, error: Optional[BaseException] = None) -> None:
+        self._alive = False
+        self._result = result
+        self._error = error
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            if error is not None:
+                self.sim.call_soon(
+                    lambda j=joiner: j._throw(ProcessDied(str(error))))
+            else:
+                joiner._resume_soon(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self._alive else "done"
+        return f"Process({self.name!r}, {state})"

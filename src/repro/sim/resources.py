@@ -1,0 +1,134 @@
+"""Shared resources for simulation processes.
+
+Rounds out the DES kernel with the two staples downstream users expect:
+
+* :class:`Resource` -- a counted resource (capacity N) with FIFO queuing;
+  acquire inside a process with ``yield resource.acquire()`` and always
+  release in a ``finally`` block,
+* :class:`Store` -- a FIFO buffer of items with blocking ``get``.
+
+Neither is needed by the TTP/C reproduction itself (TDMA is contention-
+free by construction -- that is rather the point of the protocol), but a
+simulation library without them is not reusable for the workloads users
+bring.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import Signal
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage inside a process::
+
+        yield resource.acquire()
+        try:
+            ...critical section...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Signal] = deque()
+        self.grants = 0
+        self.peak_in_use = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Signal:
+        """A yieldable signal that fires when a unit is granted.
+
+        If a unit is free it is granted immediately (the signal fires on
+        the next tick); otherwise the caller queues FIFO.
+        """
+        grant = Signal(name=f"{self.name}:grant")
+        if self._in_use < self.capacity:
+            self._take()
+            self.sim.call_soon(grant.trigger)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one unit; the longest-waiting acquirer (if any) gets it."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._waiters:
+            grant = self._waiters.popleft()
+            self._take()
+            self.sim.call_soon(grant.trigger)
+
+    def _take(self) -> None:
+        self._in_use += 1
+        self.grants += 1
+        self.peak_in_use = max(self.peak_in_use, self._in_use)
+
+
+class Store:
+    """A FIFO buffer of items with blocking get.
+
+    ``put`` never blocks (unbounded unless ``capacity`` given, in which
+    case overflow raises -- backpressure is the caller's design decision);
+    ``get`` returns a yieldable signal whose value is the item.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = "") -> None:
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Signal] = deque()
+        self.put_count = 0
+        self.got_count = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes the longest-waiting getter."""
+        if self._getters:
+            getter = self._getters.popleft()
+            self.got_count += 1
+            self.put_count += 1
+            self.sim.call_soon(lambda: getter.trigger(item))
+            return
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise SimulationError(f"store {self.name!r} overflow "
+                                  f"(capacity {self.capacity})")
+        self._items.append(item)
+        self.put_count += 1
+
+    def get(self) -> Signal:
+        """A yieldable signal delivering the next item (FIFO)."""
+        getter = Signal(name=f"{self.name}:get")
+        if self._items:
+            item = self._items.popleft()
+            self.got_count += 1
+            self.sim.call_soon(lambda: getter.trigger(item))
+        else:
+            self._getters.append(getter)
+        return getter

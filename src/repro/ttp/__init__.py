@@ -1,0 +1,113 @@
+"""TTP/C protocol substrate.
+
+Implements the parts of the Time-Triggered Protocol (TTP/C) that the paper
+relies on, from the bit level up:
+
+* :mod:`repro.ttp.constants` -- frame sizes and protocol parameters from the
+  TTP/C specification values quoted in the paper,
+* :mod:`repro.ttp.crc` -- CRC-24/CRC-16 used for frame protection,
+* :mod:`repro.ttp.frames` -- N/I/X/cold-start frame types with bit-level
+  encoding and validity checking,
+* :mod:`repro.ttp.cstate` -- the controller state (C-state) carried
+  explicitly or implicitly in frames,
+* :mod:`repro.ttp.medl` -- the Message Descriptor List (static TDMA
+  schedule),
+* :mod:`repro.ttp.clique` -- the clique-avoidance test,
+* :mod:`repro.ttp.membership` -- group membership bookkeeping,
+* :mod:`repro.ttp.clock_sync` -- fault-tolerant-average clock
+  synchronization,
+* :mod:`repro.ttp.startup` -- listen-timeout and big-bang cold-start rules,
+* :mod:`repro.ttp.controller` -- the 9-state protocol controller driven by
+  the discrete-event simulator,
+* :mod:`repro.ttp.acknowledgment` -- sender self-check via successor
+  membership vectors,
+* :mod:`repro.ttp.decode` -- wire bits back into frames, with CRC
+  verification (incl. the implicit-C-state N-frame mechanism),
+* :mod:`repro.ttp.cni` -- the Communication Network Interface (host
+  boundary),
+* :mod:`repro.ttp.host` -- host tasks: periodic publishers and freshness
+  watchdogs over the CNI,
+* :mod:`repro.ttp.modes` -- operating modes and deferred mode changes.
+"""
+
+from repro.ttp.acknowledgment import AckOutcome, AcknowledgmentState
+from repro.ttp.cni import CniMessage, CommunicationNetworkInterface
+from repro.ttp.controller import (
+    ControllerConfig,
+    FreezeReason,
+    NodeFaultBehavior,
+    TTPController,
+)
+from repro.ttp.decode import DecodedFrame, DecodeError, decode_frame
+from repro.ttp.host import FreshnessWatchdog, HostRuntime, HostTask, PeriodicPublisher
+from repro.ttp.modes import ModeSet, validate_mode_compatible
+
+from repro.ttp.clique import CliqueCounters, CliqueVerdict, clique_avoidance_test
+from repro.ttp.constants import (
+    COLD_START_FRAME_BITS,
+    CRC_BITS,
+    I_FRAME_BITS,
+    LINE_ENCODING_BITS,
+    N_FRAME_BITS,
+    X_FRAME_BITS,
+    ControllerStateName,
+    FrameKind,
+)
+from repro.ttp.cstate import CState
+from repro.ttp.crc import crc16, crc24
+from repro.ttp.frames import (
+    ColdStartFrame,
+    Frame,
+    FrameObservation,
+    IFrame,
+    NFrame,
+    XFrame,
+)
+from repro.ttp.medl import Medl, SlotDescriptor
+from repro.ttp.membership import MembershipView
+from repro.ttp.startup import StartupRules, listen_timeout_slots
+
+__all__ = [
+    "COLD_START_FRAME_BITS",
+    "CRC_BITS",
+    "CState",
+    "CliqueCounters",
+    "CliqueVerdict",
+    "ColdStartFrame",
+    "ControllerStateName",
+    "Frame",
+    "FrameKind",
+    "FrameObservation",
+    "IFrame",
+    "I_FRAME_BITS",
+    "LINE_ENCODING_BITS",
+    "Medl",
+    "MembershipView",
+    "NFrame",
+    "N_FRAME_BITS",
+    "SlotDescriptor",
+    "StartupRules",
+    "XFrame",
+    "X_FRAME_BITS",
+    "AckOutcome",
+    "AcknowledgmentState",
+    "CniMessage",
+    "CommunicationNetworkInterface",
+    "ControllerConfig",
+    "DecodeError",
+    "DecodedFrame",
+    "FreezeReason",
+    "FreshnessWatchdog",
+    "HostRuntime",
+    "HostTask",
+    "ModeSet",
+    "NodeFaultBehavior",
+    "PeriodicPublisher",
+    "TTPController",
+    "clique_avoidance_test",
+    "crc16",
+    "crc24",
+    "decode_frame",
+    "listen_timeout_slots",
+    "validate_mode_compatible",
+]

@@ -1,0 +1,87 @@
+"""Explicit acknowledgment (TTP/C's sender self-check).
+
+TTP/C has no acknowledgment frames: a sender learns whether its frame was
+received by inspecting the *membership vectors* of the next frames on the
+bus.  If the first successor's membership still contains the sender, the
+send succeeded; if not, the sender checks one more successor (the first
+one might itself be faulty).  Two negative witnesses mean the sender's own
+transmission failed -- the sender must stop participating (a protocol-
+forced freeze), because a node whose frames nobody receives would
+otherwise diverge silently from the cluster.
+
+This is the mechanism that makes a node with a broken transmit path (or a
+blocking local guardian, the paper's Section 1 example) *self-diagnose*
+within two slots instead of lingering.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+
+class AckOutcome(enum.Enum):
+    """Result of folding one successor frame into the acknowledgment."""
+
+    #: Still waiting for (more) successor evidence.
+    PENDING = "pending"
+    #: A successor's membership contains us: the send was received.
+    ACKNOWLEDGED = "acknowledged"
+    #: Two successors deny us: our transmission failed.
+    SEND_FAULT = "send_fault"
+
+
+@dataclass
+class AcknowledgmentState:
+    """Per-send acknowledgment tracking for one controller.
+
+    ``witnesses`` is how many successor frames may deny us before we
+    conclude a send fault (the spec uses two: the first successor could be
+    the faulty component).
+    """
+
+    own_slot: int
+    witnesses: int = 2
+    _denials: int = 0
+    _armed: bool = False
+    sends_checked: int = 0
+    send_faults: int = 0
+
+    @property
+    def armed(self) -> bool:
+        """Whether a send is awaiting acknowledgment."""
+        return self._armed
+
+    @property
+    def denials(self) -> int:
+        return self._denials
+
+    def arm(self) -> None:
+        """Called at each own send: start watching successors."""
+        self._armed = True
+        self._denials = 0
+        self.sends_checked += 1
+
+    def disarm(self) -> None:
+        """Stop watching (e.g. on reintegration)."""
+        self._armed = False
+        self._denials = 0
+
+    def observe_successor(self, membership: FrozenSet[int]) -> AckOutcome:
+        """Fold one valid successor frame's membership vector.
+
+        Only *valid, position-correct* frames are witnesses -- noise tells
+        the sender nothing about whether its own frame was received.
+        """
+        if not self._armed:
+            return AckOutcome.PENDING
+        if self.own_slot in membership:
+            self._armed = False
+            return AckOutcome.ACKNOWLEDGED
+        self._denials += 1
+        if self._denials >= self.witnesses:
+            self._armed = False
+            self.send_faults += 1
+            return AckOutcome.SEND_FAULT
+        return AckOutcome.PENDING

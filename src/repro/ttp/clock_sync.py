@@ -1,0 +1,102 @@
+"""Distributed clock synchronization (fault-tolerant average).
+
+TTP/C synchronizes clocks without a master: every controller measures the
+deviation between each frame's *actual* and *expected* arrival time (the
+expected time is fixed by the MEDL), then periodically applies the
+fault-tolerant average (FTA) of the collected deviations as a correction to
+its local clock.  The FTA discards the ``k`` largest and ``k`` smallest
+measurements so that up to ``k`` Byzantine-faulty clocks cannot drag the
+ensemble (paper Section 2.1; Lamport et al. [6] for the fault bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+def fault_tolerant_average(deviations: List[float], discard: int = 1) -> float:
+    """FTA over a list of measured deviations.
+
+    Drops the ``discard`` largest and smallest values, then averages the
+    rest.  With fewer than ``2*discard + 1`` measurements nothing can be
+    safely discarded and the plain average is used (a correct controller
+    always has at least its own reading).
+    """
+    if discard < 0:
+        raise ValueError(f"discard must be non-negative, got {discard}")
+    if not deviations:
+        return 0.0
+    ordered = sorted(deviations)
+    if len(ordered) >= 2 * discard + 1 and discard > 0:
+        ordered = ordered[discard:-discard]
+    return sum(ordered) / len(ordered)
+
+
+@dataclass
+class SyncMeasurement:
+    """One arrival-time deviation measurement."""
+
+    slot_id: int
+    deviation: float
+
+
+@dataclass
+class ClockSynchronizer:
+    """Collects deviations over a round and produces FTA corrections.
+
+    ``max_correction`` bounds the applied correction: a deviation larger
+    than the bound indicates a faulty frame (or a faulty local clock) and
+    the protocol must not chase it (precision window of the spec).
+    """
+
+    discard: int = 1
+    max_correction: float = 10.0
+    measurements: List[SyncMeasurement] = field(default_factory=list)
+    corrections_applied: int = 0
+    last_correction: float = 0.0
+
+    def observe(self, slot_id: int, expected_arrival: float,
+                actual_arrival: float) -> float:
+        """Record the deviation of one frame; returns the deviation."""
+        deviation = actual_arrival - expected_arrival
+        self.measurements.append(SyncMeasurement(slot_id=slot_id, deviation=deviation))
+        return deviation
+
+    def pending_count(self) -> int:
+        """Measurements collected since the last correction."""
+        return len(self.measurements)
+
+    def compute_correction(self) -> float:
+        """FTA correction from the collected measurements, clamped to the
+        precision window.  Clears the measurement set."""
+        deviations = [entry.deviation for entry in self.measurements]
+        self.measurements = []
+        correction = fault_tolerant_average(deviations, discard=self.discard)
+        if correction > self.max_correction:
+            correction = self.max_correction
+        elif correction < -self.max_correction:
+            correction = -self.max_correction
+        self.corrections_applied += 1
+        self.last_correction = correction
+        return correction
+
+    def reset(self) -> None:
+        """Drop any collected measurements (re-integration path)."""
+        self.measurements = []
+
+
+def precision_bound(delta_rho: float, resync_interval: float,
+                    reading_error: float = 0.0) -> float:
+    """Worst-case clock divergence between two correct controllers.
+
+    Between resynchronizations ``resync_interval`` apart, two clocks with
+    relative rate difference ``delta_rho`` drift apart by
+    ``delta_rho * resync_interval`` plus any reading error -- the quantity a
+    receiver's slot acceptance window must cover.  This is the link between
+    the ppm numbers of paper eq. (5) and the timing tolerances of the SOS
+    model.
+    """
+    if delta_rho < 0 or resync_interval < 0 or reading_error < 0:
+        raise ValueError("precision_bound arguments must be non-negative")
+    return delta_rho * resync_interval + reading_error

@@ -1,0 +1,111 @@
+"""Communication Network Interface (CNI).
+
+The CNI is TTP/C's host boundary: a dual-ported memory through which the
+host application and the communication controller exchange state messages.
+The host *posts* the payload to broadcast in the node's next slot; the
+controller deposits every correctly received payload into per-slot status
+areas, stamped with the global time of reception, so the host can judge
+freshness.
+
+State-message semantics (not queues): a newer value overwrites the older
+one, and reading does not consume -- the temporal firewall idea of the TTA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ttp.constants import X_DATA_BITS
+
+
+@dataclass(frozen=True)
+class CniMessage:
+    """One received state message."""
+
+    sender_slot: int
+    data_bits: tuple
+    global_time: int
+    receive_count: int
+
+    def as_int(self) -> int:
+        """Payload decoded as an MSB-first integer (convenience)."""
+        value = 0
+        for bit in self.data_bits:
+            value = (value << 1) | bit
+        return value
+
+
+class CommunicationNetworkInterface:
+    """Host/controller shared memory for one node."""
+
+    def __init__(self, own_slot: int,
+                 max_data_bits: int = X_DATA_BITS) -> None:
+        self.own_slot = own_slot
+        self.max_data_bits = max_data_bits
+        self._outgoing: Optional[tuple] = None
+        self._status: Dict[int, CniMessage] = {}
+        self._receive_counts: Dict[int, int] = {}
+        self.posts = 0
+        self.deliveries = 0
+
+    # -- host side ----------------------------------------------------------------
+
+    def post(self, data_bits) -> None:
+        """Host publishes the payload for the node's next sending slots.
+
+        State semantics: the value stays posted (and is re-broadcast every
+        round) until replaced.
+        """
+        bits = tuple(data_bits)
+        if len(bits) > self.max_data_bits:
+            raise ValueError(
+                f"payload of {len(bits)} bits exceeds the {self.max_data_bits}-bit"
+                " X-frame data field")
+        if any(bit not in (0, 1) for bit in bits):
+            raise ValueError("payload must contain only 0/1 bits")
+        self._outgoing = bits
+        self.posts += 1
+
+    def post_int(self, value: int, width: int) -> None:
+        """Post an integer as an MSB-first payload."""
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value!r} does not fit in {width} bits")
+        self.post(tuple((value >> shift) & 1
+                        for shift in range(width - 1, -1, -1)))
+
+    def read(self, sender_slot: int) -> Optional[CniMessage]:
+        """Latest state message received from a slot (non-consuming)."""
+        return self._status.get(sender_slot)
+
+    def freshness(self, sender_slot: int, now_global_time: int) -> Optional[int]:
+        """Age of the slot's latest message in global-time ticks."""
+        message = self._status.get(sender_slot)
+        if message is None:
+            return None
+        return now_global_time - message.global_time
+
+    def known_senders(self) -> List[int]:
+        """Slots from which at least one message was received."""
+        return sorted(self._status)
+
+    def clear_outgoing(self) -> None:
+        """Stop broadcasting (the next slots send a plain I-frame)."""
+        self._outgoing = None
+
+    # -- controller side ----------------------------------------------------------------
+
+    def outgoing_payload(self) -> Optional[tuple]:
+        """Payload the controller should embed in the next own-slot frame."""
+        return self._outgoing
+
+    def deliver(self, sender_slot: int, data_bits: tuple,
+                global_time: int) -> CniMessage:
+        """Controller deposits a correctly received payload."""
+        count = self._receive_counts.get(sender_slot, 0) + 1
+        self._receive_counts[sender_slot] = count
+        message = CniMessage(sender_slot=sender_slot, data_bits=tuple(data_bits),
+                             global_time=global_time, receive_count=count)
+        self._status[sender_slot] = message
+        self.deliveries += 1
+        return message

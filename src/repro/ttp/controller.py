@@ -1,0 +1,841 @@
+"""The TTP/C protocol controller, driven by the discrete-event simulator.
+
+Implements the nine-state controller (paper Section 4.3) over a real
+(simulated) timeline: each controller runs on its own drifting oscillator,
+wakes at its local slot boundaries, judges the traffic observed during the
+elapsed slot, and follows the protocol's startup, integration,
+clique-avoidance, and acknowledgment rules.
+
+Protocol services implemented: startup (big-bang, listen timeout),
+integration with grid phase-locking, clique avoidance, group membership
+with the sender-inclusion agreement rule, explicit acknowledgment (send
+self-check via successor membership vectors), fault-tolerant-average clock
+synchronization, and the CNI host interface for application data.
+
+Deliberate simplifications (documented in DESIGN.md):
+
+* A passive node becomes active at its own slot (sending immediately)
+  unless the clique counters vote it into the minority.
+* ``await``/``test``/``download`` are modeled as inert host states.
+
+Fault behaviours of *nodes* (for the fault-injection campaigns) are part of
+the controller so that faulty senders still follow the timing machinery:
+masquerading cold-start frames, invalid C-states, babbling, and SOS-shaped
+signals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.channel import Transmission
+from repro.network.signal import ReceiverTolerance, SignalShape
+from repro.sim.clock import ClockConfig, DriftingClock
+from repro.sim.engine import Event, Simulator
+from repro.sim.monitor import TraceMonitor
+from repro.ttp.clique import CliqueVerdict, clique_avoidance_test
+from repro.ttp.constants import ControllerStateName, FrameKind
+from repro.ttp.cstate import CState
+from repro.ttp.frames import ColdStartFrame, Frame, FrameObservation, IFrame, NFrame
+from repro.ttp.medl import Medl
+from repro.ttp.membership import MembershipView
+from repro.ttp.startup import StartupRules
+
+
+class FreezeReason(enum.Enum):
+    """Why a controller entered the freeze state."""
+
+    POWER_ON = "power_on"
+    HOST_COMMAND = "host_command"
+    #: Protocol-forced freeze: lost the clique-avoidance majority test.
+    CLIQUE_ERROR = "clique_error"
+    #: Protocol-forced freeze: two successors denied our membership (the
+    #: explicit acknowledgment detected a send fault).
+    ACK_FAILURE = "ack_failure"
+
+
+#: Freeze reasons imposed by the protocol (vs commanded by the host).
+PROTOCOL_FORCED_FREEZES = frozenset({FreezeReason.CLIQUE_ERROR,
+                                     FreezeReason.ACK_FAILURE})
+
+
+class NodeFaultBehavior(enum.Enum):
+    """Injected node fault modes (paper Section 2.2 fault classes)."""
+
+    HEALTHY = "healthy"
+    #: Sends a cold-start frame claiming another node's round slot.
+    MASQUERADE_COLD_START = "masquerade_cold_start"
+    #: Sends frames whose C-state is wrong (stale/corrupted).
+    INVALID_C_STATE = "invalid_c_state"
+    #: Transmits in every slot regardless of the schedule.
+    BABBLING_IDIOT = "babbling_idiot"
+    #: Transmits marginal (slightly-off-specification) signals.
+    SOS_SIGNAL = "sos_signal"
+
+
+@dataclass
+class ControllerConfig:
+    """Tunable controller parameters."""
+
+    #: Local slot length in local time units (all nodes share the nominal).
+    slot_duration: float = 100.0
+    #: Wire bit rate in bits per local time unit.
+    bit_rate: float = 1.0
+    #: Slots spent in init before entering listen.
+    init_delay_slots: int = 1
+    #: Whether frame correctness also requires matching membership vectors
+    #: (TTP/C's actual rule; the sender is expected to include itself).
+    strict_membership_agreement: bool = True
+    #: Node fault behaviour for injection campaigns.
+    fault: NodeFaultBehavior = NodeFaultBehavior.HEALTHY
+    #: Slot the masquerading node claims (MASQUERADE_COLD_START).
+    masquerade_as: int = 1
+    #: Local tick index at which the masquerading frame is sent (chosen to
+    #: fall between the first cold-starter's first and second frames, when
+    #: listeners have their big-bang flag set and will integrate on it).
+    masquerade_tick: int = 7
+    #: Signal shape used by an SOS-faulty sender.
+    sos_level: float = 0.55
+    sos_offset: float = 0.0
+    #: Global-time corruption applied by an INVALID_C_STATE sender.
+    cstate_corruption: int = 7
+    #: Reference time at which the injected node fault becomes active
+    #: (0 = from power-on).  Lets campaigns model runtime faults hitting a
+    #: cluster that started healthy, the way SWIFI/heavy-ion injections do.
+    fault_start_time: float = 0.0
+    #: Receive frames through the wire layer: serialize, apply bit-level
+    #: corruption, decode, and validate the CRC (incl. the implicit
+    #: C-state of N-frames) instead of trusting the frame objects.
+    wire_level_reception: bool = False
+    #: Run the explicit-acknowledgment service: after each own send, the
+    #: membership vectors of the next valid frames reveal whether the send
+    #: was received; two denials force a send-fault freeze.
+    explicit_acknowledgment: bool = True
+    #: Run the distributed clock-synchronization service: measure each
+    #: frame's arrival deviation against the local slot grid and apply the
+    #: fault-tolerant-average correction once per round.  Without it, real
+    #: crystal spreads (+/-100 ppm) slide the receivers' slot windows off
+    #: the senders' grid within a few hundred rounds.
+    clock_sync_enabled: bool = True
+    #: Largest correction applied per round, in local time units (the
+    #: spec's precision window); larger measured deviations indicate a
+    #: faulty frame and must not be chased.
+    max_sync_correction: float = 5.0
+
+
+class TTPController:
+    """One TTP/C node: host interface, protocol state machine, timing."""
+
+    def __init__(self, sim: Simulator, name: str, medl: Medl, topology,
+                 clock: Optional[DriftingClock] = None,
+                 monitor: Optional[TraceMonitor] = None,
+                 config: Optional[ControllerConfig] = None,
+                 tolerance: Optional[ReceiverTolerance] = None,
+                 modes: Optional["ModeSet"] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.medl = medl
+        self.topology = topology
+        self.clock = clock or DriftingClock(ClockConfig())
+        self.monitor = monitor
+        self.config = config or ControllerConfig()
+        self.tolerance = tolerance or ReceiverTolerance()
+
+        from repro.ttp.modes import ModeSet
+
+        #: Operating modes; index 0 is the mode the cluster starts in.
+        self.modes = modes or ModeSet.single(medl)
+        self.current_mode = 0
+        #: Deferred mode change: the mode index the cluster switches to at
+        #: the next round boundary (None = no pending change).  On the wire
+        #: the C-state's DMC field carries ``index + 1`` (0 = no request),
+        #: so a switch back to mode 0 is expressible.
+        self.pending_mode: Optional[int] = None
+        #: A pending change only takes effect after it has circulated on
+        #: the bus (the requester must announce it in a frame first), so
+        #: the whole cluster switches at the same round boundary.
+        self._dmc_announced = False
+        self.own_slot = medl.slot_of(name)
+        self.state = ControllerStateName.FREEZE
+        self.freeze_reason: FreezeReason = FreezeReason.POWER_ON
+        self.slot = self.own_slot
+        self.cstate = CState(medl_position=self.own_slot)
+        self.view = MembershipView(own_slot=self.own_slot)
+        self.startup = StartupRules(slot_count=medl.slot_count, node_slot=self.own_slot)
+        self.ever_integrated = False
+        self.tick_count = 0
+        self._init_slots_left = 0
+        self._mailbox: List[Tuple[int, Transmission, bool, float]] = []
+        self._tick_event: Optional[Event] = None
+        self._judged_since_test = 0
+        self._last_listen_event: Optional[Tuple[int, float]] = None
+        self._skip_next_judge = False
+        #: Reference time of the round start of the grid this node joined
+        #: (set at first activation); used to detect grid capture.
+        self.round_anchor: Optional[float] = None
+        from repro.ttp.clock_sync import ClockSynchronizer
+        from repro.ttp.cni import CommunicationNetworkInterface
+
+        self.synchronizer = ClockSynchronizer(
+            discard=1, max_correction=self.config.max_sync_correction)
+        self._slot_start_ref = 0.0
+        self._sync_adjustment = 0.0
+        self._last_sync_event: Optional[Tuple[int, float]] = None
+        #: Host interface: applications post payloads and read received
+        #: state messages here.
+        self.cni = CommunicationNetworkInterface(own_slot=self.own_slot)
+        from repro.ttp.acknowledgment import AcknowledgmentState
+
+        self.ack = AcknowledgmentState(own_slot=self.own_slot)
+
+        topology.attach_receiver(self._on_transmission)
+
+    # -- host interface -----------------------------------------------------------
+
+    def power_on(self, delay: float = 0.0) -> None:
+        """Host starts the controller ``delay`` reference time units from now."""
+        self.sim.schedule(delay, self._enter_init)
+
+    def host_freeze(self) -> None:
+        """Host commands a freeze (allowed at any time)."""
+        self._freeze(FreezeReason.HOST_COMMAND)
+
+    def request_mode_change(self, mode: int) -> None:
+        """Host requests a deferred mode change.
+
+        The request rides in this node's next frames; every receiver
+        latches it and the whole cluster switches at the next round
+        boundary.  Requesting the current mode cancels a pending request.
+        """
+        if not self.modes.valid_mode(mode):
+            raise ValueError(f"unknown mode {mode!r} "
+                             f"(have 0..{self.modes.mode_count - 1})")
+        self.pending_mode = None if mode == self.current_mode else mode
+        self._dmc_announced = False
+        self._record("mode_request", mode=mode)
+
+    @property
+    def integrated(self) -> bool:
+        """Whether the node currently participates in the cluster."""
+        return self.state in (ControllerStateName.ACTIVE, ControllerStateName.PASSIVE)
+
+    # -- receive path ----------------------------------------------------------------
+
+    def _on_transmission(self, channel_index: int, transmission: Transmission,
+                         corrupted: bool) -> None:
+        if transmission.source == self.name:
+            return  # own frames are accounted for at send time
+        if self.state is ControllerStateName.LISTEN:
+            # Listening nodes react to frames as they arrive: integration
+            # aligns the local slot grid to the observed cluster grid.
+            self._listen_receive(transmission, corrupted)
+            return
+        if (id(transmission.frame), self.sim.now) == self._last_listen_event:
+            # Second-channel copy of the frame we just integrated on.
+            return
+        if self.config.clock_sync_enabled and not corrupted:
+            # Clock-sync measurement: senders transmit at the slot start,
+            # so the expected completion is slot start + airtime.  Each
+            # frame is measured once (the channel replica arrives at the
+            # same instant and would defeat the FTA's outlier discard),
+            # and only deviations inside the precision window count --
+            # larger ones indicate a frame that does not belong to this
+            # slot, which the protocol must not chase.
+            event_key = (id(transmission.frame), self.sim.now)
+            expected = self._slot_start_ref + transmission.duration
+            deviation = self.sim.now - expected
+            if (event_key != self._last_sync_event
+                    and abs(deviation) <= self.config.max_sync_correction):
+                self._last_sync_event = event_key
+                self.synchronizer.observe(self.slot, expected, self.sim.now)
+        self._mailbox.append((channel_index, transmission, corrupted, self.sim.now))
+
+    def _make_observation(self, transmission: Transmission,
+                          corrupted: bool) -> FrameObservation:
+        """Build the receiver's view of one completed transmission.
+
+        In wire-level mode the frame is serialized, channel corruption is
+        applied as an actual bit flip, and the receiver decodes and
+        CRC-checks the bits -- an N-frame validates only against the
+        receiver's own C-state (the implicit C-state mechanism).
+        """
+        if not self.config.wire_level_reception:
+            return FrameObservation(
+                frame=transmission.frame,
+                timing_offset=transmission.shape.timing_offset,
+                signal_level=transmission.shape.level,
+                corrupted=corrupted)
+        from dataclasses import replace as dc_replace
+
+        from repro.ttp.decode import DecodeError, decode_frame
+
+        bits = transmission.frame.encode()
+        if corrupted:
+            bits[len(bits) // 2] ^= 1
+        # The N-frame hypothesis follows the sender-inclusion rule: the
+        # receiver validates against its own C-state with the *scheduled*
+        # sender's membership bit set (the sender believes in itself), and
+        # with the DMC field neutral (it travels in the header, not in the
+        # implicit C-state digest).
+        hypothesis = dc_replace(
+            self.cstate,
+            membership=self.view.membership_set() | {self.slot},
+            dmc_mode=0)
+        try:
+            decoded = decode_frame(bits, receiver_cstate=hypothesis)
+        except DecodeError:
+            return FrameObservation(frame=transmission.frame, corrupted=True)
+        return FrameObservation(
+            frame=decoded.frame,
+            timing_offset=transmission.shape.timing_offset,
+            signal_level=transmission.shape.level,
+            corrupted=not decoded.crc_ok)
+
+    def _drain_mailbox(self) -> Dict[int, FrameObservation]:
+        """Fold the transmissions completed during the elapsed slot into one
+        observation per channel.
+
+        More than one transmission on a channel within one slot window is
+        interference: the slot is judged invalid on that channel.
+        """
+        per_channel: Dict[int, List[Tuple[Transmission, bool]]] = {}
+        for channel_index, transmission, corrupted, _arrival in self._mailbox:
+            per_channel.setdefault(channel_index, []).append((transmission, corrupted))
+        self._mailbox = []
+
+        observations: Dict[int, FrameObservation] = {}
+        for channel_index, entries in per_channel.items():
+            if len(entries) > 1:
+                observations[channel_index] = FrameObservation(
+                    frame=entries[0][0].frame, corrupted=True)
+                continue
+            transmission, corrupted = entries[0]
+            observations[channel_index] = self._make_observation(transmission,
+                                                                 corrupted)
+        return observations
+
+    # -- state transitions -------------------------------------------------------------
+
+    def _enter_init(self) -> None:
+        if self.state is not ControllerStateName.FREEZE:
+            return
+        self.state = ControllerStateName.INIT
+        self._init_slots_left = self.config.init_delay_slots
+        self._record("state", state=self.state.value)
+        self._schedule_tick()
+
+    def _enter_listen(self) -> None:
+        self.state = ControllerStateName.LISTEN
+        self.startup.reset()
+        self.ack.disarm()
+        self.synchronizer.reset()
+        self._sync_adjustment = 0.0
+        self._record("state", state=self.state.value)
+
+    def _enter_cold_start(self) -> None:
+        self.state = ControllerStateName.COLD_START
+        self.slot = self.own_slot
+        self.cstate = CState(global_time=self.cstate.global_time,
+                             medl_position=self.own_slot,
+                             membership=frozenset({self.own_slot}))
+        self.view.members = {self.own_slot}
+        self.view.reset_round()
+        self._judged_since_test = 0
+        self._record("state", state=self.state.value)
+        self._record("cold_start_grid",
+                     round_start=self.sim.now
+                     - self.medl.slot_start_offset(self.own_slot))
+        self._send_cold_start()
+
+    def _integrate(self, new_slot: int, global_time: int,
+                   membership: frozenset, via: str) -> None:
+        self.slot = new_slot
+        self.cstate = CState(global_time=global_time % (1 << 16),
+                             medl_position=new_slot,
+                             membership=membership)
+        self.view.adopt(self.cstate)
+        self.view.reset_round()
+        self._judged_since_test = 0
+        self.state = ControllerStateName.PASSIVE
+        self.ever_integrated = True
+        self.ack.disarm()
+        self.pending_mode = None
+        self._record("integrated", via=via, slot=new_slot)
+        self._record("state", state=self.state.value)
+
+    def _freeze(self, reason: FreezeReason) -> None:
+        self.state = ControllerStateName.FREEZE
+        self.freeze_reason = reason
+        self._record("freeze", reason=reason.value,
+                     was_integrated=self.ever_integrated)
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    # -- timing ---------------------------------------------------------------------------
+
+    def _schedule_tick(self, local_delay: Optional[float] = None) -> None:
+        delay = (self.config.slot_duration if local_delay is None else local_delay)
+        delay += self._sync_adjustment
+        self._sync_adjustment = 0.0
+        self._schedule_tick_ref(max(delay, 1e-9) / self.clock.rate)
+
+    def _schedule_tick_ref(self, ref_delay: float) -> None:
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+        self._tick_event = self.sim.schedule(ref_delay, self._tick)
+
+    def _frame_duration_ref(self, frame: Frame) -> float:
+        """Reference-time duration to clock the frame onto the wire."""
+        local = frame.size_bits / self.config.bit_rate
+        return local / self.clock.rate
+
+    # -- main tick ---------------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._tick_event = None
+        self.tick_count += 1
+        observations = self._drain_mailbox()
+        self._slot_start_ref = self.sim.now  # the new slot starts now
+
+        if self.state is ControllerStateName.FREEZE:
+            return
+        if self.state is ControllerStateName.INIT:
+            self._init_slots_left -= 1
+            if self._init_slots_left <= 0:
+                self._enter_listen()
+            self._maybe_inject_fault_traffic()
+            self._schedule_tick()
+            return
+        if self.state is ControllerStateName.LISTEN:
+            self._listen_tick(observations)
+            self._maybe_inject_fault_traffic()
+            if self.state is not ControllerStateName.FREEZE:
+                self._schedule_tick()
+            return
+
+        # cold_start / active / passive: slot-synchronous operation.
+        self._judge_completed_slot(observations)
+        if self.state is ControllerStateName.FREEZE:
+            return
+        self._advance_slot()
+        if self.slot == self.own_slot:
+            if (self.config.clock_sync_enabled
+                    and self.synchronizer.pending_count() > 0):
+                # Once-per-round resynchronization: a positive FTA value
+                # means frames arrive later than our grid expects (our
+                # clock runs fast), so the next round is stretched.
+                self._sync_adjustment = self.synchronizer.compute_correction()
+            self._own_slot_actions()
+        self._maybe_inject_fault_traffic()
+        if self.state is not ControllerStateName.FREEZE:
+            self._schedule_tick()
+
+    # -- listen ---------------------------------------------------------------------------------
+
+    def _listen_tick(self, observations: Dict[int, FrameObservation]) -> None:
+        obs0 = observations.get(0, FrameObservation(frame=None))
+        obs1 = observations.get(1, FrameObservation(frame=None))
+        kind0 = self._listen_kind(obs0)
+        kind1 = self._listen_kind(obs1)
+        decision = self.startup.observe_slot(kind0, kind1)
+
+        if decision == "integrate_c_state":
+            frame = self._explicit_cstate_frame(obs0, obs1)
+            if frame is not None:
+                id_on_bus = frame.cstate.medl_position
+                new_slot = self.startup.integration_slot(id_on_bus)
+                self._integrate(new_slot, frame.cstate.global_time + 1,
+                                frame.cstate.membership, via="c_state")
+                return
+        if decision == "integrate_cold_start":
+            frame = self._cold_start_frame(obs0, obs1)
+            if frame is not None:
+                new_slot = self.startup.integration_slot(frame.round_slot)
+                members = frozenset({frame.round_slot})
+                self._integrate(new_slot, frame.cstate.global_time + 1,
+                                members, via="cold_start")
+                return
+        if decision == "cold_start":
+            self._enter_cold_start()
+
+    def _listen_receive(self, transmission: Transmission, corrupted: bool) -> None:
+        """Event-driven listen-state reception.
+
+        The same frame reaches us once per channel; the copies complete at
+        the same instant and are deduplicated so the big-bang rule counts
+        distinct cold-start *frames*, not channel replicas.  On
+        integration, the local tick grid is re-anchored to the end of the
+        observed slot (frame completion plus the residual slot time), which
+        is how a real controller phase-locks onto the cluster's TDMA grid.
+        """
+        event_key = (id(transmission.frame), self.sim.now)
+        if event_key == self._last_listen_event:
+            return
+
+        observation = self._make_observation(transmission, corrupted)
+        kind = self._listen_kind(observation)
+        if kind not in (FrameKind.C_STATE, FrameKind.COLD_START):
+            # Not consumed: the replica on the other channel may still be
+            # usable (e.g. only one coupler corrupts its copy).
+            return
+        self._last_listen_event = event_key
+        decision = self.startup.observe_slot(kind, FrameKind.NONE)
+        frame = observation.frame
+        assert frame is not None
+
+        # The adopted slot/time describe the slot *in progress* (the one the
+        # frame was sent in); the tick at the slot boundary advances them to
+        # the paper's ``slot' = id_on_bus + 1``.
+        if decision == "integrate_c_state":
+            adopted_slot = frame.cstate.medl_position
+            self._integrate(adopted_slot, frame.cstate.global_time,
+                            frame.cstate.membership, via="c_state")
+        elif decision == "integrate_cold_start":
+            assert isinstance(frame, ColdStartFrame)
+            adopted_slot = frame.round_slot
+            self._integrate(adopted_slot, frame.cstate.global_time,
+                            frozenset({frame.round_slot}), via="cold_start")
+        else:
+            return
+
+        # The integration frame itself is a correct frame from its sender:
+        # credit it, and make sure the (already consumed) slot is not
+        # re-judged as silence at the next tick.
+        from repro.ttp.membership import SlotJudgment
+
+        self.view.apply_judgment(SlotJudgment(slot_id=adopted_slot,
+                                              correct=True, null=False))
+        if frame.cstate.dmc_mode and self.modes.valid_mode(frame.cstate.dmc_mode - 1):
+            self.pending_mode = frame.cstate.dmc_mode - 1
+        self._judged_since_test += 1
+        self._skip_next_judge = True
+
+        # Phase-lock: the observed slot ends one slot after it started,
+        # i.e. (slot_duration - frame airtime) after the frame completed.
+        slot_ref = self.config.slot_duration / self.clock.rate
+        residual = slot_ref - transmission.duration
+        self._schedule_tick_ref(max(residual, 1e-9))
+
+    def _listen_kind(self, observation: FrameObservation) -> FrameKind:
+        if observation.is_null():
+            return FrameKind.NONE
+        if not observation.is_valid(self.tolerance.window, self.tolerance.threshold):
+            return FrameKind.BAD_FRAME
+        assert observation.frame is not None
+        return observation.frame.kind
+
+    def _explicit_cstate_frame(self, *observations: FrameObservation) -> Optional[Frame]:
+        for observation in observations:
+            if (observation.frame is not None
+                    and self._listen_kind(observation) is FrameKind.C_STATE):
+                return observation.frame
+        return None
+
+    def _cold_start_frame(self, *observations: FrameObservation) -> Optional[ColdStartFrame]:
+        for observation in observations:
+            if (observation.frame is not None
+                    and self._listen_kind(observation) is FrameKind.COLD_START
+                    and isinstance(observation.frame, ColdStartFrame)):
+                return observation.frame
+        return None
+
+    # -- integrated operation ----------------------------------------------------------------------
+
+    def _judge_completed_slot(self, observations: Dict[int, FrameObservation]) -> None:
+        """Judge the slot that just elapsed against our C-state."""
+        if self._skip_next_judge:
+            # The slot was consumed (and credited) by the integration path.
+            self._skip_next_judge = False
+            return
+        obs_list = [observations.get(index, FrameObservation(frame=None))
+                    for index in range(len(self.topology.channels))]
+        if self.slot == self.own_slot and self.state in (
+                ControllerStateName.ACTIVE, ControllerStateName.COLD_START):
+            # Own sending slot was already credited at send time.
+            return
+        any_correct = any(self._frame_correct(observation) for observation in obs_list)
+        all_null = all(observation.is_null() for observation in obs_list)
+        if any_correct:
+            self._deliver_app_data(obs_list)
+            self._adopt_deferred_mode(obs_list)
+        if self.config.explicit_acknowledgment and self.ack.armed:
+            self._check_acknowledgment(obs_list)
+            if self.state is ControllerStateName.FREEZE:
+                return
+        from repro.ttp.membership import SlotJudgment
+
+        judgment = SlotJudgment(slot_id=self.slot, correct=any_correct, null=all_null)
+        self.view.apply_judgment(judgment)
+        if not all_null:
+            self._judged_since_test += 1
+            if not any_correct:
+                # Diagnostic detail for campaign forensics: what we
+                # expected vs what the (first) frame claimed.
+                frame = next((observation.frame for observation in obs_list
+                              if observation.frame is not None), None)
+                self._record(
+                    "slot_failed", slot=self.slot,
+                    expected_time=self.cstate.global_time,
+                    expected_pos=self.cstate.medl_position,
+                    frame_time=None if frame is None else frame.cstate.global_time,
+                    frame_pos=None if frame is None else frame.cstate.medl_position,
+                    frame_members=None if frame is None
+                    else sorted(frame.cstate.membership),
+                    my_members=sorted(self.view.membership_set()))
+
+    def _check_acknowledgment(self, obs_list) -> None:
+        """Fold a successor frame into the pending acknowledgment.
+
+        A witness is any valid frame whose time/position agree with ours
+        (its *membership* is precisely the evidence under test).
+        """
+        from repro.ttp.acknowledgment import AckOutcome
+
+        for observation in obs_list:
+            if not observation.is_valid(self.tolerance.window,
+                                        self.tolerance.threshold):
+                continue
+            frame = observation.frame
+            assert frame is not None
+            if (frame.cstate.global_time != self.cstate.global_time
+                    or frame.cstate.medl_position != self.cstate.medl_position):
+                continue
+            outcome = self.ack.observe_successor(frame.cstate.membership)
+            if outcome is AckOutcome.SEND_FAULT:
+                self._record("ack_failure", slot=self.slot)
+                self._freeze(FreezeReason.ACK_FAILURE)
+            return
+
+    def _dmc_wire_value(self) -> int:
+        """The C-state DMC field: pending mode index + 1, 0 = none."""
+        return 0 if self.pending_mode is None else self.pending_mode + 1
+
+    def _adopt_deferred_mode(self, obs_list) -> None:
+        """Latch a mode-change request carried by a correct frame."""
+        for observation in obs_list:
+            if not self._frame_correct(observation):
+                continue
+            wire_value = observation.frame.cstate.dmc_mode
+            if wire_value:
+                requested = wire_value - 1
+                if self.modes.valid_mode(requested):
+                    if requested != self.pending_mode:
+                        self.pending_mode = requested
+                        self._record("dmc_latched", mode=requested)
+                    # Heard from the bus: it is circulating.
+                    self._dmc_announced = True
+            return
+
+    def _deliver_app_data(self, obs_list) -> None:
+        """Deposit the slot's application payload (if any) into the CNI."""
+        from repro.ttp.frames import XFrame
+
+        for observation in obs_list:
+            if not self._frame_correct(observation):
+                continue
+            frame = observation.frame
+            if isinstance(frame, XFrame) and frame.data_bits:
+                self.cni.deliver(self.slot, frame.data_bits,
+                                 self.cstate.global_time)
+            return  # one delivery per slot (channels are replicas)
+
+    def _frame_correct(self, observation: FrameObservation) -> bool:
+        if not observation.is_valid(self.tolerance.window, self.tolerance.threshold):
+            return False
+        assert observation.frame is not None
+        frame_cstate = observation.frame.cstate
+        if (frame_cstate.global_time != self.cstate.global_time
+                or frame_cstate.medl_position != self.cstate.medl_position):
+            return False
+        if self.config.strict_membership_agreement:
+            # TTP/C membership check: the sender includes itself at its
+            # membership point, so the receiver compares against its own
+            # view with the sender's bit set.
+            expected = self.view.membership_set() | {frame_cstate.medl_position}
+            return frame_cstate.membership == expected
+        return True
+
+    def _advance_slot(self) -> None:
+        self.slot = self.medl.next_slot(self.slot)
+        self.cstate = self.cstate.advanced(self.medl.slot_count)
+        # The cluster switches modes together at the round boundary --
+        # but only once the request has been on the bus (everyone heard
+        # the same broadcast, so everyone switches at the same boundary).
+        if (self.slot == 1 and self.pending_mode is not None
+                and self._dmc_announced):
+            self.current_mode = self.pending_mode
+            self.pending_mode = None
+            self._dmc_announced = False
+            self._record("mode_change", mode=self.current_mode)
+        # Membership snapshot and pending DMC travel in the C-state.
+        self.cstate = CState(global_time=self.cstate.global_time,
+                             medl_position=self.cstate.medl_position,
+                             membership=self.view.membership_set(),
+                             dmc_mode=self._dmc_wire_value())
+
+    def _own_slot_actions(self) -> None:
+        """Once-per-round actions at the node's own slot."""
+        if self.state is ControllerStateName.COLD_START:
+            verdict = clique_avoidance_test(self.view.counters, integrated=False)
+            self.view.reset_round()
+            self._judged_since_test = 0
+            self._record("clique_test", verdict=verdict.value)
+            if verdict is CliqueVerdict.RESEND_COLD_START:
+                self._send_cold_start()
+            elif verdict is CliqueVerdict.MAJORITY:
+                self._become_active()
+            else:
+                self._enter_listen()
+            return
+
+        if self.state is ControllerStateName.PASSIVE:
+            if self._judged_since_test == 0:
+                # Nothing observed yet; stay passive one more round rather
+                # than deciding on an empty sample.
+                if self.view.counters.total == 0:
+                    self._become_active()
+                return
+            verdict = clique_avoidance_test(self.view.counters, integrated=True)
+            self.view.reset_round()
+            self._judged_since_test = 0
+            self._record("clique_test", verdict=verdict.value)
+            if verdict is CliqueVerdict.MINORITY_FREEZE:
+                self._freeze(FreezeReason.CLIQUE_ERROR)
+                return
+            self._become_active()
+            return
+
+        if self.state is ControllerStateName.ACTIVE:
+            if self._judged_since_test > 0:
+                verdict = clique_avoidance_test(self.view.counters, integrated=True)
+                self._record("clique_test", verdict=verdict.value)
+                if verdict is CliqueVerdict.MINORITY_FREEZE:
+                    self._freeze(FreezeReason.CLIQUE_ERROR)
+                    return
+            self.view.reset_round()
+            self._judged_since_test = 0
+            self._send_scheduled_frame()
+
+    def _become_active(self) -> None:
+        """Acquire sending rights at the start of the own slot."""
+        self.state = ControllerStateName.ACTIVE
+        self.ever_integrated = True
+        self.view.reset_round()
+        self._judged_since_test = 0
+        self._record("state", state=self.state.value)
+        round_start = self.sim.now - self.medl.slot_start_offset(self.own_slot)
+        # The latest grid joined (a reintegrated node may have switched).
+        self.round_anchor = round_start
+        # (Re-)announce on every activation so the node's local guardians
+        # track its *current* grid -- a reintegrated node may have joined a
+        # different grid than the one it first activated on.
+        announce = getattr(self.topology, "node_activated", None)
+        if announce is not None:
+            announce(self.name, round_start)
+        self._send_scheduled_frame()
+
+    # -- sending ------------------------------------------------------------------------------------
+
+    def _send_cold_start(self) -> None:
+        frame = ColdStartFrame(sender_slot=self.own_slot, cstate=self.cstate)
+        self._transmit(frame)
+        self.view.record_own_send()
+        if self.config.explicit_acknowledgment:
+            self.ack.arm()
+
+    def _send_scheduled_frame(self) -> None:
+        descriptor = self.modes.schedule(self.current_mode).slot(self.own_slot)
+        # Membership point: the sender includes itself before transmitting,
+        # and the sent C-state carries the up-to-date membership view and
+        # any pending deferred mode change.
+        self.view.record_own_send()
+        self.cstate = CState(global_time=self.cstate.global_time,
+                             medl_position=self.cstate.medl_position,
+                             membership=self.view.membership_set(),
+                             dmc_mode=self._dmc_wire_value())
+        cstate = self._sending_cstate()
+        payload = self.cni.outgoing_payload()
+        mcr = self._dmc_wire_value()
+        if payload is not None:
+            from repro.ttp.frames import XFrame
+
+            frame: Frame = XFrame(sender_slot=self.own_slot, cstate=cstate,
+                                  data_bits=payload, mode_change_request=mcr)
+        elif descriptor.explicit_cstate:
+            frame = IFrame(sender_slot=self.own_slot, cstate=cstate,
+                           mode_change_request=mcr)
+        else:
+            frame = NFrame(sender_slot=self.own_slot, cstate=cstate,
+                           mode_change_request=mcr)
+        self._transmit(frame)
+        if self.pending_mode is not None:
+            self._dmc_announced = True
+        if self.config.explicit_acknowledgment:
+            self.ack.arm()
+
+    def _fault_active(self) -> bool:
+        return (self.config.fault is not NodeFaultBehavior.HEALTHY
+                and self.sim.now >= self.config.fault_start_time)
+
+    def _sending_cstate(self) -> CState:
+        if (self.config.fault is NodeFaultBehavior.INVALID_C_STATE
+                and self._fault_active()):
+            corrupted_time = ((self.cstate.global_time + self.config.cstate_corruption)
+                              % (1 << 16))
+            return CState(global_time=corrupted_time,
+                          medl_position=self.cstate.medl_position,
+                          membership=self.cstate.membership)
+        return self.cstate
+
+    def _signal_shape(self) -> SignalShape:
+        if (self.config.fault is NodeFaultBehavior.SOS_SIGNAL
+                and self._fault_active()):
+            return SignalShape(level=self.config.sos_level,
+                               timing_offset=self.config.sos_offset)
+        return SignalShape()
+
+    def _transmit(self, frame: Frame) -> None:
+        airtime_local = frame.size_bits / self.config.bit_rate
+        if airtime_local >= self.config.slot_duration:
+            raise ValueError(
+                f"{frame.size_bits}-bit frame needs {airtime_local:g} local time"
+                f" units but the slot is {self.config.slot_duration:g}: enlarge"
+                " the MEDL slot duration or shrink the payload")
+        duration = self._frame_duration_ref(frame)
+        self._record("send", frame_kind=frame.kind.value, slot=self.slot)
+        self.topology.send(self.name, frame, duration, self._signal_shape())
+
+    # -- node fault traffic ------------------------------------------------------------------------------
+
+    def _maybe_inject_fault_traffic(self) -> None:
+        if self.config.fault is NodeFaultBehavior.BABBLING_IDIOT:
+            # The babbler integrates normally and then floods every slot --
+            # the classic failure the (local or central) guardians exist to
+            # contain with their transmit windows.
+            if self.state is ControllerStateName.ACTIVE and self.slot != self.own_slot:
+                frame = NFrame(sender_slot=self.own_slot, cstate=self.cstate)
+                self._record("babble", slot=self.slot)
+                self._transmit(frame)
+        elif self.config.fault is NodeFaultBehavior.MASQUERADE_COLD_START:
+            if (self.state is ControllerStateName.LISTEN
+                    and self.tick_count == self.config.masquerade_tick):
+                bogus = ColdStartFrame(
+                    sender_slot=self.config.masquerade_as,
+                    cstate=CState(global_time=self.cstate.global_time,
+                                  medl_position=self.config.masquerade_as))
+                self._record("masquerade_send", claimed=self.config.masquerade_as)
+                duration = self._frame_duration_ref(bogus)
+                self.topology.send(self.name, bogus, duration, self._signal_shape())
+
+    # -- bookkeeping ----------------------------------------------------------------------------------------
+
+    def _record(self, kind: str, **details) -> None:
+        if self.monitor is not None:
+            self.monitor.record(self.sim.now, f"node:{self.name}", kind, **details)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TTPController({self.name!r}, {self.state.value}, "
+                f"slot={self.slot})")

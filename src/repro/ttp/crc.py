@@ -1,0 +1,71 @@
+"""Cyclic redundancy checks used by TTP/C frames.
+
+TTP/C protects every frame with a 24-bit CRC; the C-state may be protected
+implicitly by seeding the CRC with the sender's C-state, so two controllers
+with different C-states disagree on the CRC of the same payload -- the
+mechanism behind the paper's "correct frame" definition (valid frame whose
+C-state/CRC match the receiver's).
+
+The implementation is a straightforward bitwise MSB-first CRC over integer
+bit strings, adequate for simulation-scale traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ttp.constants import CRC16_POLYNOMIAL, CRC24_POLYNOMIAL
+
+
+def _crc(bits: Iterable[int], width: int, polynomial: int, seed: int) -> int:
+    """Generic MSB-first CRC over a sequence of bits (each 0 or 1)."""
+    top_bit = 1 << (width - 1)
+    mask = (1 << width) - 1
+    register = seed & mask
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bit values must be 0 or 1, got {bit!r}")
+        register ^= (bit & 1) << (width - 1)
+        if register & top_bit:
+            register = ((register << 1) ^ polynomial) & mask
+        else:
+            register = (register << 1) & mask
+    return register
+
+
+def crc24(bits: Iterable[int], seed: int = 0) -> int:
+    """24-bit CRC over a bit sequence.
+
+    ``seed`` lets callers implement TTP/C's *implicit C-state* protection:
+    seeding with a digest of the sender's C-state makes the CRC match only
+    for receivers holding the same C-state.
+    """
+    return _crc(bits, 24, CRC24_POLYNOMIAL, seed)
+
+
+def crc16(bits: Iterable[int], seed: int = 0) -> int:
+    """16-bit CRC-CCITT over a bit sequence."""
+    return _crc(bits, 16, CRC16_POLYNOMIAL, seed)
+
+
+def int_to_bits(value: int, width: int) -> list:
+    """MSB-first bit list of ``value`` in ``width`` bits.
+
+    Raises if the value does not fit -- frame encoders rely on this to catch
+    field overflows early.
+    """
+    if value < 0:
+        raise ValueError(f"cannot encode negative value {value!r}")
+    if value >= (1 << width):
+        raise ValueError(f"value {value!r} does not fit in {width} bits")
+    return [(value >> shift) & 1 for shift in range(width - 1, -1, -1)]
+
+
+def bits_to_int(bits: Iterable[int]) -> int:
+    """Inverse of :func:`int_to_bits` (MSB first)."""
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bit values must be 0 or 1, got {bit!r}")
+        value = (value << 1) | bit
+    return value

@@ -1,0 +1,117 @@
+"""Controller state (C-state).
+
+The C-state is the part of a TTP/C controller's state that every correct
+cluster member must agree on: the global time, the current position in the
+MEDL (which slot of which round), and the membership vector.  A frame is
+*correct* only if the sender's C-state matches the receiver's -- checked
+either by comparing an explicit C-state field (I/X-frames) or implicitly by
+seeding the frame CRC with the C-state (N-frames).
+
+Integrating nodes adopt the C-state of the first valid explicit-C-state
+frame they receive; this is exactly the mechanism the paper's out-of-slot
+coupler fault subverts (a replayed frame carries a stale C-state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Tuple
+
+from repro.ttp.constants import (
+    GLOBAL_TIME_BITS,
+    MEDL_POSITION_BITS,
+    MEMBERSHIP_BITS,
+)
+from repro.ttp.crc import crc24, int_to_bits
+
+
+@dataclass(frozen=True)
+class CState:
+    """Immutable controller state snapshot.
+
+    ``membership`` is the set of slot ids the controller currently believes
+    are operating members.  ``global_time`` and ``medl_position`` wrap at
+    their field widths, mirroring the on-wire representation.
+    """
+
+    global_time: int = 0
+    medl_position: int = 1
+    membership: FrozenSet[int] = field(default_factory=frozenset)
+    dmc_mode: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.global_time < (1 << GLOBAL_TIME_BITS):
+            raise ValueError(f"global_time {self.global_time} out of field range")
+        if not 0 <= self.medl_position < (1 << MEDL_POSITION_BITS):
+            raise ValueError(f"medl_position {self.medl_position} out of field range")
+        for member in self.membership:
+            if not 0 <= member < MEMBERSHIP_BITS:
+                raise ValueError(
+                    f"membership slot {member} exceeds the {MEMBERSHIP_BITS}-bit vector")
+
+    # -- wire representation ---------------------------------------------------
+
+    def membership_word(self) -> int:
+        """Membership vector packed into an integer (bit i = slot i)."""
+        word = 0
+        for member in self.membership:
+            word |= 1 << member
+        return word
+
+    def to_bits(self) -> list:
+        """Explicit C-state field encoding (global time, MEDL position,
+        membership), MSB first."""
+        bits = []
+        bits.extend(int_to_bits(self.global_time, GLOBAL_TIME_BITS))
+        bits.extend(int_to_bits(self.medl_position, MEDL_POSITION_BITS))
+        bits.extend(int_to_bits(self.membership_word(), MEMBERSHIP_BITS))
+        return bits
+
+    @classmethod
+    def from_fields(cls, global_time: int, medl_position: int,
+                    membership_word: int, dmc_mode: int = 0) -> "CState":
+        """Rebuild a C-state from decoded wire fields."""
+        members = frozenset(
+            index for index in range(MEMBERSHIP_BITS) if membership_word & (1 << index))
+        return cls(global_time=global_time, medl_position=medl_position,
+                   membership=members, dmc_mode=dmc_mode)
+
+    def digest(self) -> int:
+        """24-bit digest used to seed implicit-C-state CRCs."""
+        return crc24(self.to_bits())
+
+    # -- evolution ---------------------------------------------------------------
+
+    def advanced(self, slots_in_round: int, slot_duration_ticks: int = 1) -> "CState":
+        """C-state after one TDMA slot elapses."""
+        next_position = self.medl_position + 1
+        if next_position > slots_in_round:
+            next_position = 1
+        next_time = (self.global_time + slot_duration_ticks) % (1 << GLOBAL_TIME_BITS)
+        return replace(self, global_time=next_time, medl_position=next_position)
+
+    def with_member(self, slot_id: int, present: bool) -> "CState":
+        """C-state with one membership bit set or cleared."""
+        members = set(self.membership)
+        if present:
+            members.add(slot_id)
+        else:
+            members.discard(slot_id)
+        return replace(self, membership=frozenset(members))
+
+    def agrees_with(self, other: "CState") -> bool:
+        """Whether two C-states match for frame-correctness purposes."""
+        return (self.global_time == other.global_time
+                and self.medl_position == other.medl_position
+                and self.membership == other.membership
+                and self.dmc_mode == other.dmc_mode)
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        """Hashable summary (useful as a dict key in experiments)."""
+        return (self.global_time, self.medl_position, self.membership_word(),
+                self.dmc_mode)
+
+    def __str__(self) -> str:
+        members = ",".join(str(member) for member in sorted(self.membership)) or "-"
+        return (f"CState(t={self.global_time}, pos={self.medl_position}, "
+                f"members={{{members}}})")

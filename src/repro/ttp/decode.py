@@ -1,0 +1,182 @@
+"""Frame decoding: wire bits back into frame objects.
+
+The inverse of :meth:`repro.ttp.frames.Frame.encode`.  TTP/C receivers
+know what to expect in each slot from the MEDL, but during startup and
+integration they must classify frames from the wire alone; this decoder
+disambiguates by length (every frame type in this implementation has a
+distinct wire size except X-frames, which are recognized by exceeding the
+I-frame size) and verifies the trailing CRC.
+
+The N-frame is the interesting case: its C-state is *implicit* -- the CRC
+is seeded with the sender's C-state digest, so decoding requires the
+receiver's own C-state hypothesis, and a CRC match simultaneously proves
+frame integrity *and* C-state agreement.  That is precisely the mechanism
+the paper describes ("The C-state information may be included in the frame
+explicitly or implicitly through its inclusion in the CRC calculation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.ttp.constants import (
+    CRC_BITS,
+    GLOBAL_TIME_BITS,
+    HEADER_BITS,
+    I_FRAME_BITS,
+    MEDL_POSITION_BITS,
+    MEMBERSHIP_BITS,
+    N_FRAME_BITS,
+    ROUND_SLOT_BITS,
+    X_CRC_PAD_BITS,
+    X_CSTATE_BITS,
+)
+from repro.ttp.crc import bits_to_int, crc24
+from repro.ttp.cstate import CState
+from repro.ttp.frames import ColdStartFrame, Frame, IFrame, NFrame, XFrame
+
+#: Wire length of a cold-start frame as actually encoded (the paper's own
+#: field list: 1 type bit + 16 time + 9 round-slot + 24 CRC).
+COLD_START_WIRE_BITS = 1 + GLOBAL_TIME_BITS + ROUND_SLOT_BITS + CRC_BITS
+
+#: Minimum wire length of an X-frame (zero data bits).
+X_FRAME_MIN_WIRE_BITS = (HEADER_BITS + X_CSTATE_BITS + 2 * CRC_BITS
+                         + X_CRC_PAD_BITS)
+
+
+class DecodeError(ValueError):
+    """Raised when the bits cannot be parsed as any frame type."""
+
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """A decoding outcome: the reconstructed frame and its CRC verdict."""
+
+    frame: Frame
+    crc_ok: bool
+
+    @property
+    def kind(self):
+        return self.frame.kind
+
+
+def _split_crc(bits: List[int]) -> tuple:
+    return bits[:-CRC_BITS], bits_to_int(bits[-CRC_BITS:])
+
+
+def _decode_cstate_fields(bits: List[int]) -> CState:
+    cursor = 0
+    global_time = bits_to_int(bits[cursor:cursor + GLOBAL_TIME_BITS])
+    cursor += GLOBAL_TIME_BITS
+    position = bits_to_int(bits[cursor:cursor + MEDL_POSITION_BITS])
+    cursor += MEDL_POSITION_BITS
+    membership_word = bits_to_int(bits[cursor:cursor + MEMBERSHIP_BITS])
+    return CState.from_fields(global_time, position, membership_word)
+
+
+def decode_n_frame(bits: List[int], receiver_cstate: CState,
+                   sender_slot: int = 0) -> DecodedFrame:
+    """Decode an N-frame against the receiver's C-state hypothesis.
+
+    A CRC match proves both integrity and (implicit) C-state agreement;
+    on mismatch the receiver cannot tell corruption from disagreement --
+    the defining ambiguity of implicit C-state protection.
+    """
+    if len(bits) != N_FRAME_BITS:
+        raise DecodeError(f"N-frame must be {N_FRAME_BITS} bits, got {len(bits)}")
+    payload, crc_value = _split_crc(list(bits))
+    mode_change_request = bits_to_int(payload[:HEADER_BITS])
+    frame = NFrame(sender_slot=sender_slot, cstate=receiver_cstate,
+                   mode_change_request=mode_change_request)
+    crc_ok = crc24(payload, seed=receiver_cstate.digest()) == crc_value
+    return DecodedFrame(frame=frame, crc_ok=crc_ok)
+
+
+def decode_i_frame(bits: List[int], sender_slot: int = 0) -> DecodedFrame:
+    """Decode an explicit-C-state I-frame."""
+    if len(bits) != I_FRAME_BITS:
+        raise DecodeError(f"I-frame must be {I_FRAME_BITS} bits, got {len(bits)}")
+    payload, crc_value = _split_crc(list(bits))
+    mode_change_request = bits_to_int(payload[:HEADER_BITS])
+    cstate = _decode_cstate_fields(payload[HEADER_BITS:])
+    # The deferred-mode-change request travels in the header field.
+    cstate = replace(cstate, dmc_mode=mode_change_request)
+    frame = IFrame(sender_slot=sender_slot or cstate.medl_position,
+                   cstate=cstate, mode_change_request=mode_change_request)
+    crc_ok = crc24(payload) == crc_value
+    return DecodedFrame(frame=frame, crc_ok=crc_ok)
+
+
+def decode_cold_start_frame(bits: List[int]) -> DecodedFrame:
+    """Decode a cold-start frame (type bit, global time, round slot)."""
+    if len(bits) != COLD_START_WIRE_BITS:
+        raise DecodeError(f"cold-start frame must be {COLD_START_WIRE_BITS} "
+                          f"bits, got {len(bits)}")
+    payload, crc_value = _split_crc(list(bits))
+    if payload[0] != 1:
+        raise DecodeError("cold-start type bit is not set")
+    cursor = 1
+    global_time = bits_to_int(payload[cursor:cursor + GLOBAL_TIME_BITS])
+    cursor += GLOBAL_TIME_BITS
+    round_slot = bits_to_int(payload[cursor:cursor + ROUND_SLOT_BITS])
+    if round_slot == 0:
+        raise DecodeError("cold-start round slot 0 is not a valid position")
+    cstate = CState(global_time=global_time, medl_position=round_slot)
+    frame = ColdStartFrame(sender_slot=round_slot, cstate=cstate)
+    crc_ok = crc24(payload) == crc_value
+    return DecodedFrame(frame=frame, crc_ok=crc_ok)
+
+
+def decode_x_frame(bits: List[int], sender_slot: int = 0) -> DecodedFrame:
+    """Decode an X-frame (explicit C-state plus application data)."""
+    if len(bits) < X_FRAME_MIN_WIRE_BITS:
+        raise DecodeError(
+            f"X-frame needs at least {X_FRAME_MIN_WIRE_BITS} bits, got {len(bits)}")
+    data_bits_count = len(bits) - X_FRAME_MIN_WIRE_BITS
+    cursor = 0
+    mode_change_request = bits_to_int(bits[cursor:cursor + HEADER_BITS])
+    cursor += HEADER_BITS
+    cstate_field = bits[cursor:cursor + X_CSTATE_BITS]
+    cstate = _decode_cstate_fields(
+        cstate_field[:GLOBAL_TIME_BITS + MEDL_POSITION_BITS + MEMBERSHIP_BITS])
+    cursor += X_CSTATE_BITS
+    data = tuple(bits[cursor:cursor + data_bits_count])
+    cursor += data_bits_count
+    inner_crc = bits_to_int(bits[cursor:cursor + CRC_BITS])
+    cursor += CRC_BITS
+    # Inner CRC covers header + C-state field + data.
+    crc_ok = crc24(bits[:HEADER_BITS + X_CSTATE_BITS + data_bits_count]) == inner_crc
+    pad = bits[cursor:cursor + X_CRC_PAD_BITS]
+    cursor += X_CRC_PAD_BITS
+    outer_crc = bits_to_int(bits[cursor:cursor + CRC_BITS])
+    crc_ok = crc_ok and crc24(bits[:-CRC_BITS]) == outer_crc
+    crc_ok = crc_ok and all(bit == 0 for bit in pad)
+    cstate = replace(cstate, dmc_mode=mode_change_request)
+    frame = XFrame(sender_slot=sender_slot or cstate.medl_position,
+                   cstate=cstate, mode_change_request=mode_change_request,
+                   data_bits=data)
+    return DecodedFrame(frame=frame, crc_ok=crc_ok)
+
+
+def decode_frame(bits: List[int],
+                 receiver_cstate: Optional[CState] = None) -> DecodedFrame:
+    """Classify by wire length and decode.
+
+    ``receiver_cstate`` is required to decode (and validate) an N-frame,
+    whose C-state is implicit.
+    """
+    length = len(bits)
+    if length == N_FRAME_BITS:
+        if receiver_cstate is None:
+            raise DecodeError(
+                "decoding an N-frame requires the receiver's C-state "
+                "(implicit C-state protection)")
+        return decode_n_frame(bits, receiver_cstate)
+    if length == COLD_START_WIRE_BITS:
+        return decode_cold_start_frame(bits)
+    if length == I_FRAME_BITS:
+        return decode_i_frame(bits)
+    if length >= X_FRAME_MIN_WIRE_BITS:
+        return decode_x_frame(bits)
+    raise DecodeError(f"no frame type has a {length}-bit wire format")

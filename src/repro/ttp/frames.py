@@ -1,0 +1,295 @@
+"""TTP/C frame types with bit-level encoding.
+
+Four concrete frame types are modeled, matching the paper's usage:
+
+* :class:`NFrame` -- minimal frame, no application data, *implicit* C-state
+  (the CRC is seeded with the sender's C-state digest), 28 bits,
+* :class:`IFrame` -- explicit C-state, no application data, 76 bits,
+* :class:`XFrame` -- explicit C-state plus application data, up to
+  2076 bits,
+* :class:`ColdStartFrame` -- startup frame carrying global time and the
+  sender's round-slot position.
+
+A frame on the wire is observed as a :class:`FrameObservation`, which adds
+channel-level attributes (timing offset, signal level, corruption) and
+implements the paper's *valid* / *correct* / *null* classification from the
+receiver's point of view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.ttp.constants import (
+    COLD_START_FRAME_BITS,
+    CRC_BITS,
+    GLOBAL_TIME_BITS,
+    HEADER_BITS,
+    I_FRAME_BITS,
+    N_FRAME_BITS,
+    ROUND_SLOT_BITS,
+    X_CRC_PAD_BITS,
+    X_CSTATE_BITS,
+    X_DATA_BITS,
+    X_FRAME_BITS,
+    FrameKind,
+)
+from repro.ttp.crc import crc24, int_to_bits
+from repro.ttp.cstate import CState
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Common frame attributes.
+
+    ``sender_slot`` is the sender's TDMA slot id (1-based).  It is not an
+    explicit wire field for regular frames -- receivers infer the sender from
+    the slot time -- but the simulator carries it for bookkeeping and for the
+    masquerading analysis (where the inferred and actual sender diverge).
+    """
+
+    sender_slot: int
+    cstate: CState = field(default_factory=CState)
+
+    @property
+    def kind(self) -> FrameKind:
+        raise NotImplementedError
+
+    @property
+    def size_bits(self) -> int:
+        raise NotImplementedError
+
+    def payload_bits(self) -> List[int]:
+        """Frame bits excluding the CRC field."""
+        raise NotImplementedError
+
+    def crc_seed(self) -> int:
+        """Seed used for the frame CRC (0 unless the C-state is implicit)."""
+        return 0
+
+    def crc_value(self) -> int:
+        """CRC the sender computes for this frame."""
+        return crc24(self.payload_bits(), seed=self.crc_seed())
+
+    def encode(self) -> List[int]:
+        """Full wire bit pattern (payload + CRC), MSB first."""
+        bits = self.payload_bits()
+        bits.extend(int_to_bits(self.crc_value(), CRC_BITS))
+        return bits
+
+    def carries_explicit_cstate(self) -> bool:
+        """Whether a listening (not yet integrated) node can read the
+        C-state directly out of the frame."""
+        return False
+
+
+@dataclass(frozen=True)
+class NFrame(Frame):
+    """Minimal frame: header + CRC, with implicit C-state protection.
+
+    The receiver can only validate the CRC if it holds the same C-state as
+    the sender, so an N-frame is *correct* exactly when C-states agree --
+    but carries no C-state a listening node could adopt.
+    """
+
+    mode_change_request: int = 0
+
+    @property
+    def kind(self) -> FrameKind:
+        return FrameKind.OTHER
+
+    @property
+    def size_bits(self) -> int:
+        return N_FRAME_BITS
+
+    def payload_bits(self) -> List[int]:
+        return int_to_bits(self.mode_change_request, HEADER_BITS)
+
+    def crc_seed(self) -> int:
+        return self.cstate.digest()
+
+
+@dataclass(frozen=True)
+class IFrame(Frame):
+    """Explicit C-state frame used for integration and re-integration."""
+
+    mode_change_request: int = 0
+
+    @property
+    def kind(self) -> FrameKind:
+        return FrameKind.C_STATE
+
+    @property
+    def size_bits(self) -> int:
+        return I_FRAME_BITS
+
+    def payload_bits(self) -> List[int]:
+        bits = int_to_bits(self.mode_change_request, HEADER_BITS)
+        bits.extend(self.cstate.to_bits())
+        return bits
+
+    def carries_explicit_cstate(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class XFrame(Frame):
+    """Frame with both explicit C-state and application data.
+
+    The maximum-size X-frame (1920 data bits) is the 2076-bit frame of
+    paper eq. (9).
+    """
+
+    mode_change_request: int = 0
+    data_bits: tuple = ()
+
+    def __post_init__(self) -> None:
+        if len(self.data_bits) > X_DATA_BITS:
+            raise ValueError(
+                f"X-frame data limited to {X_DATA_BITS} bits, got {len(self.data_bits)}")
+        if any(bit not in (0, 1) for bit in self.data_bits):
+            raise ValueError("data_bits must contain only 0/1")
+
+    @property
+    def kind(self) -> FrameKind:
+        return FrameKind.C_STATE
+
+    @property
+    def size_bits(self) -> int:
+        # Header + explicit C-state field + data + two CRCs + pad.
+        return (HEADER_BITS + X_CSTATE_BITS + len(self.data_bits)
+                + 2 * CRC_BITS + X_CRC_PAD_BITS)
+
+    def payload_bits(self) -> List[int]:
+        bits = int_to_bits(self.mode_change_request, HEADER_BITS)
+        cstate_bits = self.cstate.to_bits()
+        # The X-frame C-state field is 96 bits; pad the encoded C-state.
+        bits.extend(cstate_bits)
+        bits.extend([0] * (X_CSTATE_BITS - len(cstate_bits)))
+        bits.extend(self.data_bits)
+        # First CRC covers header+cstate+data; encode() appends the second.
+        bits.extend(int_to_bits(crc24(bits), CRC_BITS))
+        bits.extend([0] * X_CRC_PAD_BITS)
+        return bits
+
+    def carries_explicit_cstate(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ColdStartFrame(Frame):
+    """Cold-start frame sent to initiate the TDMA round during startup.
+
+    It carries the sender's claimed global time and round-slot position.
+    Because no global time exists yet, receivers cannot verify the sender by
+    arrival time -- the root cause of startup masquerading (Section 2.2).
+    """
+
+    @property
+    def kind(self) -> FrameKind:
+        return FrameKind.COLD_START
+
+    @property
+    def size_bits(self) -> int:
+        return COLD_START_FRAME_BITS
+
+    def payload_bits(self) -> List[int]:
+        bits = [1]  # frame-type bit
+        bits.extend(int_to_bits(self.cstate.global_time, GLOBAL_TIME_BITS))
+        bits.extend(int_to_bits(self.sender_slot, ROUND_SLOT_BITS))
+        return bits
+
+    @property
+    def round_slot(self) -> int:
+        """Slot position claimed in the frame (== sender_slot for a correct
+        sender; a masquerading node can claim another)."""
+        return self.sender_slot
+
+
+@dataclass(frozen=True)
+class FrameObservation:
+    """A frame as seen by a receiver on one channel during one slot.
+
+    ``timing_offset`` is the frame's arrival deviation from the slot start
+    in the receiver's local time units (used by the SOS model), and
+    ``signal_level`` is the normalized analog amplitude (1.0 nominal).
+    ``corrupted`` marks CRC/coding damage introduced by the channel.
+    """
+
+    frame: Optional[Frame]
+    timing_offset: float = 0.0
+    signal_level: float = 1.0
+    corrupted: bool = False
+
+    #: Receiver tolerance on timing offset (local time units).
+    TIMING_TOLERANCE = 1.0
+    #: Receiver threshold on signal amplitude.
+    SIGNAL_THRESHOLD = 0.5
+
+    def is_null(self) -> bool:
+        """No activity observed in the slot (neither valid nor invalid)."""
+        return self.frame is None and not self.corrupted
+
+    def is_valid(self, timing_tolerance: Optional[float] = None,
+                 signal_threshold: Optional[float] = None) -> bool:
+        """Paper's *valid* test: starts/ends in the slot, no coding
+        violations, no interference.
+
+        Tolerances may be overridden per receiver -- slight hardware
+        differences between receivers are what turns a marginal frame into
+        an SOS fault (some receivers accept it, others reject it).
+        """
+        if self.frame is None:
+            return False
+        if self.corrupted:
+            return False
+        tol = self.TIMING_TOLERANCE if timing_tolerance is None else timing_tolerance
+        threshold = (self.SIGNAL_THRESHOLD if signal_threshold is None
+                     else signal_threshold)
+        if abs(self.timing_offset) > tol:
+            return False
+        if self.signal_level < threshold:
+            return False
+        return True
+
+    def is_correct(self, receiver_cstate: CState,
+                   timing_tolerance: Optional[float] = None,
+                   signal_threshold: Optional[float] = None) -> bool:
+        """Paper's *correct* test: valid and C-state/CRC agree with the
+        receiver's C-state."""
+        if not self.is_valid(timing_tolerance, signal_threshold):
+            return False
+        assert self.frame is not None
+        return self.frame.cstate.agrees_with(receiver_cstate)
+
+    def observed_kind(self, receiver_cstate: Optional[CState] = None) -> FrameKind:
+        """Abstract frame category as used by the formal model."""
+        if self.is_null():
+            return FrameKind.NONE
+        if not self.is_valid():
+            return FrameKind.BAD_FRAME
+        assert self.frame is not None
+        if receiver_cstate is not None and not self.frame.cstate.agrees_with(receiver_cstate):
+            # Valid but incorrect frames look like bad frames to an
+            # integrated receiver (failed-slot for clique counting).
+            if not self.frame.carries_explicit_cstate() \
+                    and self.frame.kind is not FrameKind.COLD_START:
+                return FrameKind.BAD_FRAME
+        return self.frame.kind
+
+    def with_corruption(self) -> "FrameObservation":
+        """Copy of this observation with channel corruption applied."""
+        return replace(self, corrupted=True)
+
+    def attenuated(self, factor: float) -> "FrameObservation":
+        """Copy with the signal level scaled by ``factor``."""
+        return replace(self, signal_level=self.signal_level * factor)
+
+    def shifted(self, delta: float) -> "FrameObservation":
+        """Copy with the timing offset shifted by ``delta``."""
+        return replace(self, timing_offset=self.timing_offset + delta)
+
+
+#: Observation representing a silent slot.
+SILENCE = FrameObservation(frame=None)

@@ -1,0 +1,121 @@
+"""Host application layer.
+
+The TTA's programming model: host applications run on their own schedule,
+communicate *only* through the CNI's state messages, and treat the
+communication controller as a temporal firewall.  This module provides the
+small runtime a host needs:
+
+* :class:`HostTask` -- a periodic task invoked once per TDMA round,
+* :class:`PeriodicPublisher` -- posts a fresh value to the CNI each round,
+* :class:`FreshnessWatchdog` -- the fail-operational pattern: monitor the
+  age of other nodes' state messages and raise when one goes stale
+  (a frozen or silenced producer),
+* :class:`HostRuntime` -- drives a node's tasks off the simulator clock.
+
+These are exactly the host-side mechanisms that make "slightly stale
+values instead of no value" (the paper's mailbox temptation) unnecessary
+in the guardian: data continuity lives in the hosts, where it is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.ttp.controller import TTPController
+
+
+class HostTask:
+    """Base class: ``on_round`` runs once per TDMA round while the node is
+    integrated."""
+
+    def on_round(self, controller: TTPController) -> None:
+        raise NotImplementedError
+
+
+class PeriodicPublisher(HostTask):
+    """Posts ``value_fn()`` to the CNI every round (state semantics)."""
+
+    def __init__(self, value_fn: Callable[[], int], width: int = 16) -> None:
+        self.value_fn = value_fn
+        self.width = width
+        self.published = 0
+
+    def on_round(self, controller: TTPController) -> None:
+        controller.cni.post_int(self.value_fn() % (1 << self.width), self.width)
+        self.published += 1
+
+
+@dataclass
+class StaleEvent:
+    """One staleness detection."""
+
+    time: float
+    sender_slot: int
+    age: Optional[int]
+
+
+class FreshnessWatchdog(HostTask):
+    """Raises (records) when a watched producer's state message goes stale.
+
+    ``max_age`` is in global-time ticks (slots).  A producer that never
+    delivered anything counts as stale once the grace period has passed.
+    """
+
+    def __init__(self, sources: List[int], max_age: int = 8,
+                 grace_rounds: int = 4) -> None:
+        self.sources = list(sources)
+        self.max_age = max_age
+        self.grace_rounds = grace_rounds
+        self.events: List[StaleEvent] = []
+        self._rounds_seen = 0
+
+    def stale_sources(self) -> List[int]:
+        """Producers currently flagged stale."""
+        return sorted({event.sender_slot for event in self.events})
+
+    def on_round(self, controller: TTPController) -> None:
+        self._rounds_seen += 1
+        if self._rounds_seen <= self.grace_rounds:
+            return
+        now = controller.cstate.global_time
+        for sender_slot in self.sources:
+            age = controller.cni.freshness(sender_slot, now)
+            if age is None or age > self.max_age:
+                self.events.append(StaleEvent(time=controller.sim.now,
+                                              sender_slot=sender_slot,
+                                              age=age))
+
+
+class HostRuntime:
+    """Runs a node's host tasks once per TDMA round.
+
+    The host clock is independent of the protocol (it polls the CNI on its
+    own schedule), which is the temporal-firewall property: host timing
+    cannot disturb the controller.
+    """
+
+    def __init__(self, controller: TTPController) -> None:
+        self.controller = controller
+        self.tasks: List[HostTask] = []
+        self.rounds_run = 0
+        self._started = False
+
+    def add_task(self, task: HostTask) -> HostTask:
+        self.tasks.append(task)
+        return task
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin the per-round host loop ``delay`` time units from now."""
+        if self._started:
+            raise RuntimeError("host runtime already started")
+        self._started = True
+        self.controller.sim.schedule(delay, self._round_tick)
+
+    def _round_tick(self) -> None:
+        if self.controller.integrated:
+            self.rounds_run += 1
+            for task in self.tasks:
+                task.on_round(self.controller)
+        period = self.controller.medl.round_duration()
+        self.controller.sim.schedule(period, self._round_tick)

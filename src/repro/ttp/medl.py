@@ -1,0 +1,126 @@
+"""Message Descriptor List (MEDL).
+
+The MEDL is TTP/C's static, pre-deployment TDMA schedule: it fixes which
+node transmits in which slot, each slot's duration, and the frame type to
+send.  Every controller holds an identical copy; "deciding when to
+transmit" reduces to comparing the local view of global time against the
+MEDL (paper Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class SlotDescriptor:
+    """One TDMA slot of the cluster cycle.
+
+    ``slot_id`` is 1-based (the paper counts slots 1..N).  ``duration`` is
+    the slot length in microseconds of global time; slots may have different
+    lengths (the formal model abstracts each to one transition regardless).
+    """
+
+    slot_id: int
+    sender: str
+    duration: float = 100.0
+    frame_bits: int = 76
+    explicit_cstate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.slot_id < 1:
+            raise ValueError(f"slot ids are 1-based, got {self.slot_id}")
+        if self.duration <= 0:
+            raise ValueError(f"slot duration must be positive, got {self.duration}")
+        if self.frame_bits <= 0:
+            raise ValueError(f"frame size must be positive, got {self.frame_bits}")
+
+
+@dataclass(frozen=True)
+class Medl:
+    """An immutable TDMA round schedule.
+
+    The same round repeats for the life of the cluster (mode changes are out
+    of scope for the paper's analysis).
+    """
+
+    slots: tuple
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise ValueError("a MEDL needs at least one slot")
+        expected = list(range(1, len(self.slots) + 1))
+        actual = [slot.slot_id for slot in self.slots]
+        if actual != expected:
+            raise ValueError(
+                f"slot ids must be contiguous starting at 1, got {actual}")
+        senders = [slot.sender for slot in self.slots]
+        if len(set(senders)) != len(senders):
+            raise ValueError(f"each node may own at most one slot, got {senders}")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, node_names: List[str], slot_duration: float = 100.0,
+                frame_bits: int = 76) -> "Medl":
+        """Round with one equal-length slot per node, in list order."""
+        slots = tuple(
+            SlotDescriptor(slot_id=index + 1, sender=name,
+                           duration=slot_duration, frame_bits=frame_bits)
+            for index, name in enumerate(node_names))
+        return cls(slots=slots)
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        """Number of slots per round (``slots`` in the paper's model)."""
+        return len(self.slots)
+
+    def slot(self, slot_id: int) -> SlotDescriptor:
+        """Descriptor for a 1-based slot id."""
+        if not 1 <= slot_id <= self.slot_count:
+            raise KeyError(f"slot {slot_id} not in 1..{self.slot_count}")
+        return self.slots[slot_id - 1]
+
+    def sender_of(self, slot_id: int) -> str:
+        """Node that owns the slot."""
+        return self.slot(slot_id).sender
+
+    def slot_of(self, node_name: str) -> int:
+        """Slot owned by the node (raises ``KeyError`` for unknown nodes)."""
+        for descriptor in self.slots:
+            if descriptor.sender == node_name:
+                return descriptor.slot_id
+        raise KeyError(f"node {node_name!r} has no slot in this MEDL")
+
+    def next_slot(self, slot_id: int) -> int:
+        """Successor slot with wraparound (paper's ``next_slot``)."""
+        return 1 if slot_id >= self.slot_count else slot_id + 1
+
+    def round_duration(self) -> float:
+        """Total duration of one TDMA round."""
+        return sum(descriptor.duration for descriptor in self.slots)
+
+    def slot_start_offset(self, slot_id: int) -> float:
+        """Offset of the slot start from the round start."""
+        return sum(descriptor.duration for descriptor in self.slots[:slot_id - 1])
+
+    def node_names(self) -> List[str]:
+        """All scheduled nodes in slot order."""
+        return [descriptor.sender for descriptor in self.slots]
+
+    def max_frame_bits(self) -> int:
+        """Largest frame the schedule ever sends (``f_max`` candidate)."""
+        return max(descriptor.frame_bits for descriptor in self.slots)
+
+    def min_frame_bits(self) -> int:
+        """Smallest frame the schedule ever sends (``f_min`` candidate)."""
+        return min(descriptor.frame_bits for descriptor in self.slots)
+
+    def __iter__(self) -> Iterator[SlotDescriptor]:
+        return iter(self.slots)
+
+    def __len__(self) -> int:
+        return len(self.slots)

@@ -1,0 +1,104 @@
+"""Group membership service.
+
+Each TTP/C controller maintains a membership vector: its view of which
+slots currently hold operating members.  The vector is updated from
+observed traffic -- a correct frame in a slot keeps (or re-adds) the sender
+in the membership, an invalid/incorrect frame or silence removes it.
+
+Membership feeds two mechanisms the paper exercises:
+
+* it is part of the C-state, so nodes whose membership views diverge stop
+  accepting each other's frames (the SOS scenario of Section 2.2), and
+* the clique counters are derived from the same per-slot judgments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.ttp.clique import CliqueCounters
+from repro.ttp.cstate import CState
+from repro.ttp.frames import FrameObservation
+
+
+@dataclass
+class SlotJudgment:
+    """A receiver's verdict about one slot's traffic."""
+
+    slot_id: int
+    correct: bool
+    null: bool
+
+    @property
+    def failed(self) -> bool:
+        return not self.correct and not self.null
+
+
+@dataclass
+class MembershipView:
+    """Mutable membership bookkeeping for one controller."""
+
+    own_slot: int
+    members: set = field(default_factory=set)
+    counters: CliqueCounters = field(default_factory=CliqueCounters)
+    history: List[SlotJudgment] = field(default_factory=list)
+
+    def reset_round(self) -> None:
+        """Start a new round of clique counting."""
+        self.counters = self.counters.reset()
+
+    def judge_slot(self, slot_id: int, observations: List[FrameObservation],
+                   receiver_cstate: CState) -> SlotJudgment:
+        """Judge one slot from the observations on all channels.
+
+        TTP/C accepts a slot if *any* channel carried a correct frame
+        (channels are replicas); the slot is null only if every channel was
+        silent.  The judgment updates membership and clique counters.
+        """
+        any_correct = any(
+            observation.is_correct(receiver_cstate) for observation in observations)
+        all_null = all(observation.is_null() for observation in observations)
+        judgment = SlotJudgment(slot_id=slot_id, correct=any_correct, null=all_null)
+        self.apply_judgment(judgment)
+        return judgment
+
+    def apply_judgment(self, judgment: SlotJudgment) -> None:
+        """Fold one slot verdict into membership and counters."""
+        self.history.append(judgment)
+        if judgment.correct:
+            self.members.add(judgment.slot_id)
+            self.counters = self.counters.record_agreed()
+        elif judgment.null:
+            # Silence: the sender may simply have nothing scheduled; TTP/C
+            # removes it from membership but counts neither way.
+            self.members.discard(judgment.slot_id)
+            self.counters = self.counters.record_null()
+        else:
+            self.members.discard(judgment.slot_id)
+            self.counters = self.counters.record_failed()
+
+    def record_own_send(self) -> None:
+        """A controller's own successful send counts as an agreed slot and
+        keeps itself in the membership."""
+        self.members.add(self.own_slot)
+        self.counters = self.counters.record_agreed()
+
+    def membership_set(self) -> FrozenSet[int]:
+        """Immutable snapshot for embedding into a C-state."""
+        return frozenset(self.members)
+
+    def is_member(self, slot_id: int) -> bool:
+        return slot_id in self.members
+
+    def adopt(self, cstate: CState) -> None:
+        """Replace the membership view with the one from an adopted C-state
+        (integration path)."""
+        self.members = set(cstate.membership)
+
+    def failed_ratio(self) -> float:
+        """Fraction of judged slots that failed (diagnostics)."""
+        if not self.history:
+            return 0.0
+        failed = sum(1 for judgment in self.history if judgment.failed)
+        return failed / len(self.history)

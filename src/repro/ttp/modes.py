@@ -1,0 +1,79 @@
+"""Cluster operating modes and deferred mode changes.
+
+A TTP/C cluster can carry several statically planned schedules ("modes"):
+e.g. a *startup* mode exchanging short status frames and an *operational*
+mode exchanging full application payloads.  A host requests a switch; the
+request travels in the frames' mode-change-request field, every receiver
+latches it as the *deferred mode change* (DMC), and the whole cluster
+switches together at the next round boundary -- mode changes are never
+immediate, which keeps the TDMA discipline intact.
+
+Modeling scope (documented): all modes of a mode set share the slot
+*timing* (ids, senders, durations) and differ in what is sent per slot
+(frame type, payload allowance).  Timing-changing mode switches would
+re-anchor every clock in the cluster and are out of scope, as they are for
+most deployed TTP/C systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.ttp.medl import Medl
+
+
+class IncompatibleModeError(ValueError):
+    """Raised when two modes disagree on slot timing."""
+
+
+def validate_mode_compatible(base: Medl, other: Medl) -> None:
+    """Check that ``other`` may serve as an alternate mode of ``base``."""
+    if base.slot_count != other.slot_count:
+        raise IncompatibleModeError(
+            f"mode has {other.slot_count} slots, base has {base.slot_count}")
+    for base_slot, other_slot in zip(base, other):
+        if base_slot.sender != other_slot.sender:
+            raise IncompatibleModeError(
+                f"slot {base_slot.slot_id}: sender {other_slot.sender!r} "
+                f"differs from base {base_slot.sender!r}")
+        if base_slot.duration != other_slot.duration:
+            raise IncompatibleModeError(
+                f"slot {base_slot.slot_id}: duration {other_slot.duration!r} "
+                f"differs from base {base_slot.duration!r} (mode switches "
+                "must not change the TDMA timing)")
+
+
+@dataclass(frozen=True)
+class ModeSet:
+    """An ordered collection of compatible schedules; index = mode id."""
+
+    schedules: tuple
+
+    def __post_init__(self) -> None:
+        if not self.schedules:
+            raise ValueError("a mode set needs at least one schedule")
+        base = self.schedules[0]
+        for other in self.schedules[1:]:
+            validate_mode_compatible(base, other)
+
+    @classmethod
+    def of(cls, schedules: Sequence[Medl]) -> "ModeSet":
+        return cls(schedules=tuple(schedules))
+
+    @classmethod
+    def single(cls, medl: Medl) -> "ModeSet":
+        """The degenerate one-mode set every plain cluster uses."""
+        return cls(schedules=(medl,))
+
+    @property
+    def mode_count(self) -> int:
+        return len(self.schedules)
+
+    def schedule(self, mode: int) -> Medl:
+        if not 0 <= mode < self.mode_count:
+            raise KeyError(f"mode {mode} not in 0..{self.mode_count - 1}")
+        return self.schedules[mode]
+
+    def valid_mode(self, mode: int) -> bool:
+        return 0 <= mode < self.mode_count

@@ -1,0 +1,104 @@
+"""Cold-start and integration rules.
+
+Startup is where the paper's counterexamples live, so the rules are factored
+out for direct unit testing:
+
+* **listen timeout** -- a node in *listen* that hears nothing for
+  ``slots + node_id`` slot times sends its own cold-start frame (the unique
+  per-node timeout guarantees that two fault-free nodes do not cold-start
+  simultaneously forever),
+* **big bang** -- a listening node ignores the *first* cold-start frame it
+  hears and integrates only on the *second*.  The rule defends against a
+  single faulty node emitting one bogus cold-start frame; the paper's
+  out-of-slot coupler fault defeats it by replaying a *recorded, perfectly
+  well-formed* cold-start frame as the second one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ttp.constants import FrameKind
+
+
+def listen_timeout_slots(slot_count: int, node_slot: int) -> int:
+    """Initial listen-timeout value, in slot units (paper Section 4.3.2:
+    "the number of slots plus the number of the slot that is assigned to
+    the node")."""
+    if slot_count < 1:
+        raise ValueError(f"slot_count must be >= 1, got {slot_count}")
+    if not 1 <= node_slot <= slot_count:
+        raise ValueError(f"node_slot {node_slot} not in 1..{slot_count}")
+    return slot_count + node_slot
+
+
+@dataclass
+class StartupRules:
+    """Mutable startup bookkeeping for one controller in *listen*.
+
+    Tracks the big-bang flag and the listen timeout, and decides whether an
+    observed frame triggers integration.
+    """
+
+    slot_count: int
+    node_slot: int
+    big_bang_seen: bool = False
+    timeout_remaining: int = 0
+
+    def __post_init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """(Re-)enter the listen state."""
+        self.big_bang_seen = False
+        self.timeout_remaining = listen_timeout_slots(self.slot_count, self.node_slot)
+
+    def observe_slot(self, kind0: FrameKind, kind1: FrameKind) -> str:
+        """Advance one slot with the frame kinds seen on the two channels.
+
+        Returns one of:
+
+        * ``"integrate_cold_start"`` -- integrate using the cold-start frame,
+        * ``"integrate_c_state"`` -- integrate using the explicit C-state frame,
+        * ``"cold_start"`` -- the listen timeout expired; send our own
+          cold-start frame,
+        * ``"listen"`` -- keep listening.
+        """
+        kinds = (kind0, kind1)
+        saw_cold_start = FrameKind.COLD_START in kinds
+        saw_cstate = FrameKind.C_STATE in kinds
+        saw_traffic = saw_cold_start or FrameKind.OTHER in kinds
+
+        if saw_cstate:
+            # Frames with explicit C-state integrate immediately.
+            return "integrate_c_state"
+
+        if saw_cold_start:
+            if self.big_bang_seen:
+                # Second cold-start frame: big-bang satisfied, integrate.
+                return "integrate_cold_start"
+            self.big_bang_seen = True
+            # Seeing traffic resets the timeout; also never time out in the
+            # same slot a cold-start frame (not used for integration) is on
+            # the channel (paper Section 4.3.2).
+            self.timeout_remaining = listen_timeout_slots(self.slot_count, self.node_slot)
+            return "listen"
+
+        if saw_traffic:
+            self.timeout_remaining = listen_timeout_slots(self.slot_count, self.node_slot)
+            return "listen"
+
+        if self.timeout_remaining > 0:
+            self.timeout_remaining -= 1
+        if self.timeout_remaining == 0:
+            return "cold_start"
+        return "listen"
+
+    def integration_slot(self, id_on_bus: int) -> int:
+        """Slot counter value to adopt when integrating on a frame that
+        carries (or implies) slot position ``id_on_bus``: the *next* slot,
+        with wraparound (paper Section 4.3.2)."""
+        if not 1 <= id_on_bus <= self.slot_count:
+            raise ValueError(f"id_on_bus {id_on_bus} not in 1..{self.slot_count}")
+        return 1 if id_on_bus == self.slot_count else id_on_bus + 1

@@ -1,0 +1,56 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.analysis.tables import ascii_plot
+
+
+def test_basic_plot_dimensions():
+    text = ascii_plot([(0, 0), (1, 1), (2, 4)], width=20, height=5)
+    lines = text.splitlines()
+    assert len(lines) == 5 + 2  # rows + axis rule + x labels
+    assert all("|" in line for line in lines[:5])
+
+
+def test_points_land_on_grid():
+    text = ascii_plot([(0, 0), (10, 10)], width=11, height=11)
+    lines = text.splitlines()
+    # The max point sits on the top row, the min on the bottom data row.
+    assert "*" in lines[0]
+    assert "*" in lines[10]
+    assert text.count("*") == 2
+
+
+def test_title_included():
+    text = ascii_plot([(0, 0), (1, 1)], title="My figure")
+    assert text.startswith("My figure")
+
+
+def test_log_scales_label_originals():
+    text = ascii_plot([(10, 1), (100000, 100)], log_x=True, log_y=True,
+                      x_label="bits")
+    assert "1e+05" in text
+    assert "10" in text
+    assert "bits" in text
+
+
+def test_requires_two_points():
+    with pytest.raises(ValueError):
+        ascii_plot([(0, 0)])
+
+
+def test_flat_series_does_not_crash():
+    text = ascii_plot([(0, 5), (1, 5), (2, 5)], width=10, height=4)
+    assert text.count("*") == 3
+
+
+def test_monotone_curve_shape():
+    """A decreasing series marches from the top-left to bottom-right."""
+    points = [(x, 100 - x) for x in range(0, 101, 10)]
+    text = ascii_plot(points, width=30, height=10)
+    lines = [line for line in text.splitlines() if "|" in line]
+    first_star_rows = [index for index, line in enumerate(lines) if "*" in line]
+    columns = []
+    for index in first_star_rows:
+        columns.append(lines[index].index("*"))
+    assert columns == sorted(columns)

@@ -1,0 +1,61 @@
+"""Tests for the worked numeric examples (EXP-E1..E3)."""
+
+import pytest
+
+from repro.analysis.examples import (
+    eq5_commodity_delta_rho,
+    eq6_max_frame,
+    eq8_minimal_protocol_delta_rho,
+    eq9_max_xframe_delta_rho,
+    worked_examples,
+)
+
+
+def test_eq5_value_and_match():
+    example = eq5_commodity_delta_rho()
+    assert example.computed_value == pytest.approx(2e-4)
+    assert example.matches
+
+
+def test_eq6_value_and_match():
+    example = eq6_max_frame()
+    assert example.computed_value == pytest.approx(115_000.0)
+    assert example.paper_value == 115_000.0
+    assert example.matches
+
+
+def test_eq8_value_and_match():
+    example = eq8_minimal_protocol_delta_rho()
+    assert example.computed_value == pytest.approx(23 / 76)
+    assert example.matches
+
+
+def test_eq9_value_and_match():
+    example = eq9_max_xframe_delta_rho()
+    assert example.computed_value == pytest.approx(23 / 2076)
+    assert example.matches
+
+
+def test_all_examples_match_paper():
+    """EXP-E1..E3 headline assertion: every printed Section 6 number is
+    reproduced to its printed precision."""
+    for example in worked_examples():
+        assert example.matches, f"eq {example.equation} diverged"
+
+
+def test_examples_in_print_order():
+    equations = [example.equation for example in worked_examples()]
+    assert equations == ["(5)", "(6)", "(8)", "(9)"]
+
+
+def test_relative_error_small():
+    for example in worked_examples():
+        assert example.relative_error < 2.5e-3
+
+
+def test_mismatch_detection_works():
+    example = eq6_max_frame()
+    broken = type(example)(equation="(6)", description="broken",
+                           paper_value=115_000.0, computed_value=116_000.0,
+                           paper_precision=0.5)
+    assert not broken.matches

@@ -1,0 +1,71 @@
+"""Tests for the Figure 3 data series (EXP-F3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.figure3 import (
+    Figure3Point,
+    equal_frame_ratio,
+    figure3_grid,
+    figure3_reference_points,
+    figure3_series,
+)
+
+
+def test_series_excludes_infeasible_f_max():
+    series = figure3_series(100.0, [50.0, 100.0, 200.0])
+    assert [point.f_max for point in series] == [100.0, 200.0]
+
+
+def test_series_values_match_eq10():
+    series = figure3_series(28.0, [76.0, 2076.0])
+    assert series[0].ratio_limit == pytest.approx(76 / (76 - 28 + 1 + 4))
+    assert series[1].ratio_limit == pytest.approx(2076 / (2076 - 28 + 1 + 4))
+
+
+def test_reference_point_128():
+    """The paper's annotated point: f_min = f_max = 128 -> ratio f/5."""
+    points = figure3_reference_points()
+    annotated = points[0]
+    assert annotated.f_min == annotated.f_max == 128.0
+    assert annotated.ratio_limit == pytest.approx(25.6)
+
+
+def test_reference_points_include_protocol_operating_points():
+    points = figure3_reference_points()
+    pairs = {(point.f_min, point.f_max) for point in points}
+    assert (28.0, 76.0) in pairs
+    assert (28.0, 2076.0) in pairs
+
+
+def test_equal_frame_ratio_formula():
+    assert equal_frame_ratio(128.0) == pytest.approx(25.6)
+    assert equal_frame_ratio(1000.0) == pytest.approx(200.0)
+
+
+def test_frame_range_property():
+    point = Figure3Point(f_min=28.0, f_max=100.0, ratio_limit=2.0)
+    assert point.frame_range == 72.0
+
+
+def test_grid_covers_product():
+    grid = figure3_grid([28.0, 128.0], [128.0, 2076.0])
+    assert len(grid) == 4
+
+
+@given(st.floats(min_value=10, max_value=1e4))
+def test_ratio_decreases_as_f_max_grows(f_min):
+    """The Figure 3 shape: widening the frame range tightens the allowed
+    clock ratio (for fixed f_min)."""
+    series = figure3_series(f_min, [f_min, f_min * 2, f_min * 10, f_min * 100])
+    ratios = [point.ratio_limit for point in series]
+    assert ratios == sorted(ratios, reverse=True)
+
+
+@given(st.floats(min_value=10, max_value=1e4),
+       st.floats(min_value=1.0, max_value=100.0))
+def test_ratio_always_above_one(f_min, factor):
+    """Some clock spread is always admissible (the curve never dips below
+    1), approaching 1 as the range widens."""
+    point = figure3_series(f_min, [f_min * factor])[0]
+    assert point.ratio_limit > 1.0

@@ -1,0 +1,54 @@
+"""Tests for the combined reproduction report."""
+
+import pytest
+
+from repro.analysis import report
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    return report.generate_report()
+
+
+def test_report_header(full_report):
+    assert full_report.startswith("REPRODUCTION REPORT")
+    assert "DSN 2004" in full_report
+
+
+def test_report_covers_every_core_experiment(full_report):
+    for experiment in ("EXP-V1", "EXP-T1/T2", "EXP-E1..E3", "EXP-F3",
+                       "EXP-S1", "EXP-S2", "EXP-S4"):
+        assert experiment in full_report
+
+
+def test_report_has_no_mismatches(full_report):
+    assert "MISMATCH" not in full_report
+    assert full_report.count("match") >= 8
+
+
+def test_report_verification_section_verdicts(full_report):
+    assert full_report.count("HOLDS") >= 6   # 3 paper + 3 measured
+    assert full_report.count("VIOLATED") >= 2
+
+
+def test_report_trace_section_mentions_both_replays(full_report):
+    assert "cold_start#" in full_report
+    assert "c_state#" in full_report
+
+
+def test_report_campaign_section(full_report):
+    assert "propagated" in full_report
+    assert "contained" in full_report
+
+
+def test_report_ends_with_summary(full_report):
+    assert "generated in" in full_report.splitlines()[-1]
+
+
+def test_section_helpers_are_self_contained():
+    lines = report._analysis_section()
+    assert any("(6)" in line for line in lines)
+    lines = report._figure3_section()
+    assert any("25.6" in line for line in lines)
+    lines = report._leaky_section()
+    assert any("B_min" in line for line in lines)

@@ -1,0 +1,49 @@
+"""Tests for the startup latency study."""
+
+import pytest
+
+from repro.analysis.startup_latency import measure_startup, startup_study
+from repro.cluster import ClusterSpec
+
+
+def test_default_startup_completes_quickly():
+    measurement = measure_startup(topology="star", stagger=37.0)
+    assert measurement.completed
+    assert measurement.all_active_rounds == pytest.approx(3.5, abs=0.5)
+
+
+def test_bus_and_star_have_same_startup_latency():
+    """Startup is protocol-dominated: the topology does not change it."""
+    bus = measure_startup(topology="bus", stagger=37.0)
+    star = measure_startup(topology="star", stagger=37.0)
+    assert bus.all_active_rounds == pytest.approx(star.all_active_rounds,
+                                                  abs=0.1)
+
+
+def test_small_staggers_do_not_change_latency():
+    """The listen timeout plus the big-bang round dominate: any stagger
+    smaller than the cold-start sequence is absorbed."""
+    latencies = {measure_startup(stagger=stagger).all_active_rounds
+                 for stagger in (0.0, 37.0, 150.0, 301.0)}
+    assert len(latencies) == 1
+
+
+def test_huge_stagger_delays_the_last_node():
+    """Once the last power-on lands after the cluster is running, the
+    latency tracks the power-on schedule instead."""
+    slow = measure_startup(stagger=900.0)
+    fast = measure_startup(stagger=37.0)
+    assert slow.completed
+    assert slow.all_active_rounds > fast.all_active_rounds + 2
+
+
+def test_incomplete_startup_reported():
+    measurement = measure_startup(stagger=37.0, max_rounds=1.0)
+    assert not measurement.completed
+    assert measurement.all_active_rounds is None
+
+
+def test_study_covers_grid():
+    measurements = startup_study(staggers=[0.0, 37.0], topologies=["star"])
+    assert len(measurements) == 2
+    assert all(entry.completed for entry in measurements)

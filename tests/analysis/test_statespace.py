@@ -1,0 +1,79 @@
+"""Tests for state-space statistics."""
+
+import pytest
+
+from repro.analysis.statespace import StateSpaceStats, explore
+from repro.core.authority import CouplerAuthority
+from repro.model.scenarios import scenario_for_authority
+from repro.model.system_model import TTAStartupModel
+from repro.modelcheck.model import ExplicitTransitionSystem
+from repro.modelcheck.state import StateSpace, Variable
+
+
+def diamond_system():
+    sp = StateSpace([Variable("n")])
+    transitions = {
+        (0,): [((1,), {}), ((2,), {})],
+        (1,): [((3,), {})],
+        (2,): [((3,), {})],
+        (3,): [((3,), {})],
+    }
+    return ExplicitTransitionSystem(sp, [(0,)], transitions)
+
+
+def test_explore_counts_states_and_transitions():
+    stats = explore(diamond_system())
+    assert stats.states == 4
+    assert stats.transitions == 5
+    assert stats.diameter == 2
+    assert stats.deadlock_states == 0
+
+
+def test_branching_factors():
+    stats = explore(diamond_system())
+    assert stats.max_branching == 2
+    assert stats.average_branching == pytest.approx(5 / 4)
+
+
+def test_depth_histogram():
+    stats = explore(diamond_system())
+    assert stats.depth_histogram == {0: 1, 1: 2, 2: 1}
+
+
+def test_truncation_flag():
+    stats = explore(diamond_system(), max_states=2)
+    assert stats.truncated
+    assert stats.states == 2
+
+
+def test_rows_rendering():
+    rows = explore(diamond_system()).rows()
+    keys = [key for key, _value in rows]
+    assert "reachable states" in keys
+    assert "diameter (BFS depth)" in keys
+
+
+def test_paper_model_statistics():
+    """Structural numbers of the Section 4 model (PASS configuration)."""
+    system = TTAStartupModel(scenario_for_authority(CouplerAuthority.PASSIVE))
+    stats = explore(system)
+    assert stats.states == 14772
+    assert stats.deadlock_states == 0
+    assert stats.diameter >= 16  # startup to all-active takes >= 16 slots
+    assert not stats.truncated
+
+
+def test_full_shifting_space_is_larger():
+    passive = explore(TTAStartupModel(
+        scenario_for_authority(CouplerAuthority.PASSIVE)))
+    full = explore(TTAStartupModel(
+        scenario_for_authority(CouplerAuthority.FULL_SHIFTING)))
+    assert full.states > passive.states
+
+
+def test_zero_state_stats_edges():
+    stats = StateSpaceStats(states=0, transitions=0, diameter=0,
+                            max_branching=0, deadlock_states=0,
+                            elapsed_seconds=0.0)
+    assert stats.average_branching == 0.0
+    assert stats.states_per_second == 0.0

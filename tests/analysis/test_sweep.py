@@ -1,0 +1,48 @@
+"""Tests for the sweep helpers."""
+
+import pytest
+
+from repro.analysis.sweep import geometric_range, linear_range, sweep_1d, sweep_2d
+
+
+def test_sweep_1d():
+    rows = sweep_1d(lambda value: value * 2, [1, 2, 3])
+    assert [(row.inputs, row.output) for row in rows] == [
+        ((1,), 2), ((2,), 4), ((3,), 6)]
+
+
+def test_sweep_2d_cartesian():
+    rows = sweep_2d(lambda a, b: a + b, [1, 2], [10, 20])
+    assert [row.output for row in rows] == [11, 21, 12, 22]
+
+
+def test_sweep_2d_consumes_iterators_correctly():
+    rows = sweep_2d(lambda a, b: (a, b), iter([1, 2]), iter([3, 4]))
+    assert len(rows) == 4
+
+
+def test_linear_range_endpoints():
+    values = linear_range(0.0, 10.0, 5)
+    assert values[0] == 0.0
+    assert values[-1] == 10.0
+    assert len(values) == 5
+    assert values == sorted(values)
+
+
+def test_linear_range_validation():
+    with pytest.raises(ValueError):
+        linear_range(0.0, 1.0, 1)
+
+
+def test_geometric_range_endpoints():
+    values = geometric_range(1.0, 1000.0, 4)
+    assert values[0] == pytest.approx(1.0)
+    assert values[-1] == pytest.approx(1000.0)
+    assert values[1] == pytest.approx(10.0)
+
+
+def test_geometric_range_validation():
+    with pytest.raises(ValueError):
+        geometric_range(0.0, 10.0, 3)
+    with pytest.raises(ValueError):
+        geometric_range(1.0, 10.0, 1)

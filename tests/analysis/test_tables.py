@@ -1,0 +1,58 @@
+"""Tests for the plain-text table renderer."""
+
+import pytest
+
+from repro.analysis.tables import format_kv, format_table
+
+
+def test_basic_alignment():
+    text = format_table(["name", "value"], [["alpha", 1], ["b", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "alpha" in lines[2]
+    # Columns aligned: 'value' header starts at the same offset in all rows.
+    offset = lines[0].index("value")
+    assert lines[2][offset - 2:].strip().startswith("1") or "1" in lines[2]
+
+
+def test_title_and_rule():
+    text = format_table(["a"], [[1]], title="My table")
+    assert text.splitlines()[0] == "My table"
+    assert set(text.splitlines()[1]) == {"-"}
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_float_formatting():
+    text = format_table(["x"], [[0.30263157]])
+    assert "0.302632" in text
+
+
+def test_whole_float_rendered_as_int():
+    text = format_table(["x"], [[115000.0]])
+    assert "115000" in text
+    assert "115000.0" not in text
+
+
+def test_bool_rendering():
+    text = format_table(["ok"], [[True], [False]])
+    assert "yes" in text and "no" in text
+
+
+def test_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert len(text.splitlines()) == 2  # header + rule
+
+
+def test_format_kv():
+    text = format_kv([("states", 123), ("holds", True)], title="Result")
+    assert text.splitlines()[0] == "Result"
+    assert "states : 123" in text
+    assert "holds  : yes" in text
+
+
+def test_format_kv_empty():
+    assert format_kv([], title="T") == "T"

@@ -1,0 +1,80 @@
+"""Tests for the coupler authority levels (paper Section 4.1)."""
+
+import pytest
+
+from repro.core.authority import (
+    CouplerAuthority,
+    all_authorities,
+    features_of,
+)
+
+
+def test_four_levels_in_capability_order():
+    levels = all_authorities()
+    assert levels == [CouplerAuthority.PASSIVE, CouplerAuthority.TIME_WINDOWS,
+                      CouplerAuthority.SMALL_SHIFTING,
+                      CouplerAuthority.FULL_SHIFTING]
+
+
+def test_ordering_operators():
+    assert CouplerAuthority.PASSIVE < CouplerAuthority.TIME_WINDOWS
+    assert CouplerAuthority.FULL_SHIFTING > CouplerAuthority.SMALL_SHIFTING
+    assert CouplerAuthority.PASSIVE <= CouplerAuthority.PASSIVE
+    assert CouplerAuthority.FULL_SHIFTING >= CouplerAuthority.PASSIVE
+
+
+def test_passive_feature_set():
+    """Section 4.1: does not stop frames, does not shift frames in time."""
+    features = features_of(CouplerAuthority.PASSIVE)
+    assert not features.can_block
+    assert not features.can_shift_small
+    assert not features.can_shift_full
+    assert not features.reshapes_signal
+    assert not features.semantic_analysis
+
+
+def test_time_windows_feature_set():
+    """Section 4.1: can open/close bus write access, no time shifting."""
+    features = features_of(CouplerAuthority.TIME_WINDOWS)
+    assert features.can_block
+    assert not features.can_shift_small
+    assert not features.can_shift_full
+
+
+def test_small_shifting_feature_set():
+    """Section 4.1: time windows plus slight timing adjustments."""
+    features = features_of(CouplerAuthority.SMALL_SHIFTING)
+    assert features.can_block
+    assert features.can_shift_small
+    assert not features.can_shift_full
+    assert features.reshapes_signal
+    assert features.semantic_analysis
+
+
+def test_full_shifting_feature_set():
+    """Section 4.1: small shifting plus whole-frame buffering."""
+    features = features_of(CouplerAuthority.FULL_SHIFTING)
+    assert features.can_shift_small
+    assert features.can_shift_full
+
+
+def test_out_of_slot_fault_only_with_full_shifting():
+    """Paper Section 4.4: the out-of-slot fault is physically possible
+    only when whole frames can be stored."""
+    for authority in all_authorities():
+        features = features_of(authority)
+        expected = authority is CouplerAuthority.FULL_SHIFTING
+        assert features.may_exhibit_out_of_slot_fault == expected
+
+
+def test_feature_sets_are_monotone():
+    """Each level is a strict superset of the previous."""
+    flags = [features_of(level) for level in all_authorities()]
+    for weaker, stronger in zip(flags, flags[1:]):
+        for name in ("can_block", "can_shift_small", "can_shift_full",
+                     "reshapes_signal", "semantic_analysis"):
+            assert getattr(stronger, name) >= getattr(weaker, name)
+
+
+def test_rank_values():
+    assert [level.rank for level in all_authorities()] == [0, 1, 2, 3]

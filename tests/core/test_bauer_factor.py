@@ -1,0 +1,61 @@
+"""Tests for the Bauer et al. drift-factor variant of eq. (1).
+
+Paper Section 6: "Bauer et al. [2] find that the delta_rho * f_max term
+was multiplied by a factor of 2, however the assumptions in the paper that
+lead to that conclusion are unclear.  Therefore, we use equation (1)" --
+and later: "The situation becomes more constrained ... if the equation in
+[2] is used."
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.buffer_analysis import (
+    BAUER_DRIFT_FACTOR,
+    max_delta_rho,
+    max_frame_bits,
+    minimum_buffer_bits,
+)
+
+
+def test_bauer_factor_is_two():
+    assert BAUER_DRIFT_FACTOR == 2.0
+
+
+def test_default_factor_reproduces_paper_eq1():
+    assert minimum_buffer_bits(0.0002, 115_000) == pytest.approx(27.0)
+
+
+def test_bauer_form_doubles_the_drift_term():
+    plain = minimum_buffer_bits(0.0002, 115_000)
+    bauer = minimum_buffer_bits(0.0002, 115_000,
+                                drift_factor=BAUER_DRIFT_FACTOR)
+    assert bauer - 4 == pytest.approx(2 * (plain - 4))
+
+
+def test_bauer_halves_the_eq6_frame_limit():
+    plain = max_frame_bits(28, 0.0002)
+    bauer = max_frame_bits(28, 0.0002, drift_factor=BAUER_DRIFT_FACTOR)
+    assert plain == pytest.approx(115_000.0)
+    assert bauer == pytest.approx(57_500.0)
+
+
+def test_bauer_halves_the_eq8_eq9_spreads():
+    assert max_delta_rho(28, 76, drift_factor=2.0) == pytest.approx(23 / 152)
+    assert max_delta_rho(28, 2076, drift_factor=2.0) == pytest.approx(23 / 4152)
+
+
+def test_invalid_factor_rejected():
+    with pytest.raises(ValueError):
+        minimum_buffer_bits(0.0002, 100, drift_factor=0.0)
+
+
+@given(st.floats(min_value=1e-6, max_value=0.1),
+       st.floats(min_value=30, max_value=1e6))
+def test_bauer_form_always_more_constrained(delta_rho, f_max):
+    """Whatever the parameters, the factor-2 form demands at least as much
+    buffer and admits at most as large a frame."""
+    assert minimum_buffer_bits(delta_rho, f_max, drift_factor=2.0) >= \
+        minimum_buffer_bits(delta_rho, f_max)
+    assert max_frame_bits(28, delta_rho, drift_factor=2.0) <= \
+        max_frame_bits(28, delta_rho)

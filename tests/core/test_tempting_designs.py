@@ -1,0 +1,64 @@
+"""Tests for the Section 6 'tempting designs' analysis."""
+
+import pytest
+
+from repro.core.tempting_designs import (
+    FEATURE_RATIONALE,
+    TemptingFeature,
+    evaluate_all,
+    evaluate_tempting_design,
+    required_buffer_bits,
+)
+
+
+def test_three_temptations_modeled():
+    assert {feature.value for feature in TemptingFeature} == {
+        "store_and_forward", "mailbox_data_continuity", "can_emulation"}
+
+
+def test_each_feature_has_rationale():
+    assert set(FEATURE_RATIONALE) == set(TemptingFeature)
+
+
+def test_required_buffer_is_whole_frame():
+    assert required_buffer_bits(TemptingFeature.CAN_EMULATION, 2076) == 2076.0
+
+
+def test_required_buffer_validation():
+    with pytest.raises(ValueError):
+        required_buffer_bits(TemptingFeature.CAN_EMULATION, 0)
+
+
+@pytest.mark.parametrize("feature", list(TemptingFeature))
+def test_every_temptation_violates_safe_buffer(feature):
+    """The paper's point: all three enhanced functions need f_max bits,
+    which always exceeds the f_min - 1 safety limit."""
+    verdict = evaluate_tempting_design(feature, f_min=28, f_max=2076)
+    assert verdict.required_bits == 2076
+    assert verdict.allowed_bits == 27
+    assert verdict.violates_safe_buffer
+    assert verdict.enables_out_of_slot_fault
+
+
+def test_violation_even_with_uniform_frames():
+    """Even f_min == f_max cannot be saved: f_max > f_max - 1."""
+    verdict = evaluate_tempting_design(
+        TemptingFeature.MAILBOX_DATA_CONTINUITY, f_min=128, f_max=128)
+    assert verdict.violates_safe_buffer
+
+
+def test_frame_order_validation():
+    with pytest.raises(ValueError):
+        evaluate_tempting_design(TemptingFeature.STORE_AND_FORWARD,
+                                 f_min=100, f_max=28)
+
+
+def test_evaluate_all_returns_every_feature():
+    verdicts = evaluate_all(f_min=28, f_max=2076)
+    assert len(verdicts) == 3
+    assert all(verdict.violates_safe_buffer for verdict in verdicts)
+
+
+def test_rationale_text():
+    verdict = evaluate_tempting_design(TemptingFeature.CAN_EMULATION, 28, 2076)
+    assert "priority" in verdict.rationale()

@@ -1,0 +1,89 @@
+"""Tests for design-space exploration."""
+
+import pytest
+
+from repro.core.authority import CouplerAuthority
+from repro.core.tradeoffs import (
+    DesignPoint,
+    evaluate_design,
+    explore_design_space,
+)
+
+
+def design(authority=CouplerAuthority.SMALL_SHIFTING, f_min=28, f_max=2076,
+           delta_rho=0.0002):
+    return DesignPoint(authority=authority, f_min=f_min, f_max=f_max,
+                       delta_rho=delta_rho)
+
+
+def test_small_shifting_feasible_design_acceptable():
+    verdict = evaluate_design(design())
+    assert verdict.fault_tolerant
+    assert verdict.buffer_feasible
+    assert verdict.acceptable
+    assert verdict.constraints is not None
+
+
+def test_full_shifting_rejected_regardless_of_buffers():
+    """The model-checking result: whole-frame buffering is unsafe."""
+    verdict = evaluate_design(design(authority=CouplerAuthority.FULL_SHIFTING))
+    assert not verdict.fault_tolerant
+    assert not verdict.acceptable
+
+
+def test_infeasible_buffer_rejected_with_guidance():
+    verdict = evaluate_design(design(f_max=200_000))
+    assert verdict.fault_tolerant
+    assert not verdict.buffer_feasible
+    assert not verdict.acceptable
+    assert verdict.notes
+    assert "shrink f_max" in verdict.notes[0]
+
+
+def test_passive_design_has_no_buffer_constraint_but_loses_protections():
+    verdict = evaluate_design(design(authority=CouplerAuthority.PASSIVE,
+                                     f_max=10_000_000, delta_rho=0.4))
+    assert verdict.buffer_feasible  # nothing is buffered
+    assert verdict.constraints is None
+    assert len(verdict.lost_protections) == 3
+
+
+def test_time_windows_loses_sos_and_semantic_protections():
+    verdict = evaluate_design(design(authority=CouplerAuthority.TIME_WINDOWS))
+    lost = " ".join(verdict.lost_protections)
+    assert "SOS" in lost
+    assert "masquerading" in lost
+    assert "babbling" not in lost
+
+
+def test_small_shifting_loses_nothing():
+    verdict = evaluate_design(design())
+    assert verdict.lost_protections == []
+
+
+def test_explore_design_space_grid():
+    verdicts = explore_design_space(
+        f_min_values=[28],
+        f_max_values=[76, 2076, 200_000],
+        delta_rho_values=[0.0002])
+    assert len(verdicts) == 3
+    feasible = [verdict for verdict in verdicts if verdict.acceptable]
+    assert len(feasible) == 2
+
+
+def test_explore_skips_inverted_ranges():
+    verdicts = explore_design_space(
+        f_min_values=[100], f_max_values=[28], delta_rho_values=[0.1])
+    assert verdicts == []
+
+
+def test_paper_headline_tradeoff():
+    """The paper's closing point: adding authority (full shifting) breaks
+    fault tolerance; restricting authority (small shifting) binds clock
+    rates to frame sizes.  Both constraints are visible here."""
+    unsafe = evaluate_design(design(authority=CouplerAuthority.FULL_SHIFTING))
+    constrained = evaluate_design(design(delta_rho=0.05))  # 5% clock spread
+    assert not unsafe.acceptable
+    assert not constrained.acceptable  # 5% >> 23/2076
+    workable = evaluate_design(design(f_max=76, delta_rho=0.05))
+    assert workable.acceptable  # short frames tolerate wide clocks

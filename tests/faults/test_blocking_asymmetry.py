@@ -1,0 +1,49 @@
+"""EXP-S4: the Section 1 motivating example.
+
+"Suppose a bus guardian suffers a fault that causes it to block
+transmission of all frames.  In systems with decentralized bus guardians
+... a fault of this nature in one bus guardian would only block frames
+from one node.  The same fault in a central bus guardian would stop all
+nodes from sending frames on the channel.  This particular fault mode is
+addressed in [2] by the use of redundant channels with separate central
+bus guardians."
+"""
+
+import pytest
+
+from repro.faults.campaign import guardian_vs_coupler_blocking
+
+
+@pytest.fixture(scope="module")
+def result():
+    return guardian_vs_coupler_blocking()
+
+
+def test_bus_guardian_fault_silences_one_node_only(result):
+    assert result.bus_victims == ["B"]
+    assert result.bus_excluded == ["B"]
+
+
+def test_bus_cluster_survives_without_the_blocked_node(result):
+    assert sorted(result.bus_active) == ["A", "C", "D"]
+
+
+def test_central_guardian_fault_kills_the_whole_channel(result):
+    """The blast radius of the centralized fault: zero frames delivered on
+    the faulty coupler's channel."""
+    assert result.star_channel0_delivered == 0
+    assert result.star_channel1_delivered > 0
+
+
+def test_redundant_channel_saves_the_star_cluster(result):
+    assert result.star_victims == []
+    assert sorted(result.star_active) == ["A", "B", "C", "D"]
+
+
+def test_asymmetry_summary(result):
+    """One fault, two very different blast radii -- the reason the paper
+    scrutinizes added central authority."""
+    bus_blast = len(result.bus_victims)          # nodes lost on the bus
+    star_blast = 4 - len(result.star_active)     # nodes lost on the star
+    assert bus_blast == 1
+    assert star_blast == 0  # thanks to channel redundancy only

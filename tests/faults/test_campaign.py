@@ -1,0 +1,143 @@
+"""EXP-S2: the fault-injection campaign, bus vs. star.
+
+Reproduces the qualitative containment matrix of the fault-injection study
+the paper builds on (Section 2.2 / Ademaj et al. [7]): the central guardian
+stops SOS faults, startup masquerading, and invalid C-states; local bus
+guardians cannot; babbling idiots are contained on both topologies.
+"""
+
+import pytest
+
+from repro.core.authority import CouplerAuthority
+from repro.faults.campaign import (
+    DEFAULT_FAULTS,
+    CampaignResult,
+    InjectionOutcome,
+    run_campaign,
+    run_injection,
+)
+from repro.faults.types import FaultDescriptor, FaultType
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign()
+
+
+def outcome(campaign, fault_type, topology):
+    return campaign.outcome(fault_type, topology)
+
+
+def test_sos_propagates_on_bus(campaign):
+    entry = outcome(campaign, FaultType.SOS_SIGNAL, "bus")
+    assert entry.propagated
+    assert entry.victims  # a healthy node clique-froze
+
+
+def test_sos_contained_on_star(campaign):
+    """Active signal reshaping removes the SOS marginality."""
+    assert outcome(campaign, FaultType.SOS_SIGNAL, "star").contained
+
+
+def test_masquerade_propagates_on_bus(campaign):
+    """Local guardians cannot verify cold-start senders during startup."""
+    entry = outcome(campaign, FaultType.MASQUERADE_COLD_START, "bus")
+    assert entry.propagated
+
+
+def test_masquerade_contained_on_star(campaign):
+    """Semantic analysis: the claimed round slot must match the uplink
+    port."""
+    assert outcome(campaign, FaultType.MASQUERADE_COLD_START, "star").contained
+
+
+def test_invalid_cstate_propagates_on_bus(campaign):
+    entry = outcome(campaign, FaultType.INVALID_C_STATE, "bus")
+    assert entry.propagated
+
+
+def test_invalid_cstate_contained_on_star(campaign):
+    assert outcome(campaign, FaultType.INVALID_C_STATE, "star").contained
+
+
+def test_babbling_contained_on_both(campaign):
+    """Guardians (local or central) enforce transmit windows."""
+    assert outcome(campaign, FaultType.BABBLING_IDIOT, "bus").contained
+    assert outcome(campaign, FaultType.BABBLING_IDIOT, "star").contained
+
+
+def test_headline_matrix_shape(campaign):
+    """The paper's overall message in one assertion: the star topology
+    with a central guardian contains strictly more fault types."""
+    star_contained = sum(1 for entry in campaign.outcomes
+                         if entry.topology == "star" and entry.contained)
+    bus_contained = sum(1 for entry in campaign.outcomes
+                        if entry.topology == "bus" and entry.contained)
+    assert star_contained == 4
+    assert bus_contained == 1
+
+
+def test_containment_table_rows(campaign):
+    rows = campaign.containment_table()
+    assert len(rows) == 4
+    by_fault = {row["fault"]: row for row in rows}
+    assert by_fault["sos_signal"]["bus"] == "propagated"
+    assert by_fault["sos_signal"]["star"] == "contained"
+
+
+def test_outcome_lookup_missing_raises(campaign):
+    with pytest.raises(KeyError):
+        campaign.outcome(FaultType.CHANNEL_DROP, "bus")
+
+
+def test_faulty_node_not_counted_as_victim(campaign):
+    for entry in campaign.outcomes:
+        assert entry.fault.target not in entry.victims
+
+
+def test_run_injection_single():
+    entry = run_injection(FaultDescriptor(FaultType.BABBLING_IDIOT, target="B"),
+                          topology="star",
+                          authority=CouplerAuthority.SMALL_SHIFTING,
+                          rounds=30.0)
+    assert isinstance(entry, InjectionOutcome)
+    assert entry.contained
+
+
+def test_babbling_not_contained_by_passive_star():
+    """Ablation: a passive hub provides no windows, so babbling floods the
+    cluster -- the containment comes from the guardian authority, not from
+    the star wiring itself."""
+    entry = run_injection(FaultDescriptor(FaultType.BABBLING_IDIOT, target="B"),
+                          topology="star",
+                          authority=CouplerAuthority.PASSIVE,
+                          rounds=30.0)
+    assert entry.propagated
+
+
+def test_masquerade_not_contained_by_time_windows_star():
+    """Ablation: time windows alone cannot police startup (no global time
+    yet) -- semantic analysis is what stops masquerading."""
+    entry = run_injection(
+        FaultDescriptor(FaultType.MASQUERADE_COLD_START, target="D",
+                        masquerade_as=1),
+        topology="star", authority=CouplerAuthority.TIME_WINDOWS, rounds=40.0)
+    assert entry.propagated
+
+
+def test_campaign_outcomes_stable_across_seeds(campaign):
+    """The containment matrix is a structural result, not a lucky seed."""
+    for seed in (1, 2):
+        repeat = run_campaign(seed=seed)
+        for base, other in zip(campaign.outcomes, repeat.outcomes):
+            assert base.fault.fault_type is other.fault.fault_type
+            assert base.topology == other.topology
+            assert base.contained == other.contained, (
+                f"{base.fault.describe()} on {base.topology} flipped at "
+                f"seed {seed}")
+
+
+def test_default_fault_list_covers_paper_narrative():
+    fault_types = {fault.fault_type for fault in DEFAULT_FAULTS}
+    assert fault_types == {FaultType.SOS_SIGNAL, FaultType.MASQUERADE_COLD_START,
+                           FaultType.INVALID_C_STATE, FaultType.BABBLING_IDIOT}

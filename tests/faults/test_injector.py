@@ -1,0 +1,76 @@
+"""Tests for declarative fault injection into cluster specs."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.faults.injector import apply_fault
+from repro.faults.types import FaultDescriptor, FaultType
+from repro.network.guardian import GuardianFault
+from repro.network.star_coupler import CouplerFault
+from repro.ttp.controller import NodeFaultBehavior
+
+
+def test_node_fault_sets_controller_config():
+    spec = apply_fault(ClusterSpec(), FaultDescriptor(
+        FaultType.SOS_SIGNAL, target="B", sos_level=0.57))
+    config = spec.node_configs["B"]
+    assert config.fault is NodeFaultBehavior.SOS_SIGNAL
+    assert config.sos_level == 0.57
+
+
+def test_masquerade_fault_carries_claimed_slot():
+    spec = apply_fault(ClusterSpec(), FaultDescriptor(
+        FaultType.MASQUERADE_COLD_START, target="D", masquerade_as=1))
+    assert spec.node_configs["D"].masquerade_as == 1
+
+
+def test_fault_start_time_propagated():
+    spec = apply_fault(ClusterSpec(), FaultDescriptor(
+        FaultType.INVALID_C_STATE, target="C", fault_start_time=1234.0))
+    assert spec.node_configs["C"].fault_start_time == 1234.0
+
+
+def test_guardian_fault():
+    spec = apply_fault(ClusterSpec(topology="bus"), FaultDescriptor(
+        FaultType.GUARDIAN_BLOCK_ALL, target="A"))
+    assert spec.guardian_faults["A"] is GuardianFault.BLOCK_ALL
+
+
+def test_coupler_fault_by_channel_index():
+    spec = apply_fault(ClusterSpec(), FaultDescriptor(
+        FaultType.COUPLER_OUT_OF_SLOT, target="1"))
+    assert spec.coupler_faults[1] is CouplerFault.OUT_OF_SLOT
+    assert spec.coupler_faults[0] is CouplerFault.NONE
+
+
+def test_unknown_node_rejected():
+    with pytest.raises(ValueError):
+        apply_fault(ClusterSpec(), FaultDescriptor(FaultType.SOS_SIGNAL,
+                                                   target="Z"))
+
+
+def test_unknown_guardian_node_rejected():
+    with pytest.raises(ValueError):
+        apply_fault(ClusterSpec(), FaultDescriptor(FaultType.GUARDIAN_PASS_ALL,
+                                                   target="Z"))
+
+
+def test_bad_channel_index_rejected():
+    with pytest.raises(ValueError):
+        apply_fault(ClusterSpec(), FaultDescriptor(FaultType.COUPLER_SILENCE,
+                                                   target="7"))
+
+
+def test_channel_level_faults_set_probabilities():
+    spec = apply_fault(ClusterSpec(), FaultDescriptor(FaultType.CHANNEL_DROP,
+                                                      probability=0.2))
+    assert spec.channel_drop_probability == 0.2
+    spec = apply_fault(spec, FaultDescriptor(FaultType.CHANNEL_CORRUPT,
+                                             probability=0.1))
+    assert spec.channel_corrupt_probability == 0.1
+
+
+def test_original_spec_unmodified():
+    original = ClusterSpec()
+    apply_fault(original, FaultDescriptor(FaultType.SOS_SIGNAL, target="B"))
+    assert "B" not in original.node_configs

@@ -1,0 +1,80 @@
+"""Cross-layer agreement: the DES respects the model checker's verdicts.
+
+The formal model says silence and bad-frame coupler faults are harmless
+(property HOLDS for every authority) and only the out-of-slot replay is
+dangerous.  These property tests run the *simulator* across randomized
+power-on schedules under each coupler fault and check the same split.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core.authority import CouplerAuthority
+from repro.network.star_coupler import CouplerFault
+
+offsets = st.lists(st.floats(min_value=0.0, max_value=900.0), min_size=4,
+                   max_size=4)
+channels = st.integers(min_value=0, max_value=1)
+
+
+def run_with_fault(delays, fault, channel, authority):
+    coupler_faults = [CouplerFault.NONE, CouplerFault.NONE]
+    coupler_faults[channel] = fault
+    spec = ClusterSpec(topology="star", authority=authority,
+                       power_on_delays=dict(zip("ABCD", delays)),
+                       coupler_faults=coupler_faults)
+    cluster = Cluster(spec)
+    cluster.power_on()
+    cluster.run(rounds=50)
+    return cluster
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(offsets, channels)
+def test_silence_fault_never_harms(delays, channel):
+    """Model verdict HOLDS -> no DES victims, any schedule, either coupler."""
+    cluster = run_with_fault(delays, CouplerFault.SILENCE, channel,
+                             CouplerAuthority.SMALL_SHIFTING)
+    assert cluster.healthy_victims() == [], delays
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(offsets, channels)
+def test_bad_frame_fault_never_harms(delays, channel):
+    cluster = run_with_fault(delays, CouplerFault.BAD_FRAME, channel,
+                             CouplerAuthority.SMALL_SHIFTING)
+    assert cluster.healthy_victims() == [], delays
+
+
+@pytest.mark.parametrize("delays", [
+    (0.0, 37.0, 74.0, 111.0),     # the default stagger
+    (0.0, 0.0, 0.0, 0.0),         # simultaneous power-on
+    (0.0, 150.0, 300.0, 450.0),
+])
+@pytest.mark.parametrize("channel", [0, 1])
+def test_out_of_slot_fault_harms_on_vulnerable_schedules(delays, channel):
+    """Model verdict VIOLATED is *existential*: some runs fail.  These
+    schedules put listeners mid-listen when the replay lands, so the
+    attack connects -- matching the model's counterexamples.
+
+    (Not every schedule is vulnerable: if all listeners miss the replay
+    window they integrate on genuine frames, and channel redundancy then
+    masks the persistent replays -- hypothesis found exactly such a
+    schedule, [0, 541, 541, 541].)
+    """
+    cluster = run_with_fault(list(delays), CouplerFault.OUT_OF_SLOT, channel,
+                             CouplerAuthority.FULL_SHIFTING)
+    assert cluster.protocol_frozen_nodes() != [], delays
+
+
+def test_out_of_slot_fault_can_be_missed():
+    """The benign schedule hypothesis discovered, pinned as a regression:
+    the replay misses every integration window and redundancy masks it."""
+    cluster = run_with_fault([0.0, 541.0, 541.0, 541.0],
+                             CouplerFault.OUT_OF_SLOT, 0,
+                             CouplerAuthority.FULL_SHIFTING)
+    assert cluster.protocol_frozen_nodes() == []
+    assert cluster.topology.couplers[0].stats.replayed > 100

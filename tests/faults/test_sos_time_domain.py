@@ -1,0 +1,58 @@
+"""Time-domain SOS faults (paper Section 2.2 / Ademaj [3]).
+
+SOS faults come in two flavours: *value domain* (marginal amplitude, the
+campaign default) and *time domain* (a frame slightly outside its window,
+accepted by receivers with generous timing tolerances and rejected by
+strict ones).  The central guardian removes both: it boosts the level and
+re-aligns the timing within its small-shift budget.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.faults.injector import apply_fault
+from repro.faults.types import FaultDescriptor, FaultType
+from repro.network.signal import ReceiverTolerance
+
+#: Receiver timing windows: all compliant with the 0.8 spec limit, with
+#: unit-to-unit spread.  The 0.95 marginal offset splits the population.
+TIME_TOLERANCES = {
+    "A": ReceiverTolerance(window=1.00),
+    "B": ReceiverTolerance(window=1.05),
+    "C": ReceiverTolerance(window=0.85),
+    "D": ReceiverTolerance(window=1.10),
+}
+
+
+def run_time_sos(topology):
+    fault = FaultDescriptor(FaultType.SOS_SIGNAL, target="B",
+                            sos_level=1.0, sos_offset=0.95,
+                            fault_start_time=2000.0)
+    spec = ClusterSpec(topology=topology, seed=0)
+    spec.tolerances = dict(TIME_TOLERANCES)
+    spec = apply_fault(spec, fault)
+    cluster = Cluster(spec)
+    cluster.power_on()
+    cluster.run(rounds=40)
+    return cluster
+
+
+def test_time_domain_sos_propagates_on_bus():
+    """Node C (strict 0.85 window) rejects B's 0.95-offset frames while
+    the others accept: C lands in the minority and freezes."""
+    cluster = run_time_sos("bus")
+    assert "C" in cluster.healthy_victims()
+
+
+def test_time_domain_sos_contained_on_star():
+    """The small-shifting coupler re-aligns the timing (offset -> 0), so
+    all receivers agree again."""
+    cluster = run_time_sos("star")
+    assert cluster.healthy_victims() == []
+
+
+def test_reshaping_stats_show_the_realignment():
+    cluster = run_time_sos("star")
+    reshaped = sum(coupler.stats.reshaped
+                   for coupler in cluster.topology.couplers)
+    assert reshaped > 0

@@ -1,0 +1,36 @@
+"""Tests for the fault taxonomy."""
+
+from repro.faults.types import SITE_OF_TYPE, FaultDescriptor, FaultSite, FaultType
+
+
+def test_every_fault_type_has_a_site():
+    assert set(SITE_OF_TYPE) == set(FaultType)
+
+
+def test_node_fault_sites():
+    for fault_type in (FaultType.SOS_SIGNAL, FaultType.MASQUERADE_COLD_START,
+                       FaultType.INVALID_C_STATE, FaultType.BABBLING_IDIOT):
+        assert SITE_OF_TYPE[fault_type] is FaultSite.NODE
+
+
+def test_coupler_fault_sites():
+    for fault_type in (FaultType.COUPLER_SILENCE, FaultType.COUPLER_BAD_FRAME,
+                       FaultType.COUPLER_OUT_OF_SLOT):
+        assert SITE_OF_TYPE[fault_type] is FaultSite.STAR_COUPLER
+
+
+def test_descriptor_site_property():
+    descriptor = FaultDescriptor(FaultType.SOS_SIGNAL, target="B")
+    assert descriptor.site is FaultSite.NODE
+
+
+def test_descriptor_describe():
+    descriptor = FaultDescriptor(FaultType.BABBLING_IDIOT, target="C")
+    assert descriptor.describe() == "babbling_idiot@C"
+
+
+def test_descriptor_defaults():
+    descriptor = FaultDescriptor(FaultType.MASQUERADE_COLD_START)
+    assert descriptor.target == "A"
+    assert descriptor.masquerade_as == 1
+    assert descriptor.fault_start_time == 0.0

@@ -1,0 +1,60 @@
+"""Ablation: what does the big-bang rule actually buy?
+
+The rule ("never integrate on the first cold-start frame") defends
+against a single spontaneous bogus cold-start frame.  The paper's point is
+that a full-shifting coupler's *replay* defeats it -- the replayed frame is
+a perfectly well-formed *second* sighting.  Disabling the rule therefore:
+
+* changes no verdict (the restricted couplers stay safe, full shifting
+  stays broken), and
+* makes the attack *faster* (the adversary no longer needs to wait for
+  the legitimate second cold start).
+"""
+
+import pytest
+
+from repro.core.authority import CouplerAuthority, all_authorities
+from repro.core.verification import verify_config
+from repro.model.config import ModelConfig
+from repro.model.scenarios import trace1_scenario
+
+
+@pytest.mark.parametrize("authority,expected_holds", [
+    (CouplerAuthority.PASSIVE, True),
+    (CouplerAuthority.TIME_WINDOWS, True),
+    (CouplerAuthority.SMALL_SHIFTING, True),
+    (CouplerAuthority.FULL_SHIFTING, False),
+])
+def test_verdicts_unchanged_without_big_bang(authority, expected_holds):
+    config = ModelConfig(authority=authority, big_bang_enabled=False)
+    assert verify_config(config).property_holds == expected_holds
+
+
+def test_attack_is_faster_without_big_bang():
+    """Big bang delays the replay attack by forcing the adversary to act
+    as a 'second' frame; without it the shortest counterexample shrinks."""
+    with_rule = verify_config(trace1_scenario())
+    without_rule = verify_config(ModelConfig(
+        authority=CouplerAuthority.FULL_SHIFTING, big_bang_enabled=False))
+    assert len(without_rule.counterexample) < len(with_rule.counterexample)
+
+
+def test_big_bang_state_space_is_larger():
+    """The rule adds the big_bang flag's reachable combinations."""
+    with_rule = verify_config(ModelConfig(
+        authority=CouplerAuthority.PASSIVE))
+    without_rule = verify_config(ModelConfig(
+        authority=CouplerAuthority.PASSIVE, big_bang_enabled=False))
+    assert with_rule.check.states_explored > without_rule.check.states_explored
+
+
+def test_first_cold_start_integrates_without_big_bang():
+    from repro.model.coupler_model import KIND_COLD_START, SILENT, ChannelContent
+    from repro.model.node_model import ST_PASSIVE, NodeLocal, ST_LISTEN, node_step
+    from repro.ttp.startup import listen_timeout_slots
+
+    config = ModelConfig(big_bang_enabled=False)
+    local = NodeLocal(ST_LISTEN, 0, False, listen_timeout_slots(4, 2), 0, 0)
+    channels = (ChannelContent(kind=KIND_COLD_START, frame_id=1), SILENT)
+    (successor,) = node_step(config, 2, local, channels)
+    assert successor.state == ST_PASSIVE  # no second sighting required

@@ -1,0 +1,63 @@
+"""Tests for the formal-model configuration."""
+
+import pytest
+
+from repro.core.authority import CouplerAuthority
+from repro.model.config import (
+    FAULT_BAD_FRAME,
+    FAULT_OUT_OF_SLOT,
+    FAULT_SILENCE,
+    ModelConfig,
+)
+
+
+def test_defaults_match_paper_setup():
+    config = ModelConfig()
+    assert config.slots == 4
+    assert config.node_names == ("A", "B", "C", "D")
+    assert config.node_ids == (1, 2, 3, 4)
+
+
+def test_name_of():
+    config = ModelConfig()
+    assert config.name_of(1) == "A"
+    assert config.name_of(4) == "D"
+
+
+def test_fault_modes_depend_on_authority():
+    """Paper Section 4.4: out_of_slot occurs only with full time shifting;
+    all other faults may be caused by any configuration."""
+    for authority in (CouplerAuthority.PASSIVE, CouplerAuthority.TIME_WINDOWS,
+                      CouplerAuthority.SMALL_SHIFTING):
+        modes = ModelConfig(authority=authority).fault_modes()
+        assert FAULT_SILENCE in modes
+        assert FAULT_BAD_FRAME in modes
+        assert FAULT_OUT_OF_SLOT not in modes
+    full = ModelConfig(authority=CouplerAuthority.FULL_SHIFTING).fault_modes()
+    assert FAULT_OUT_OF_SLOT in full
+
+
+def test_couplers_can_buffer_only_full_shifting():
+    assert ModelConfig(authority=CouplerAuthority.FULL_SHIFTING).couplers_can_buffer
+    assert not ModelConfig(authority=CouplerAuthority.SMALL_SHIFTING).couplers_can_buffer
+
+
+def test_fault_coupler_indices():
+    assert ModelConfig(faulty_coupler=0).fault_coupler_indices() == [0]
+    assert ModelConfig(faulty_coupler=1).fault_coupler_indices() == [1]
+    assert ModelConfig(faulty_coupler=None).fault_coupler_indices() == [0, 1]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ModelConfig(slots=1)
+    with pytest.raises(ValueError):
+        ModelConfig(counter_cap=3)  # must exceed slots + 1
+    with pytest.raises(ValueError):
+        ModelConfig(faulty_coupler=2)
+    with pytest.raises(ValueError):
+        ModelConfig(out_of_slot_budget=-1)
+
+
+def test_unlimited_budget_allowed():
+    assert ModelConfig(out_of_slot_budget=None).out_of_slot_budget is None

@@ -1,0 +1,160 @@
+"""Tests for the star-coupler part of the formal model."""
+
+import pytest
+
+from repro.core.authority import CouplerAuthority
+from repro.model.config import (
+    FAULT_BAD_FRAME,
+    FAULT_NONE,
+    FAULT_OUT_OF_SLOT,
+    FAULT_SILENCE,
+    ModelConfig,
+)
+from repro.model.coupler_model import (
+    KIND_BAD_FRAME,
+    KIND_C_STATE,
+    KIND_COLD_START,
+    KIND_NONE,
+    NOISE,
+    SILENT,
+    ChannelContent,
+    apply_fault,
+    enumerate_fault_choices,
+    nominal_content,
+    update_buffer,
+)
+
+
+def cold_start(node_id):
+    return ChannelContent(kind=KIND_COLD_START, frame_id=node_id)
+
+
+def c_state(node_id):
+    return ChannelContent(kind=KIND_C_STATE, frame_id=node_id)
+
+
+# -- nominal content --------------------------------------------------------------
+
+
+def test_no_senders_is_silence():
+    assert nominal_content([]) == SILENT
+
+
+def test_single_sender_carries_frame():
+    content = nominal_content([(2, KIND_C_STATE)])
+    assert content.kind == KIND_C_STATE
+    assert content.frame_id == 2
+    assert content.identifiable
+
+
+def test_collision_is_noise():
+    """Two simultaneous transmissions interfere (paper validity rule)."""
+    content = nominal_content([(1, KIND_COLD_START), (2, KIND_COLD_START)])
+    assert content == NOISE
+    assert not content.identifiable
+
+
+# -- fault application --------------------------------------------------------------
+
+
+def test_fault_none_passes_through():
+    assert apply_fault(FAULT_NONE, cold_start(1), SILENT) == cold_start(1)
+
+
+def test_silence_fault_erases_frame():
+    assert apply_fault(FAULT_SILENCE, cold_start(1), SILENT) == SILENT
+
+
+def test_bad_frame_fault_creates_noise_even_in_empty_slots():
+    """Paper Section 4.4: 'places a bad frame or noise on the bus,
+    regardless if a frame was sent or not'."""
+    assert apply_fault(FAULT_BAD_FRAME, SILENT, SILENT) == NOISE
+    assert apply_fault(FAULT_BAD_FRAME, cold_start(1), SILENT) == NOISE
+
+
+def test_out_of_slot_fault_replays_buffer():
+    buffered = cold_start(1)
+    assert apply_fault(FAULT_OUT_OF_SLOT, SILENT, buffered) == buffered
+    assert apply_fault(FAULT_OUT_OF_SLOT, c_state(3), buffered) == buffered
+
+
+def test_unknown_fault_rejected():
+    with pytest.raises(ValueError):
+        apply_fault("meltdown", SILENT, SILENT)
+
+
+# -- buffer update (paper Section 4.4) --------------------------------------------------
+
+
+def test_buffer_keeps_last_identifiable_frame():
+    buffered = update_buffer(SILENT, cold_start(1))
+    assert buffered == cold_start(1)
+    buffered = update_buffer(buffered, c_state(3))
+    assert buffered == c_state(3)
+
+
+def test_buffer_unchanged_by_silence_and_noise():
+    buffered = cold_start(1)
+    assert update_buffer(buffered, SILENT) == buffered
+    assert update_buffer(buffered, NOISE) == buffered
+
+
+def test_buffer_initial_state():
+    assert SILENT.frame_id == 0 and SILENT.kind == KIND_NONE
+
+
+# -- fault-choice enumeration ----------------------------------------------------------
+
+
+def choices(config, buffers=None, budget=1):
+    buffers = buffers or [SILENT, SILENT]
+    return list(enumerate_fault_choices(config, buffers, budget))
+
+
+def test_healthy_choice_always_available():
+    config = ModelConfig(authority=CouplerAuthority.PASSIVE)
+    assert (FAULT_NONE, FAULT_NONE) in choices(config)
+
+
+def test_at_most_one_faulty_coupler_per_step():
+    config = ModelConfig(authority=CouplerAuthority.FULL_SHIFTING,
+                         faulty_coupler=None)
+    for fault0, fault1 in choices(config, buffers=[cold_start(1), cold_start(1)]):
+        assert fault0 == FAULT_NONE or fault1 == FAULT_NONE
+
+
+def test_designated_coupler_restriction():
+    config = ModelConfig(authority=CouplerAuthority.FULL_SHIFTING,
+                         faulty_coupler=1)
+    for fault0, _fault1 in choices(config, buffers=[cold_start(1), cold_start(1)]):
+        assert fault0 == FAULT_NONE
+
+
+def test_out_of_slot_requires_full_shifting():
+    config = ModelConfig(authority=CouplerAuthority.SMALL_SHIFTING)
+    faults = {pair for pair in choices(config)}
+    assert not any(FAULT_OUT_OF_SLOT in pair for pair in faults)
+
+
+def test_out_of_slot_requires_budget():
+    config = ModelConfig(authority=CouplerAuthority.FULL_SHIFTING)
+    with_budget = choices(config, buffers=[cold_start(1), SILENT], budget=1)
+    without_budget = choices(config, buffers=[cold_start(1), SILENT], budget=0)
+    assert any(FAULT_OUT_OF_SLOT in pair for pair in with_budget)
+    assert not any(FAULT_OUT_OF_SLOT in pair for pair in without_budget)
+
+
+def test_out_of_slot_requires_nonempty_buffer():
+    config = ModelConfig(authority=CouplerAuthority.FULL_SHIFTING)
+    empty = choices(config, buffers=[SILENT, SILENT])
+    assert not any(FAULT_OUT_OF_SLOT in pair for pair in empty)
+
+
+def test_cold_start_replay_prohibition():
+    """The paper's trace-2 constraint: no cold-start duplication."""
+    config = ModelConfig(authority=CouplerAuthority.FULL_SHIFTING,
+                         allow_cold_start_replay=False)
+    with_cold_start = choices(config, buffers=[cold_start(1), SILENT])
+    assert not any(FAULT_OUT_OF_SLOT in pair for pair in with_cold_start)
+    with_c_state = choices(config, buffers=[c_state(2), SILENT])
+    assert any(FAULT_OUT_OF_SLOT in pair for pair in with_c_state)

@@ -1,0 +1,58 @@
+"""Tests for paper-style trace narration."""
+
+import pytest
+
+from repro.core.verification import verify_config
+from repro.model.narrate import narrate_trace
+from repro.model.scenarios import trace1_scenario, trace2_scenario
+
+
+@pytest.fixture(scope="module")
+def trace1():
+    return verify_config(trace1_scenario())
+
+
+@pytest.fixture(scope="module")
+def trace2():
+    return verify_config(trace2_scenario())
+
+
+def test_narration_opens_like_the_paper(trace1):
+    text = narrate_trace(trace1.counterexample, trace1.config)
+    assert text.startswith("1) Initially, all nodes are in the freeze state.")
+
+
+def test_narration_numbers_every_slot(trace1):
+    text = narrate_trace(trace1.counterexample, trace1.config)
+    steps = len(trace1.counterexample) + 1  # + the initial-state line
+    assert f"{steps}) " in text
+    assert f"{steps + 1}) " not in text
+
+
+def test_narration_mentions_the_replay(trace1):
+    text = narrate_trace(trace1.counterexample, trace1.config)
+    assert "replays the buffered frame" in text
+    assert "cold start frame" in text
+
+
+def test_narration_ends_with_the_clique_freeze(trace1):
+    text = narrate_trace(trace1.counterexample, trace1.config)
+    assert text.splitlines()[-1].endswith(
+        "freezes due to a clique avoidance error.")
+
+
+def test_narration_case_preserved(trace1):
+    text = narrate_trace(trace1.counterexample, trace1.config)
+    assert "C-state" in text or "cold start frame from node A" in text
+    assert "node a" not in text
+
+
+def test_trace2_narration_replays_a_cstate_frame(trace2):
+    text = narrate_trace(trace2.counterexample, trace2.config)
+    assert "replays the buffered frame (a C-state frame" in text
+
+
+def test_narration_covers_protocol_milestones(trace1):
+    text = narrate_trace(trace1.counterexample, trace1.config)
+    assert "enters cold start" in text
+    assert "integrates and transitions into the passive state" in text

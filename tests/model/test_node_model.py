@@ -1,0 +1,281 @@
+"""Tests for the per-node transition constraints (paper Section 4.3)."""
+
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.model.coupler_model import (
+    NOISE,
+    SILENT,
+    ChannelContent,
+    KIND_C_STATE,
+    KIND_COLD_START,
+)
+from repro.model.node_model import (
+    ST_ACTIVE,
+    ST_COLD_START,
+    ST_FREEZE,
+    ST_FREEZE_CLIQUE,
+    ST_INIT,
+    ST_LISTEN,
+    ST_PASSIVE,
+    NodeLocal,
+    frame_sent,
+    initial_local,
+    node_step,
+)
+from repro.ttp.startup import listen_timeout_slots
+
+CONFIG = ModelConfig()
+SILENCE = (SILENT, SILENT)
+
+
+def cold_start_on_bus(node_id):
+    return (ChannelContent(kind=KIND_COLD_START, frame_id=node_id), SILENT)
+
+
+def c_state_on_bus(node_id):
+    return (ChannelContent(kind=KIND_C_STATE, frame_id=node_id), SILENT)
+
+
+def listen_local(node_id=2, timeout=None, big_bang=False):
+    timeout = (listen_timeout_slots(CONFIG.slots, node_id)
+               if timeout is None else timeout)
+    return NodeLocal(ST_LISTEN, 0, big_bang, timeout, 0, 0)
+
+
+# -- freeze / init ----------------------------------------------------------------
+
+
+def test_initial_state_is_freeze():
+    assert initial_local().state == ST_FREEZE
+
+
+def test_freeze_choices_default():
+    options = node_step(CONFIG, 1, initial_local(), SILENCE)
+    assert {option.state for option in options} == {ST_FREEZE, ST_INIT}
+
+
+def test_freeze_choices_full_host():
+    config = ModelConfig(full_host_choices=True)
+    options = node_step(config, 1, initial_local(), SILENCE)
+    assert {option.state for option in options} == {ST_FREEZE, ST_INIT,
+                                                    "await", "test"}
+
+
+def test_clique_freeze_is_absorbing():
+    frozen = NodeLocal(ST_FREEZE_CLIQUE, 0, False, 0, 0, 0)
+    options = node_step(CONFIG, 1, frozen, SILENCE)
+    assert options == [frozen]
+
+
+def test_init_to_listen_sets_timeout():
+    init = NodeLocal(ST_INIT, 0, False, 0, 0, 0)
+    options = node_step(CONFIG, 2, init, SILENCE)
+    listen = [option for option in options if option.state == ST_LISTEN]
+    assert len(listen) == 1
+    assert listen[0].timeout == listen_timeout_slots(4, 2)
+
+
+# -- listen -------------------------------------------------------------------------
+
+
+def test_listen_timeout_counts_down_on_silence():
+    local = listen_local(node_id=2, timeout=3)
+    (next_local,) = node_step(CONFIG, 2, local, SILENCE)
+    assert next_local.state == ST_LISTEN
+    assert next_local.timeout == 2
+
+
+def test_listen_noise_also_counts_down():
+    local = listen_local(node_id=2, timeout=3)
+    (next_local,) = node_step(CONFIG, 2, local, (NOISE, SILENT))
+    assert next_local.timeout == 2
+
+
+def test_listen_timeout_expiry_enters_cold_start():
+    local = listen_local(node_id=2, timeout=1)
+    (next_local,) = node_step(CONFIG, 2, local, SILENCE)
+    assert next_local.state == ST_COLD_START
+    assert next_local.slot == 2  # slot counter initialized to own slot
+    assert next_local.agreed == 0 and next_local.failed == 0
+
+
+def test_first_cold_start_sets_big_bang_only():
+    local = listen_local(node_id=2)
+    (next_local,) = node_step(CONFIG, 2, local, cold_start_on_bus(1))
+    assert next_local.state == ST_LISTEN
+    assert next_local.big_bang
+
+
+def test_second_cold_start_integrates():
+    local = listen_local(node_id=2, big_bang=True)
+    (next_local,) = node_step(CONFIG, 2, local, cold_start_on_bus(1))
+    assert next_local.state == ST_PASSIVE
+    assert next_local.slot == 2  # id_on_bus + 1
+
+
+def test_cold_start_integration_wraps_slot():
+    local = listen_local(node_id=2, big_bang=True)
+    (next_local,) = node_step(CONFIG, 2, local, cold_start_on_bus(4))
+    assert next_local.slot == 1
+
+
+def test_c_state_frame_integrates_immediately():
+    local = listen_local(node_id=2, big_bang=False)
+    (next_local,) = node_step(CONFIG, 2, local, c_state_on_bus(3))
+    assert next_local.state == ST_PASSIVE
+    assert next_local.slot == 4
+
+
+def test_cold_start_frame_resets_timeout():
+    local = listen_local(node_id=2, timeout=1)
+    (next_local,) = node_step(CONFIG, 2, local, cold_start_on_bus(1))
+    # Big-bang sighting, no integration, timeout reset instead of expiry.
+    assert next_local.state == ST_LISTEN
+    assert next_local.timeout == listen_timeout_slots(4, 2)
+
+
+def test_different_frames_on_two_channels_branch():
+    """Paper Section 2.2: 'nodes may try to integrate on either channel'."""
+    local = listen_local(node_id=2, big_bang=True)
+    channels = (ChannelContent(kind=KIND_COLD_START, frame_id=1),
+                ChannelContent(kind=KIND_COLD_START, frame_id=3))
+    options = node_step(CONFIG, 2, local, channels)
+    assert {option.slot for option in options} == {2, 4}
+    assert all(option.state == ST_PASSIVE for option in options)
+
+
+# -- cold start (sender side) ------------------------------------------------------------
+
+
+def test_cold_start_sends_in_own_slot():
+    local = NodeLocal(ST_COLD_START, 1, False, 0, 0, 0)
+    assert frame_sent(local, 1) == KIND_COLD_START
+    assert frame_sent(local, 2) == "none"
+
+
+def test_active_sends_c_state_in_own_slot():
+    local = NodeLocal(ST_ACTIVE, 3, False, 0, 0, 0)
+    assert frame_sent(local, 3) == KIND_C_STATE
+
+
+def test_passive_never_sends():
+    local = NodeLocal(ST_PASSIVE, 2, False, 0, 0, 0)
+    assert frame_sent(local, 2) == "none"
+
+
+def test_own_send_credits_agreed():
+    local = NodeLocal(ST_COLD_START, 1, False, 0, 0, 0)
+    (next_local,) = node_step(CONFIG, 1, local, SILENCE)
+    assert next_local.agreed == 1
+    assert next_local.slot == 2
+
+
+def test_cold_start_round_alone_resends():
+    """A lone cold-starter (agreed=1 from its own frame) resends forever --
+    needed for the paper's trace 1 (node A keeps cold-starting)."""
+    local = NodeLocal(ST_COLD_START, 1, False, 0, 0, 0)
+    for _ in range(4):  # one full round
+        (local,) = node_step(CONFIG, 1, local, SILENCE)
+    assert local.state == ST_COLD_START
+    assert local.slot == 1
+    assert local.agreed == 0  # counters reset at the round test
+
+
+def test_cold_start_majority_becomes_active():
+    local = NodeLocal(ST_COLD_START, 4, False, 0, 2, 0)
+    (next_local,) = node_step(CONFIG, 1, local, c_state_on_bus(4))
+    assert next_local.state == ST_ACTIVE
+    assert next_local.slot == 1
+
+
+def test_cold_start_minority_returns_to_listen():
+    local = NodeLocal(ST_COLD_START, 4, False, 0, 1, 2)
+    (next_local,) = node_step(CONFIG, 1, local, SILENCE)
+    assert next_local.state == ST_LISTEN
+    assert next_local.timeout == listen_timeout_slots(4, 1)
+
+
+# -- counters and judgments ------------------------------------------------------------------
+
+
+def test_matching_c_state_counts_agreed():
+    local = NodeLocal(ST_PASSIVE, 3, False, 0, 0, 0)
+    (next_local,) = node_step(CONFIG, 1, local, c_state_on_bus(3))
+    assert next_local.agreed == 1 and next_local.failed == 0
+
+
+def test_mismatched_c_state_counts_failed():
+    """A C-state frame in the wrong slot position: the C-state check fails."""
+    local = NodeLocal(ST_PASSIVE, 3, False, 0, 0, 0)
+    (next_local,) = node_step(CONFIG, 1, local, c_state_on_bus(2))
+    assert next_local.failed == 1
+
+
+def test_cold_start_frames_not_counted():
+    """Cold-start frames are startup-only: never agreed or failed."""
+    local = NodeLocal(ST_PASSIVE, 3, False, 0, 0, 0)
+    (next_local,) = node_step(CONFIG, 1, local, cold_start_on_bus(1))
+    assert next_local.agreed == 0 and next_local.failed == 0
+
+
+def test_noise_not_counted():
+    local = NodeLocal(ST_PASSIVE, 3, False, 0, 0, 0)
+    (next_local,) = node_step(CONFIG, 1, local, (NOISE, NOISE))
+    assert next_local.agreed == 0 and next_local.failed == 0
+
+
+def test_any_channel_correct_wins():
+    local = NodeLocal(ST_PASSIVE, 3, False, 0, 0, 0)
+    channels = (ChannelContent(kind=KIND_C_STATE, frame_id=2),
+                ChannelContent(kind=KIND_C_STATE, frame_id=3))
+    (next_local,) = node_step(CONFIG, 1, local, channels)
+    assert next_local.agreed == 1 and next_local.failed == 0
+
+
+# -- active / passive round tests ---------------------------------------------------------------
+
+
+def test_active_majority_stays_active():
+    local = NodeLocal(ST_ACTIVE, 4, False, 0, 2, 1)
+    (next_local,) = node_step(CONFIG, 1, local, SILENCE)
+    assert next_local.state == ST_ACTIVE
+    assert next_local.agreed == 0  # reset for the new round
+
+
+def test_active_minority_is_clique_freeze():
+    """The protocol-forced freeze of the checked property."""
+    local = NodeLocal(ST_ACTIVE, 4, False, 0, 1, 2)
+    (next_local,) = node_step(CONFIG, 1, local, SILENCE)
+    assert next_local.state == ST_FREEZE_CLIQUE
+
+
+def test_passive_minority_is_clique_freeze():
+    local = NodeLocal(ST_PASSIVE, 4, False, 0, 0, 2)
+    (next_local,) = node_step(CONFIG, 1, local, SILENCE)
+    assert next_local.state == ST_FREEZE_CLIQUE
+
+
+def test_passive_majority_becomes_active():
+    local = NodeLocal(ST_PASSIVE, 4, False, 0, 2, 0)
+    (next_local,) = node_step(CONFIG, 1, local, SILENCE)
+    assert next_local.state == ST_ACTIVE
+
+
+def test_passive_with_no_observations_becomes_active():
+    local = NodeLocal(ST_PASSIVE, 4, False, 0, 0, 0)
+    (next_local,) = node_step(CONFIG, 1, local, SILENCE)
+    assert next_local.state == ST_ACTIVE
+
+
+def test_mid_round_just_advances():
+    local = NodeLocal(ST_ACTIVE, 2, False, 0, 1, 0)
+    (next_local,) = node_step(CONFIG, 1, local, SILENCE)
+    assert next_local.state == ST_ACTIVE
+    assert next_local.slot == 3
+
+
+def test_counters_saturate_at_cap():
+    local = NodeLocal(ST_PASSIVE, 2, False, 0, CONFIG.counter_cap, 0)
+    (next_local,) = node_step(CONFIG, 1, local, c_state_on_bus(2))
+    assert next_local.agreed == CONFIG.counter_cap

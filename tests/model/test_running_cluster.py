@@ -1,0 +1,89 @@
+"""EXP-V2: integration into a running cluster.
+
+The paper (Sections 2.2 and 6) argues the integration hazard exists "either
+during a cold-start or into a running cluster": an integrating node cannot
+recognize an incorrect C-state and may adopt a replayed frame's stale
+position.  This scenario starts from a running three-node cluster with the
+fourth node powered off and checks the same property.
+"""
+
+import pytest
+
+from repro.core.authority import CouplerAuthority
+from repro.core.verification import verify_config
+from repro.model.node_model import ST_ACTIVE, ST_FREEZE
+from repro.model.properties import clique_frozen_nodes
+from repro.model.scenarios import running_cluster_scenario
+from repro.model.system_model import TTAStartupModel
+from repro.modelcheck.checker import find_deadlocks, find_trace_to
+
+
+@pytest.mark.parametrize("authority,expected_holds", [
+    (CouplerAuthority.PASSIVE, True),
+    (CouplerAuthority.TIME_WINDOWS, True),
+    (CouplerAuthority.SMALL_SHIFTING, True),
+    (CouplerAuthority.FULL_SHIFTING, False),
+])
+def test_running_cluster_matrix(authority, expected_holds):
+    result = verify_config(running_cluster_scenario(authority))
+    assert result.property_holds == expected_holds
+
+
+def test_initial_states_one_per_round_phase():
+    config = running_cluster_scenario(CouplerAuthority.PASSIVE)
+    system = TTAStartupModel(config)
+    initials = list(system.initial_states())
+    assert len(initials) == config.slots
+    for state in initials:
+        view = system.space.view(state)
+        assert view.d_state == ST_FREEZE
+        for name in "abc":
+            assert view[f"{name}_state"] == ST_ACTIVE
+
+
+def test_running_cluster_is_stable_without_faults():
+    """No spurious freezes from the synthetic initial counters: the PASS
+    verdict covers every fault-free continuation too."""
+    result = verify_config(running_cluster_scenario(CouplerAuthority.PASSIVE))
+    assert result.property_holds
+
+
+def test_late_node_can_integrate():
+    """Non-vacuity: the powered-off node reaches active via C-state
+    integration within one round."""
+    config = running_cluster_scenario(CouplerAuthority.PASSIVE)
+    system = TTAStartupModel(config)
+    trace = find_trace_to(system, lambda view: view.d_state == "active")
+    assert trace is not None
+    assert len(trace) <= config.slots + 2
+
+
+def test_violation_is_a_c_state_replay():
+    """In a running cluster no cold-start frames exist, so the attack is
+    necessarily the C-state replay the paper's Section 6 describes."""
+    result = verify_config(running_cluster_scenario(CouplerAuthority.FULL_SHIFTING))
+    replays = [label for label in result.counterexample.labels()
+               if "out_of_slot" in label["fault"]]
+    assert len(replays) == 1
+    assert replays[0]["ch0"].startswith("c_state")
+
+
+def test_violation_is_fast():
+    """The running-cluster attack needs only a few slots (the cluster is
+    already exchanging C-state frames to replay)."""
+    result = verify_config(running_cluster_scenario(CouplerAuthority.FULL_SHIFTING))
+    assert len(result.counterexample) <= 8
+    victims = clique_frozen_nodes(result.config,
+                                  result.counterexample.final_view())
+    assert victims
+
+
+def test_running_cluster_model_deadlock_free():
+    config = running_cluster_scenario(CouplerAuthority.FULL_SHIFTING)
+    assert find_deadlocks(TTAStartupModel(config)) == []
+
+
+def test_zero_budget_restores_safety():
+    config = running_cluster_scenario(CouplerAuthority.FULL_SHIFTING,
+                                      out_of_slot_budget=0)
+    assert verify_config(config).property_holds

@@ -1,0 +1,109 @@
+"""Tests for the synchronous composition."""
+
+import pytest
+
+from repro.core.authority import CouplerAuthority
+from repro.model.config import ModelConfig
+from repro.model.node_model import ST_FREEZE, ST_LISTEN
+from repro.model.scenarios import scenario_for_authority
+from repro.model.system_model import UNLIMITED, TTAStartupModel
+
+
+def passive_model():
+    return TTAStartupModel(scenario_for_authority(CouplerAuthority.PASSIVE))
+
+
+def full_model(**kwargs):
+    return TTAStartupModel(ModelConfig(authority=CouplerAuthority.FULL_SHIFTING,
+                                       **kwargs))
+
+
+def test_state_space_layout_without_buffers():
+    model = passive_model()
+    names = model.space.names
+    assert "a_state" in names and "d_failed" in names
+    assert "c0_buf_kind" not in names  # no buffering below full shifting
+    assert len(names) == 4 * 6
+
+
+def test_state_space_layout_with_buffers():
+    model = full_model()
+    names = model.space.names
+    assert "c0_buf_kind" in names and "c1_buf_id" in names
+    assert "oos_left" in names
+    assert len(names) == 4 * 6 + 5
+
+
+def test_single_initial_state_all_frozen():
+    model = full_model()
+    (initial,) = list(model.initial_states())
+    view = model.space.view(initial)
+    assert all(view[f"{name}_state"] == ST_FREEZE for name in "abcd")
+    assert view.oos_left == 1
+    assert view.c0_buf_kind == "none"
+
+
+def test_unlimited_budget_sentinel():
+    model = full_model(out_of_slot_budget=None)
+    (initial,) = list(model.initial_states())
+    assert model.space.view(initial).oos_left == UNLIMITED
+
+
+def test_successors_nonempty_and_deduplicated():
+    model = passive_model()
+    (initial,) = list(model.initial_states())
+    successors = list(model.successors(initial))
+    targets = [transition.target for transition in successors]
+    assert targets
+    assert len(targets) == len(set(targets))
+
+
+def test_initial_branching_is_node_choices_only():
+    """From all-frozen, each node may stay or enter init: 2^4 distinct
+    states (faults are indistinguishable on a silent bus)."""
+    model = passive_model()
+    (initial,) = list(model.initial_states())
+    assert len(list(model.successors(initial))) == 16
+
+
+def test_transition_labels_describe_channels_and_fault():
+    model = passive_model()
+    (initial,) = list(model.initial_states())
+    labels = [transition.label for transition in model.successors(initial)]
+    assert all({"fault", "ch0", "ch1"} <= set(label) for label in labels)
+    assert all(label["ch0"] == "none" for label in labels)
+
+
+def test_node_view_unpacks_locals():
+    model = full_model()
+    (initial,) = list(model.initial_states())
+    local = model.node_view(initial, 1)
+    assert local.state == ST_FREEZE
+
+
+def test_deterministic_successor_order():
+    model = full_model()
+    (initial,) = list(model.initial_states())
+    first = [transition.target for transition in model.successors(initial)]
+    second = [transition.target for transition in model.successors(initial)]
+    assert first == second
+
+
+def test_listen_node_progression_reachable():
+    """Drive one specific path: A alone leaves freeze, reaches listen."""
+    model = passive_model()
+    (state,) = list(model.initial_states())
+    # Choose the successor where only A entered init.
+    for transition in model.successors(state):
+        view = model.space.view(transition.target)
+        if view.a_state == "init" and all(
+                view[f"{name}_state"] == ST_FREEZE for name in "bcd"):
+            state = transition.target
+            break
+    found_listen = False
+    for transition in model.successors(state):
+        view = model.space.view(transition.target)
+        if view.a_state == ST_LISTEN:
+            found_listen = True
+            assert view.a_timeout == 5  # slots + node_id = 4 + 1
+    assert found_listen

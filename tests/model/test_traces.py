@@ -1,0 +1,126 @@
+"""EXP-T1 / EXP-T2: the paper's two counterexample traces.
+
+The checks pin down the *causal story* of each narrated trace rather than
+exact step counts (BFS and SMV's BDD search may break ties between
+equal-length traces differently -- see DESIGN.md):
+
+* trace 1 (out-of-slot budget 1): a *duplicated cold-start frame* makes a
+  node integrate with a stale slot position; the resulting C-state
+  disagreements force a fault-free integrated node into the clique-error
+  freeze;
+* trace 2 (cold-start duplication prohibited): the same failure through a
+  *duplicated C-state frame*.
+"""
+
+import pytest
+
+from repro.core.verification import verify_config
+from repro.model.node_model import ST_FREEZE_CLIQUE
+from repro.model.properties import clique_frozen_nodes
+from repro.model.scenarios import trace1_scenario, trace2_scenario
+
+
+@pytest.fixture(scope="module")
+def trace1():
+    return verify_config(trace1_scenario())
+
+
+@pytest.fixture(scope="module")
+def trace2():
+    return verify_config(trace2_scenario())
+
+
+def test_trace1_violates(trace1):
+    assert not trace1.property_holds
+
+
+def test_trace1_replays_a_cold_start_frame(trace1):
+    """The paper's trace 1 is 'an error caused by a duplicated cold start
+    frame'."""
+    replay_steps = [label for label in trace1.counterexample.labels()
+                    if "out_of_slot" in label["fault"]]
+    assert len(replay_steps) == 1
+    assert replay_steps[0]["ch0"].startswith("cold_start")
+
+
+def test_trace1_ends_in_clique_freeze(trace1):
+    final = trace1.counterexample.final_view()
+    victims = clique_frozen_nodes(trace1.config, final)
+    assert len(victims) >= 1
+
+
+def test_trace1_victim_was_integrated(trace1):
+    """The frozen node reached passive/active before freezing (it is a
+    victim of the coupler, not a node that failed to start)."""
+    trace = trace1.counterexample
+    victim = trace1.frozen_node()
+    history = trace.variable_history(f"{victim.lower()}_state")
+    assert ST_FREEZE_CLIQUE == history[-1]
+    assert "passive" in history or "active" in history
+
+
+def test_trace1_all_nodes_started_in_freeze(trace1):
+    """Paper trace 1, step 1: 'Initially, all nodes are in the freeze
+    state'."""
+    initial = trace1.counterexample.view(0)
+    assert all(initial[f"{name}_state"] == "freeze" for name in "abcd")
+
+
+def test_trace1_a_cold_starts_first(trace1):
+    """The narrated startup: node A (slot 1) is the first cold-starter."""
+    history = trace1.counterexample.variable_history("a_state")
+    assert "cold_start" in history
+
+
+def test_trace1_big_bang_observed(trace1):
+    """Some node must pass through big_bang=True before integrating on the
+    replayed (second) cold-start frame."""
+    trace = trace1.counterexample
+    big_bang_seen = any(
+        any(step.state[trace.space.index[f"{name}_big_bang"]]
+            for name in "abcd")
+        for step in trace.steps)
+    assert big_bang_seen
+
+
+def test_trace1_length_close_to_paper(trace1):
+    """The paper narrates 10 steps; our slot-accurate shortest trace must
+    be in the same ballpark (each paper step is roughly one TDMA slot)."""
+    assert 8 <= len(trace1.counterexample) <= 16
+
+
+def test_trace2_violates(trace2):
+    assert not trace2.property_holds
+
+
+def test_trace2_replays_a_c_state_frame(trace2):
+    """With cold-start duplication prohibited, the counterexample must be
+    'triggered by duplicating a C-state frame' (paper Section 5.2)."""
+    replay_steps = [label for label in trace2.counterexample.labels()
+                    if "out_of_slot" in label["fault"]]
+    assert len(replay_steps) == 1
+    assert replay_steps[0]["ch0"].startswith("c_state")
+
+
+def test_trace2_ends_in_clique_freeze(trace2):
+    victims = clique_frozen_nodes(trace2.config, trace2.counterexample.final_view())
+    assert victims
+
+
+def test_trace2_longer_than_trace1(trace2, trace1):
+    """The cold-start route is the fastest attack; prohibiting it forces a
+    longer counterexample (a C-state frame must exist to be replayed, so
+    some node must have become active first)."""
+    assert len(trace2.counterexample) > len(trace1.counterexample)
+
+
+def test_trace2_some_node_activated_before_replay(trace2):
+    """A C-state frame can only be buffered after a node becomes active."""
+    trace = trace2.counterexample
+    replay_index = next(index for index, step in enumerate(trace.steps)
+                        if "out_of_slot" in step.label.get("fault", ""))
+    earlier_active = any(
+        any(step.state[trace.space.index[f"{name}_state"]] == "active"
+            for name in "abcd")
+        for step in trace.steps[:replay_index])
+    assert earlier_active

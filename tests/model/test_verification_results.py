@@ -1,0 +1,203 @@
+"""EXP-V1: the paper's Section 5.2 verification matrix, as tests.
+
+These are the headline model-checking results:
+
+* passive, time-windows, and small-shifting couplers satisfy the property
+  "no single coupler fault forces a fault-free integrated node into the
+  freeze state";
+* full-shifting couplers violate it, with counterexamples driven by
+  out-of-slot frame replays.
+"""
+
+import pytest
+
+from repro.core.authority import CouplerAuthority
+from repro.core.verification import (
+    expected_verdicts,
+    verify_all_authorities,
+    verify_authority,
+    verify_config,
+)
+from repro.model.node_model import ST_FREEZE_CLIQUE
+from repro.model.properties import (
+    all_nodes_active,
+    clique_frozen_nodes,
+    no_clique_freeze,
+    property_description,
+    some_node_integrated,
+)
+from repro.model.scenarios import (
+    scenario_for_authority,
+    trace1_scenario,
+    unconstrained_full_shifting,
+)
+from repro.model.system_model import TTAStartupModel
+from repro.modelcheck.checker import check_invariant
+
+
+@pytest.mark.parametrize("authority,expected_holds", [
+    (CouplerAuthority.PASSIVE, True),
+    (CouplerAuthority.TIME_WINDOWS, True),
+    (CouplerAuthority.SMALL_SHIFTING, True),
+    (CouplerAuthority.FULL_SHIFTING, False),
+])
+def test_verification_matrix_matches_paper(authority, expected_holds):
+    result = verify_authority(authority)
+    assert result.property_holds == expected_holds
+
+
+def test_expected_verdicts_table():
+    assert expected_verdicts()[CouplerAuthority.FULL_SHIFTING] is False
+    assert sum(expected_verdicts().values()) == 3
+
+
+def test_full_matrix_driver():
+    results = verify_all_authorities()
+    for authority, result in results.items():
+        assert result.property_holds == expected_verdicts()[authority]
+
+
+def test_full_shifting_counterexample_has_frozen_node():
+    result = verify_authority(CouplerAuthority.FULL_SHIFTING)
+    trace = result.counterexample
+    assert trace is not None
+    victims = clique_frozen_nodes(result.config, trace.final_view())
+    assert victims
+    assert result.frozen_node() in victims
+
+
+def test_counterexample_involves_out_of_slot_fault():
+    """The violation is *caused* by the replay capability: the trace must
+    contain an out-of-slot fault event."""
+    result = verify_authority(CouplerAuthority.FULL_SHIFTING)
+    faults = [label["fault"] for label in result.counterexample.labels()]
+    assert any("out_of_slot" in fault for fault in faults)
+
+
+def test_out_of_slot_budget_respected_in_trace():
+    result = verify_config(trace1_scenario())
+    replays = sum(1 for label in result.counterexample.labels()
+                  if "out_of_slot" in label["fault"])
+    assert replays == 1
+
+
+def test_unconstrained_scenario_also_violates():
+    """The paper's first check (before adding the budget constraint)."""
+    result = verify_config(unconstrained_full_shifting())
+    assert not result.property_holds
+    # Without the budget constraint the shortest trace uses multiple
+    # out-of-slot errors (the paper's SMV run found four).
+    replays = sum(1 for label in result.counterexample.labels()
+                  if "out_of_slot" in label["fault"])
+    assert replays >= 2
+
+
+def test_budget_constraint_lengthens_trace():
+    """Paper Section 5.2: limiting out-of-slot errors to one 'results in a
+    slightly longer trace'."""
+    unconstrained = verify_config(unconstrained_full_shifting())
+    constrained = verify_config(trace1_scenario())
+    assert len(constrained.counterexample) > len(unconstrained.counterexample)
+
+
+def test_no_violation_without_any_fault_budget():
+    """With out-of-slot exhausted from the start the property holds even
+    for full-shifting couplers -- pinning the violation on the replay."""
+    config = scenario_for_authority(CouplerAuthority.FULL_SHIFTING,
+                                    out_of_slot_budget=0)
+    result = verify_config(config)
+    assert result.property_holds
+
+
+def test_startup_succeeds_in_the_model():
+    """Reachability probe: a state with all four nodes active exists (the
+    model is not vacuously safe)."""
+    config = scenario_for_authority(CouplerAuthority.PASSIVE)
+    system = TTAStartupModel(config)
+    target = all_nodes_active(config)
+    result = check_invariant(system, lambda view: not target(view))
+    assert not result.holds  # i.e. the all-active state is reachable
+
+
+def test_integration_reachable_quickly():
+    config = scenario_for_authority(CouplerAuthority.PASSIVE)
+    system = TTAStartupModel(config)
+    target = some_node_integrated(config)
+    result = check_invariant(system, lambda view: not target(view))
+    assert not result.holds
+    assert len(result.counterexample) <= 12
+
+
+def test_faulty_coupler_symmetry():
+    """Couplers are symmetric: restricting faults to coupler 1 instead of
+    coupler 0 yields the same verdict and trace length."""
+    from repro.model.config import ModelConfig
+
+    left = verify_config(ModelConfig(authority=CouplerAuthority.FULL_SHIFTING,
+                                     faulty_coupler=0))
+    right = verify_config(ModelConfig(authority=CouplerAuthority.FULL_SHIFTING,
+                                      faulty_coupler=1))
+    assert left.property_holds == right.property_holds
+    assert len(left.counterexample) == len(right.counterexample)
+
+
+def test_either_coupler_configuration_matches_designated():
+    from repro.model.config import ModelConfig
+
+    both = verify_config(ModelConfig(authority=CouplerAuthority.FULL_SHIFTING,
+                                     faulty_coupler=None))
+    single = verify_config(ModelConfig(authority=CouplerAuthority.FULL_SHIFTING,
+                                       faulty_coupler=0))
+    assert both.property_holds == single.property_holds
+    assert len(both.counterexample) == len(single.counterexample)
+
+
+@pytest.mark.parametrize("authority,expected_holds", [
+    (CouplerAuthority.PASSIVE, True),
+    (CouplerAuthority.FULL_SHIFTING, False),
+])
+def test_full_host_choice_model_same_verdicts(authority, expected_holds):
+    """Fidelity check: restoring the paper's complete nondeterministic host
+    transitions (freeze -> {init, await, test}, active -> {freeze,
+    passive}) changes the state-space size but not the verdicts."""
+    from repro.model.config import ModelConfig
+
+    result = verify_config(ModelConfig(authority=authority,
+                                       full_host_choices=True))
+    assert result.property_holds == expected_holds
+
+
+def test_full_host_choice_model_explores_more_states():
+    from repro.model.config import ModelConfig
+
+    pruned = verify_config(ModelConfig(authority=CouplerAuthority.PASSIVE))
+    full = verify_config(ModelConfig(authority=CouplerAuthority.PASSIVE,
+                                     full_host_choices=True))
+    assert full.check.states_explored > pruned.check.states_explored
+
+
+def test_narrate_renders_verdict_and_trace():
+    result = verify_authority(CouplerAuthority.FULL_SHIFTING)
+    text = result.narrate()
+    assert "PROPERTY VIOLATED" in text
+    assert "forced to freeze" in text
+    assert "step 0" in text
+
+
+def test_narrate_pass_configuration():
+    result = verify_authority(CouplerAuthority.PASSIVE)
+    assert "PROPERTY HOLDS" in result.narrate()
+
+
+def test_property_description_mentions_freeze():
+    assert "freeze" in property_description()
+
+
+def test_invariant_rejects_clique_frozen_state():
+    config = scenario_for_authority(CouplerAuthority.PASSIVE)
+    system = TTAStartupModel(config)
+    (initial,) = list(system.initial_states())
+    bad = system.space.updated(initial, a_state=ST_FREEZE_CLIQUE)
+    invariant = no_clique_freeze(config)
+    assert invariant(system.space.view(initial))
+    assert not invariant(system.space.view(bad))

@@ -1,0 +1,71 @@
+"""Tests for witness search and deadlock detection."""
+
+from repro.modelcheck.checker import find_deadlocks, find_trace_to
+from repro.modelcheck.model import ExplicitTransitionSystem
+from repro.modelcheck.state import StateSpace, Variable
+
+
+def chain_system(length=10, loop_last=True):
+    sp = StateSpace([Variable("n")])
+    transitions = {}
+    for value in range(length):
+        transitions[(value,)] = [((value + 1,), {"step": value})]
+    transitions[(length,)] = [((length,), {})] if loop_last else []
+    return ExplicitTransitionSystem(sp, [(0,)], transitions), sp
+
+
+def test_find_trace_to_returns_shortest_witness():
+    system, _ = chain_system()
+    trace = find_trace_to(system, lambda view: view.n == 7)
+    assert trace is not None
+    assert len(trace) == 7
+    assert trace.final_view().n == 7
+
+
+def test_find_trace_to_unreachable_returns_none():
+    system, _ = chain_system()
+    assert find_trace_to(system, lambda view: view.n == 99) is None
+
+
+def test_find_trace_to_initial_state():
+    system, _ = chain_system()
+    trace = find_trace_to(system, lambda view: view.n == 0)
+    assert trace is not None
+    assert len(trace) == 0
+
+
+def test_find_trace_respects_depth_limit():
+    system, _ = chain_system(length=50)
+    assert find_trace_to(system, lambda view: view.n == 40, max_depth=10) is None
+
+
+def test_no_deadlocks_in_looping_system():
+    system, _ = chain_system(loop_last=True)
+    assert find_deadlocks(system) == []
+
+
+def test_deadlock_found_with_trace():
+    system, _ = chain_system(length=5, loop_last=False)
+    deadlocks = find_deadlocks(system)
+    assert len(deadlocks) == 1
+    assert deadlocks[0].final_view().n == 5
+    assert len(deadlocks[0]) == 5
+
+
+def test_multiple_deadlocks():
+    sp = StateSpace([Variable("n")])
+    transitions = {(0,): [((1,), {}), ((2,), {})], (1,): [], (2,): []}
+    system = ExplicitTransitionSystem(sp, [(0,)], transitions)
+    deadlocks = find_deadlocks(system)
+    assert {trace.final_view().n for trace in deadlocks} == {1, 2}
+
+
+def test_paper_model_is_deadlock_free():
+    """Model hygiene: every reachable state of the Section 4 model has a
+    successor (freeze states stutter)."""
+    from repro.core.authority import CouplerAuthority
+    from repro.model.scenarios import scenario_for_authority
+    from repro.model.system_model import TTAStartupModel
+
+    system = TTAStartupModel(scenario_for_authority(CouplerAuthority.PASSIVE))
+    assert find_deadlocks(system) == []

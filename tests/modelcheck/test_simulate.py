@@ -1,0 +1,97 @@
+"""Tests for Monte-Carlo exploration."""
+
+import pytest
+
+from repro.core.authority import CouplerAuthority
+from repro.model.properties import no_clique_freeze
+from repro.model.scenarios import scenario_for_authority
+from repro.model.system_model import TTAStartupModel
+from repro.modelcheck.model import ExplicitTransitionSystem
+from repro.modelcheck.simulate import monte_carlo_check, random_walk
+from repro.modelcheck.state import StateSpace, Variable
+from repro.sim.rng import RandomStream
+
+
+def branching_system(bad_state=99):
+    """From 0, branch to 1 (safe loop) or to the bad state."""
+    sp = StateSpace([Variable("n")])
+    transitions = {
+        (0,): [((1,), {"pick": "safe"}), ((bad_state,), {"pick": "bad"})],
+        (1,): [((1,), {})],
+        (bad_state,): [((bad_state,), {})],
+    }
+    return ExplicitTransitionSystem(sp, [(0,)], transitions)
+
+
+def test_walk_finds_adjacent_violation_eventually():
+    result = monte_carlo_check(branching_system(),
+                               lambda view: view.n != 99,
+                               walks=50, max_depth=5, seed=1)
+    assert result.found_violation
+    assert 0 < result.violation_rate < 1.0
+    assert result.first_witness is not None
+    assert result.first_witness.final_view().n == 99
+
+
+def test_walk_on_safe_system_never_violates():
+    sp = StateSpace([Variable("n")])
+    system = ExplicitTransitionSystem(sp, [(0,)], {(0,): [((0,), {})]})
+    result = monte_carlo_check(system, lambda view: True, walks=20,
+                               max_depth=10)
+    assert not result.found_violation
+    assert result.violation_rate == 0.0
+
+
+def test_walk_stops_at_deadlock():
+    sp = StateSpace([Variable("n")])
+    system = ExplicitTransitionSystem(sp, [(0,)], {(0,): [((1,), {})],
+                                                   (1,): []})
+    result = random_walk(system, lambda view: True,
+                         RandomStream(seed=0), max_depth=50)
+    assert not result.violated
+    assert result.steps_taken <= 2
+
+
+def test_violating_initial_state_detected():
+    sp = StateSpace([Variable("n")])
+    system = ExplicitTransitionSystem(sp, [(7,)], {(7,): []})
+    result = random_walk(system, lambda view: view.n != 7, RandomStream(seed=0))
+    assert result.violated
+    assert result.steps_taken == 0
+
+
+def test_deterministic_given_seed():
+    first = monte_carlo_check(branching_system(), lambda view: view.n != 99,
+                              walks=30, max_depth=5, seed=42)
+    second = monte_carlo_check(branching_system(), lambda view: view.n != 99,
+                               walks=30, max_depth=5, seed=42)
+    assert first.violations == second.violations
+    assert first.total_steps == second.total_steps
+
+
+def test_walk_count_validation():
+    with pytest.raises(ValueError):
+        monte_carlo_check(branching_system(), lambda view: True, walks=0)
+
+
+def test_full_shifting_violation_found_statistically():
+    """Cross-check against the exhaustive verdict: random walks also stumble
+    into the out-of-slot failure of the full-shifting configuration."""
+    config = scenario_for_authority(CouplerAuthority.FULL_SHIFTING)
+    system = TTAStartupModel(config)
+    result = monte_carlo_check(system, no_clique_freeze(config),
+                               walks=300, max_depth=40, seed=7)
+    assert result.found_violation
+    witness = result.first_witness
+    assert any("out_of_slot" in step.label.get("fault", "")
+               for step in witness.steps)
+
+
+def test_passive_configuration_clean_in_walks():
+    """And the PASS configuration shows no violations over many walks
+    (consistent with, though not a proof of, the exhaustive HOLDS)."""
+    config = scenario_for_authority(CouplerAuthority.PASSIVE)
+    system = TTAStartupModel(config)
+    result = monte_carlo_check(system, no_clique_freeze(config),
+                               walks=150, max_depth=40, seed=7)
+    assert not result.found_violation

@@ -1,0 +1,112 @@
+"""Tests for state-space declarations and state views."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.modelcheck.state import StateSpace, StateView, Variable
+
+
+def space():
+    return StateSpace([
+        Variable("mode", domain=("idle", "busy")),
+        Variable("count"),
+        Variable("flag", domain=(True, False)),
+    ])
+
+
+def test_requires_variables():
+    with pytest.raises(ValueError):
+        StateSpace([])
+
+
+def test_rejects_duplicate_names():
+    with pytest.raises(ValueError):
+        StateSpace([Variable("x"), Variable("x")])
+
+
+def test_names_in_declaration_order():
+    assert space().names == ["mode", "count", "flag"]
+
+
+def test_make_from_mapping():
+    state = space().make({"mode": "idle", "count": 3, "flag": True})
+    assert state == ("idle", 3, True)
+
+
+def test_make_rejects_missing_and_extra():
+    with pytest.raises(ValueError):
+        space().make({"mode": "idle", "count": 3})
+    with pytest.raises(ValueError):
+        space().make({"mode": "idle", "count": 3, "flag": True, "bogus": 1})
+
+
+def test_view_attribute_and_item_access():
+    view = space().view(("busy", 7, False))
+    assert view.mode == "busy"
+    assert view["count"] == 7
+    assert view.flag is False
+
+
+def test_view_unknown_name():
+    view = space().view(("busy", 7, False))
+    with pytest.raises(AttributeError):
+        _ = view.nonexistent
+
+
+def test_view_is_read_only():
+    view = space().view(("busy", 7, False))
+    with pytest.raises(AttributeError):
+        view.mode = "idle"
+
+
+def test_view_as_dict_and_raw():
+    view = space().view(("idle", 0, True))
+    assert view.as_dict() == {"mode": "idle", "count": 0, "flag": True}
+    assert view.raw == ("idle", 0, True)
+
+
+def test_validate_checks_domains_and_length():
+    sp = space()
+    sp.validate(("idle", 99, True))
+    with pytest.raises(ValueError):
+        sp.validate(("sleeping", 0, True))
+    with pytest.raises(ValueError):
+        sp.validate(("idle", 0))
+
+
+def test_updated_replaces_named_variables():
+    sp = space()
+    state = ("idle", 0, True)
+    assert sp.updated(state, count=5) == ("idle", 5, True)
+    assert sp.updated(state, mode="busy", flag=False) == ("busy", 0, False)
+    assert state == ("idle", 0, True)  # original untouched
+
+
+def test_theoretical_size():
+    bounded = StateSpace([Variable("a", domain=(1, 2)),
+                          Variable("b", domain=(1, 2, 3))])
+    assert bounded.theoretical_size() == 6
+    assert space().theoretical_size() is None  # open domain
+
+
+def test_diff_reports_changes_only():
+    sp = space()
+    changes = sp.diff(("idle", 0, True), ("busy", 0, False))
+    assert changes == {"mode": ("idle", "busy"), "flag": (True, False)}
+
+
+def test_diff_identical_states_empty():
+    sp = space()
+    assert sp.diff(("idle", 0, True), ("idle", 0, True)) == {}
+
+
+@given(st.integers(), st.integers())
+def test_updated_then_diff_roundtrip(before_count, after_count):
+    sp = space()
+    before = ("idle", before_count, True)
+    after = sp.updated(before, count=after_count)
+    changes = sp.diff(before, after)
+    if before_count == after_count:
+        assert changes == {}
+    else:
+        assert changes == {"count": (before_count, after_count)}

@@ -1,0 +1,90 @@
+"""Tests for trace rendering and queries."""
+
+from repro.modelcheck.state import StateSpace, Variable
+from repro.modelcheck.trace import Trace, TraceStep, render_trace
+
+
+def make_trace():
+    sp = StateSpace([Variable("mode"), Variable("count")])
+    steps = [
+        TraceStep(state=("idle", 0)),
+        TraceStep(state=("busy", 0), label={"event": "start"}),
+        TraceStep(state=("busy", 1), label={"event": "tick"}),
+        TraceStep(state=("done", 1), label={"event": "finish"}),
+    ]
+    return Trace(space=sp, steps=steps)
+
+
+def test_len_counts_transitions():
+    assert len(make_trace()) == 3
+
+
+def test_empty_trace_len():
+    sp = StateSpace([Variable("x")])
+    assert len(Trace(space=sp, steps=[])) == 0
+
+
+def test_views():
+    trace = make_trace()
+    assert trace.view(0).mode == "idle"
+    assert trace.final_view().mode == "done"
+
+
+def test_labels_skip_initial():
+    assert [label["event"] for label in make_trace().labels()] == [
+        "start", "tick", "finish"]
+
+
+def test_find_step_by_label():
+    trace = make_trace()
+    assert trace.find_step(event="tick") == 2
+    assert trace.find_step(event="missing") is None
+
+
+def test_variable_history():
+    trace = make_trace()
+    assert trace.variable_history("count") == [0, 0, 1, 1]
+    assert trace.variable_history("mode") == ["idle", "busy", "busy", "done"]
+
+
+def test_render_shows_initial_state_fully():
+    text = render_trace(make_trace())
+    assert "step 0" in text
+    assert "mode = idle" in text
+    assert "count = 0" in text
+
+
+def test_render_shows_diffs_only_for_later_steps():
+    text = render_trace(make_trace())
+    assert "mode: idle -> busy" in text
+    assert "count: 0 -> 1" in text
+
+
+def test_render_shows_labels():
+    text = render_trace(make_trace())
+    assert "[event=start]" in text
+
+
+def test_render_custom_title():
+    text = render_trace(make_trace(), title="My trace")
+    assert text.startswith("My trace\n========")
+
+
+def test_render_no_change_step():
+    sp = StateSpace([Variable("x")])
+    trace = Trace(space=sp, steps=[TraceStep(state=(1,)),
+                                   TraceStep(state=(1,), label={})])
+    assert "(no state change)" in render_trace(trace)
+
+
+def test_render_formats_enum_like_values():
+    class Fake:
+        value = "pretty"
+
+    sp = StateSpace([Variable("x")])
+    trace = Trace(space=sp, steps=[TraceStep(state=(Fake(),))])
+    assert "pretty" in render_trace(trace)
+
+
+def test_iteration():
+    assert len(list(make_trace())) == 4

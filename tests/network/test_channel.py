@@ -1,0 +1,142 @@
+"""Tests for broadcast channels and collision semantics."""
+
+import pytest
+
+from repro.network.channel import Channel, Transmission
+from repro.sim.engine import Simulator
+from repro.sim.monitor import TraceMonitor
+from repro.sim.rng import RandomStream
+from repro.ttp.frames import IFrame
+
+
+def make_channel(**kwargs):
+    sim = Simulator()
+    channel = Channel(sim, name="ch0", **kwargs)
+    deliveries = []
+    channel.subscribe(lambda tx, corrupted: deliveries.append((tx, corrupted)))
+    return sim, channel, deliveries
+
+
+def tx(source, start, duration=76.0):
+    return Transmission(frame=IFrame(sender_slot=1), source=source,
+                        start_time=start, duration=duration)
+
+
+def test_single_transmission_delivered_clean():
+    sim, channel, deliveries = make_channel()
+    sim.schedule(10.0, lambda: channel.transmit(tx("A", 10.0)))
+    sim.run()
+    assert len(deliveries) == 1
+    transmission, corrupted = deliveries[0]
+    assert transmission.source == "A"
+    assert not corrupted
+    assert sim.now == 86.0
+
+
+def test_transmit_must_happen_now():
+    sim, channel, _ = make_channel()
+    with pytest.raises(ValueError):
+        channel.transmit(tx("A", 5.0))
+
+
+def test_overlapping_transmissions_both_corrupted():
+    sim, channel, deliveries = make_channel()
+    sim.schedule(0.0, lambda: channel.transmit(tx("A", 0.0)))
+    sim.schedule(10.0, lambda: channel.transmit(tx("B", 10.0)))
+    sim.run()
+    assert len(deliveries) == 2
+    assert all(corrupted for _, corrupted in deliveries)
+    assert channel.corrupted_count == 2
+
+
+def test_sequential_transmissions_clean():
+    sim, channel, deliveries = make_channel()
+    sim.schedule(0.0, lambda: channel.transmit(tx("A", 0.0)))
+    sim.schedule(100.0, lambda: channel.transmit(tx("B", 100.0)))
+    sim.run()
+    assert all(not corrupted for _, corrupted in deliveries)
+
+
+def test_three_way_collision():
+    sim, channel, deliveries = make_channel()
+    for source, start in (("A", 0.0), ("B", 20.0), ("C", 40.0)):
+        sim.schedule(start, lambda s=source, t=start: channel.transmit(tx(s, t)))
+    sim.run()
+    assert all(corrupted for _, corrupted in deliveries)
+
+
+def test_busy_flag():
+    sim, channel, _ = make_channel()
+    states = []
+    sim.schedule(0.0, lambda: channel.transmit(tx("A", 0.0)))
+    sim.schedule(50.0, lambda: states.append(channel.busy))
+    sim.schedule(100.0, lambda: states.append(channel.busy))
+    sim.run()
+    assert states == [True, False]
+
+
+def test_drop_probability_one_loses_everything():
+    sim = Simulator()
+    channel = Channel(sim, "ch0", drop_probability=1.0, rng=RandomStream(seed=1))
+    deliveries = []
+    channel.subscribe(lambda tx_, corrupted: deliveries.append(tx_))
+    sim.schedule(0.0, lambda: channel.transmit(tx("A", 0.0)))
+    sim.run()
+    assert deliveries == []
+    assert channel.dropped_count == 1
+
+
+def test_corrupt_probability_one_corrupts_everything():
+    sim = Simulator()
+    channel = Channel(sim, "ch0", corrupt_probability=1.0, rng=RandomStream(seed=1))
+    deliveries = []
+    channel.subscribe(lambda tx_, corrupted: deliveries.append(corrupted))
+    sim.schedule(0.0, lambda: channel.transmit(tx("A", 0.0)))
+    sim.run()
+    assert deliveries == [True]
+
+
+def test_probabilities_inactive_without_rng():
+    sim = Simulator()
+    channel = Channel(sim, "ch0", drop_probability=1.0)  # no rng -> no faults
+    deliveries = []
+    channel.subscribe(lambda tx_, corrupted: deliveries.append(tx_))
+    sim.schedule(0.0, lambda: channel.transmit(tx("A", 0.0)))
+    sim.run()
+    assert len(deliveries) == 1
+
+
+def test_multiple_subscribers_all_notified():
+    sim, channel, deliveries = make_channel()
+    extra = []
+    channel.subscribe(lambda tx_, corrupted: extra.append(tx_))
+    sim.schedule(0.0, lambda: channel.transmit(tx("A", 0.0)))
+    sim.run()
+    assert len(deliveries) == 1 and len(extra) == 1
+
+
+def test_monitor_records_tx_lifecycle():
+    sim = Simulator()
+    monitor = TraceMonitor()
+    channel = Channel(sim, "ch0", monitor=monitor)
+    sim.schedule(0.0, lambda: channel.transmit(tx("A", 0.0)))
+    sim.run()
+    assert monitor.count("tx_start") == 1
+    assert monitor.count("tx_complete") == 1
+
+
+def test_delivered_count():
+    sim, channel, _ = make_channel()
+    sim.schedule(0.0, lambda: channel.transmit(tx("A", 0.0)))
+    sim.schedule(100.0, lambda: channel.transmit(tx("B", 100.0)))
+    sim.run()
+    assert channel.delivered_count == 2
+
+
+def test_transmission_overlap_predicate():
+    first = tx("A", 0.0, duration=50.0)
+    second = tx("B", 49.0, duration=50.0)
+    third = tx("C", 50.0, duration=50.0)
+    assert first.overlaps(second)
+    assert not first.overlaps(third)
+    assert first.end_time == 50.0

@@ -1,0 +1,90 @@
+"""Passive channel faults under the TTP/C fault hypothesis.
+
+The hypothesis allows channels to *corrupt or drop* frames (never generate
+them).  The protocol's defense is replication: every frame goes out on
+both channels, so a single-channel loss is invisible.  A node that misses
+a frame on *both* channels genuinely disagrees with the majority and is
+(correctly) frozen by the clique-avoidance test -- after which its host can
+reawaken it and it reintegrates.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.faults.injector import apply_fault
+from repro.faults.types import FaultDescriptor, FaultType
+from repro.ttp.constants import ControllerStateName
+
+
+def run_lossy(drop=0.0, corrupt=0.0, seed=0, rounds=40):
+    spec = ClusterSpec(topology="star", channel_drop_probability=drop,
+                       channel_corrupt_probability=corrupt, seed=seed)
+    cluster = Cluster(spec)
+    cluster.power_on()
+    cluster.run(rounds=rounds)
+    return cluster
+
+
+def test_low_drop_rate_fully_tolerated():
+    """2% per-channel loss: both-channel omissions are rare enough that a
+    40-round run sails through (deterministic seeds)."""
+    for seed in range(4):
+        cluster = run_lossy(drop=0.02, seed=seed)
+        assert cluster.healthy_victims() == [], f"seed {seed}"
+        assert all(state is ControllerStateName.ACTIVE
+                   for state in cluster.states().values())
+
+
+def test_losses_actually_happened():
+    cluster = run_lossy(drop=0.02, seed=1)
+    assert sum(channel.dropped_count for channel in cluster.topology.channels) > 0
+
+
+def test_corruption_tolerated_at_low_rate():
+    cluster = run_lossy(corrupt=0.02, seed=2)
+    assert cluster.healthy_victims() == []
+    assert sum(channel.corrupted_count
+               for channel in cluster.topology.channels) > 0
+
+
+def test_double_channel_omission_freezes_the_blinded_node():
+    """5% drop, seed 0: a node misses a frame on both channels, lands in
+    the minority, and the protocol freezes it -- harsh but correct (the
+    paper's 'frequent shutdowns of non-faulty nodes' concern)."""
+    cluster = run_lossy(drop=0.05, seed=0)
+    assert cluster.protocol_frozen_nodes() != []
+
+
+def test_blinded_node_reintegrates_after_host_restart():
+    cluster = run_lossy(drop=0.05, seed=0)
+    frozen = cluster.protocol_frozen_nodes()
+    assert frozen
+    # Stop the losses (transient disturbance) and reawaken the victims.
+    for channel in cluster.topology.channels:
+        channel.drop_probability = 0.0
+    for name in frozen:
+        cluster.controllers[name].power_on()
+    cluster.run(rounds=30)
+    assert all(state is ControllerStateName.ACTIVE
+               for state in cluster.states().values())
+    assert cluster.protocol_frozen_nodes() == []
+
+
+def test_injector_wires_channel_faults():
+    spec = apply_fault(ClusterSpec(), FaultDescriptor(
+        FaultType.CHANNEL_DROP, probability=0.07))
+    assert spec.channel_drop_probability == 0.07
+    spec = apply_fault(ClusterSpec(), FaultDescriptor(
+        FaultType.CHANNEL_CORRUPT, probability=0.03))
+    assert spec.channel_corrupt_probability == 0.03
+
+
+def test_channels_never_generate_frames():
+    """Fault-hypothesis sanity: with every node silent, lossy channels
+    deliver nothing at all."""
+    spec = ClusterSpec(topology="star", channel_drop_probability=0.5,
+                       channel_corrupt_probability=0.5, seed=3)
+    cluster = Cluster(spec)  # never powered on
+    cluster.run(rounds=20)
+    assert all(channel.delivered_count == 0
+               for channel in cluster.topology.channels)

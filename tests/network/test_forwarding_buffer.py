@@ -1,0 +1,117 @@
+"""Tests for the leaky-bucket forwarding buffer (paper eq. 1 dynamics)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.buffer_analysis import minimum_buffer_bits
+from repro.network.star_coupler import ForwardingBuffer
+from repro.sim.clock import ppm_to_rate
+from repro.ttp.constants import LINE_ENCODING_BITS
+
+
+def commodity_buffer(coupler_fast=True):
+    """Worst-case commodity crystals: node and coupler 100 ppm apart."""
+    if coupler_fast:
+        return ForwardingBuffer(in_rate=ppm_to_rate(-100), out_rate=ppm_to_rate(100))
+    return ForwardingBuffer(in_rate=ppm_to_rate(100), out_rate=ppm_to_rate(-100))
+
+
+def delta_rho_of(buffer_model):
+    fast = max(buffer_model.in_rate, buffer_model.out_rate)
+    slow = min(buffer_model.in_rate, buffer_model.out_rate)
+    return (fast - slow) / fast
+
+
+def test_equal_rates_need_only_line_encoding():
+    buffer_model = ForwardingBuffer(in_rate=1.0, out_rate=1.0)
+    result = buffer_model.simulate(2076)
+    assert result.peak_occupancy_bits == pytest.approx(LINE_ENCODING_BITS)
+    assert not result.underrun
+
+
+def test_rates_must_be_positive():
+    with pytest.raises(ValueError):
+        ForwardingBuffer(in_rate=0.0, out_rate=1.0)
+    with pytest.raises(ValueError):
+        ForwardingBuffer(in_rate=1.0, out_rate=-1.0)
+
+
+def test_frame_bits_must_be_positive():
+    with pytest.raises(ValueError):
+        commodity_buffer().simulate(0)
+
+
+@pytest.mark.parametrize("frame_bits", [28, 76, 2076, 115000])
+@pytest.mark.parametrize("coupler_fast", [True, False])
+def test_peak_occupancy_matches_eq1(frame_bits, coupler_fast):
+    """EXP-S1 core check: measured peak within one bit of eq. (1)."""
+    buffer_model = commodity_buffer(coupler_fast)
+    result = buffer_model.simulate(frame_bits)
+    predicted = minimum_buffer_bits(delta_rho_of(buffer_model), frame_bits)
+    assert result.peak_occupancy_bits == pytest.approx(predicted, abs=1.0)
+    assert not result.underrun
+
+
+def test_at_limit_frame_needs_buffer_at_b_max():
+    """The paper's eq. (6) operating point: a 115,000-bit frame at
+    delta_rho = 2e-4 needs ~27 bits = B_max for f_min = 28."""
+    buffer_model = commodity_buffer()
+    peak = buffer_model.required_buffer_bits(115_000)
+    assert peak == pytest.approx(27.0, abs=0.1)
+
+
+def test_earlier_start_than_required_underruns_when_output_fast():
+    buffer_model = ForwardingBuffer(in_rate=1.0, out_rate=1.1)
+    required = buffer_model.required_start_delay(1000)
+    result = buffer_model.simulate(1000, start_delay=required * 0.5)
+    assert result.underrun
+
+
+def test_slow_output_accumulates_backlog():
+    buffer_model = ForwardingBuffer(in_rate=1.0, out_rate=0.9)
+    result = buffer_model.simulate(1000)
+    # Backlog approx le + (in-out)/in * f = 4 + 100 = 104.
+    assert result.peak_occupancy_bits == pytest.approx(104.0, abs=1.0)
+
+
+def test_capacity_overrun_detection():
+    buffer_model = ForwardingBuffer(in_rate=1.0, out_rate=0.9, capacity_bits=27.0)
+    assert buffer_model.overruns(1000)
+    assert not buffer_model.overruns(100)
+
+
+def test_no_capacity_never_overruns():
+    buffer_model = ForwardingBuffer(in_rate=1.0, out_rate=0.5)
+    assert not buffer_model.overruns(10_000_000)
+
+
+def test_curve_is_piecewise_linear_summary():
+    buffer_model = commodity_buffer()
+    result = buffer_model.simulate(2076)
+    times = [event.time for event in result.curve]
+    assert times == sorted(times)
+    assert result.curve[0].occupancy_bits == 0.0
+    assert result.curve[-1].occupancy_bits == pytest.approx(0.0, abs=1e-6)
+
+
+@given(st.integers(min_value=30, max_value=200_000),
+       st.floats(min_value=1e-5, max_value=5e-3))
+def test_peak_tracks_eq1_across_parameters(frame_bits, delta_rho):
+    """Property: over a wide (f, delta_rho) range the dynamic peak stays
+    within one bit of the closed-form bound -- the leaky-bucket claim."""
+    out_rate = 1.0
+    in_rate = 1.0 - delta_rho  # coupler faster than node by delta_rho
+    buffer_model = ForwardingBuffer(in_rate=in_rate, out_rate=out_rate)
+    result = buffer_model.simulate(frame_bits)
+    predicted = minimum_buffer_bits(delta_rho, frame_bits)
+    assert result.peak_occupancy_bits <= predicted + 1.0
+    assert result.peak_occupancy_bits >= predicted - 1.0
+    assert not result.underrun
+
+
+@given(st.integers(min_value=30, max_value=10_000))
+def test_later_start_never_underruns_when_output_slow(frame_bits):
+    buffer_model = ForwardingBuffer(in_rate=1.0, out_rate=0.99)
+    required = buffer_model.required_start_delay(frame_bits)
+    result = buffer_model.simulate(frame_bits, start_delay=required * 2)
+    assert not result.underrun

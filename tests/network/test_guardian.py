@@ -1,0 +1,96 @@
+"""Tests for the node-local bus guardian."""
+
+from repro.network.channel import Channel, Transmission
+from repro.network.guardian import GuardianFault, LocalBusGuardian
+from repro.sim.engine import Simulator
+from repro.ttp.frames import IFrame
+from repro.ttp.medl import Medl
+
+
+def build(fault=GuardianFault.NONE):
+    sim = Simulator()
+    medl = Medl.uniform(["A", "B", "C", "D"], slot_duration=100.0)
+    channel = Channel(sim, "ch0")
+    delivered = []
+    channel.subscribe(lambda tx, corrupted: delivered.append(tx))
+    guardian = LocalBusGuardian(sim, "B", medl, channel, fault=fault)
+    return sim, guardian, delivered
+
+
+def tx(start, duration=76.0):
+    return Transmission(frame=IFrame(sender_slot=2), source="B",
+                        start_time=start, duration=duration)
+
+
+def transmit_at(sim, guardian, time):
+    results = []
+    sim.schedule(time, lambda: results.append(guardian.transmit(tx(time))))
+    return results
+
+
+def test_unsynchronized_guardian_lets_everything_through():
+    """Before synchronization the guardian cannot know the grid -- the
+    reason startup masquerading is possible on the bus."""
+    sim, guardian, delivered = build()
+    assert not guardian.synchronized
+    transmit_at(sim, guardian, 42.0)
+    sim.run()
+    assert len(delivered) == 1
+
+
+def test_synchronized_guardian_opens_own_window_only():
+    sim, guardian, delivered = build()
+    guardian.synchronize(0.0)
+    # B owns slot 2: window [100, 200).
+    results_in = transmit_at(sim, guardian, 100.0)
+    results_out = transmit_at(sim, guardian, 250.0)
+    sim.run()
+    assert results_in == [True]
+    assert results_out == [False]
+    assert len(delivered) == 1
+    assert guardian.stats.blocked_out_of_window == 1
+
+
+def test_window_wraps_to_next_round():
+    sim, guardian, delivered = build()
+    guardian.synchronize(0.0)
+    transmit_at(sim, guardian, 500.0)  # round 2, phase 100: open
+    sim.run()
+    assert len(delivered) == 1
+
+
+def test_window_closed_just_before_and_after():
+    sim, guardian, _ = build()
+    guardian.synchronize(0.0)
+    assert not guardian.window_open(99.0)
+    assert guardian.window_open(100.0)
+    assert guardian.window_open(199.0)
+    assert not guardian.window_open(200.0)
+
+
+def test_block_all_fault_silences_own_node_only():
+    """Paper Section 1: a faulty local guardian blocks frames from one
+    node; the channel stays available to everyone else."""
+    sim, guardian, delivered = build(fault=GuardianFault.BLOCK_ALL)
+    guardian.synchronize(0.0)
+    results = transmit_at(sim, guardian, 100.0)
+    sim.run()
+    assert results == [False]
+    assert delivered == []
+    assert guardian.stats.blocked_by_fault == 1
+
+
+def test_pass_all_fault_disables_window():
+    sim, guardian, delivered = build(fault=GuardianFault.PASS_ALL)
+    guardian.synchronize(0.0)
+    results = transmit_at(sim, guardian, 250.0)  # out of window
+    sim.run()
+    assert results == [True]
+    assert len(delivered) == 1
+
+
+def test_stats_count_forwarded():
+    sim, guardian, _ = build()
+    transmit_at(sim, guardian, 0.0)
+    sim.run()
+    assert guardian.stats.forwarded == 1

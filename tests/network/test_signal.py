@@ -1,0 +1,121 @@
+"""Tests for the SOS signal model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.signal import (
+    NOMINAL_LEVEL,
+    SPEC_MAX_OFFSET,
+    SPEC_MIN_LEVEL,
+    ReceiverTolerance,
+    SignalShape,
+    disagreement_profile,
+    is_sos,
+    is_sos_time,
+    is_sos_value,
+    reshape,
+)
+
+
+def test_nominal_shape_within_spec():
+    assert SignalShape().within_spec()
+
+
+def test_weak_or_late_shape_out_of_spec():
+    assert not SignalShape(level=SPEC_MIN_LEVEL - 0.1).within_spec()
+    assert not SignalShape(timing_offset=SPEC_MAX_OFFSET + 0.1).within_spec()
+
+
+def test_compliant_receiver_accepts_spec_region():
+    tolerance = ReceiverTolerance(threshold=0.5, window=1.0)
+    assert tolerance.accepts(SignalShape(level=SPEC_MIN_LEVEL,
+                                         timing_offset=SPEC_MAX_OFFSET))
+
+
+def test_marginal_signal_splits_receiver_population():
+    """The SOS definition: at least one receiver accepts, one rejects."""
+    marginal = SignalShape(level=0.55)
+    tolerances = [ReceiverTolerance(threshold=0.5),
+                  ReceiverTolerance(threshold=0.6)]
+    assert is_sos(marginal, tolerances)
+    assert is_sos_value(marginal, tolerances)
+
+
+def test_nominal_signal_never_sos():
+    tolerances = [ReceiverTolerance(threshold=0.5),
+                  ReceiverTolerance(threshold=0.6)]
+    assert not is_sos(SignalShape(), tolerances)
+
+
+def test_hopeless_signal_never_sos():
+    """A signal all receivers reject is a plain fault, not SOS."""
+    tolerances = [ReceiverTolerance(threshold=0.5),
+                  ReceiverTolerance(threshold=0.6)]
+    assert not is_sos(SignalShape(level=0.1), tolerances)
+
+
+def test_sos_in_time_domain():
+    marginal = SignalShape(timing_offset=0.9)
+    tolerances = [ReceiverTolerance(window=0.8), ReceiverTolerance(window=1.0)]
+    assert is_sos_time(marginal, tolerances)
+    assert is_sos(marginal, tolerances)
+
+
+def test_reshape_restores_nominal_level():
+    reshaped = reshape(SignalShape(level=0.55))
+    assert reshaped.level == NOMINAL_LEVEL
+
+
+def test_reshape_removes_sos_disagreement():
+    """The central guardian's active reshaping eliminates the SOS fault."""
+    marginal = SignalShape(level=0.55, timing_offset=0.9)
+    tolerances = [ReceiverTolerance(threshold=0.5, window=1.0),
+                  ReceiverTolerance(threshold=0.6, window=0.8)]
+    assert is_sos(marginal, tolerances)
+    assert not is_sos(reshape(marginal), tolerances)
+
+
+def test_reshape_small_shift_is_bounded():
+    shape = SignalShape(timing_offset=5.0)
+    nudged = reshape(shape, max_time_shift=2.0)
+    assert nudged.timing_offset == pytest.approx(3.0)
+    nudged_negative = reshape(SignalShape(timing_offset=-5.0), max_time_shift=2.0)
+    assert nudged_negative.timing_offset == pytest.approx(-3.0)
+
+
+def test_reshape_full_shift_zeroes_offset():
+    assert reshape(SignalShape(timing_offset=50.0)).timing_offset == 0.0
+
+
+def test_reshape_can_leave_value_alone():
+    shape = SignalShape(level=0.55)
+    assert reshape(shape, boost_value=False).level == 0.55
+
+
+def test_disagreement_profile_counts():
+    marginal = SignalShape(level=0.55)
+    tolerances = [ReceiverTolerance(threshold=0.5),
+                  ReceiverTolerance(threshold=0.52),
+                  ReceiverTolerance(threshold=0.6)]
+    accepted, rejected = disagreement_profile(marginal, tolerances)
+    assert (accepted, rejected) == (2, 1)
+
+
+@given(st.floats(min_value=0.0, max_value=1.5),
+       st.floats(min_value=-2.0, max_value=2.0))
+def test_reshaped_signal_accepted_by_all_compliant_receivers(level, offset):
+    """After full reshaping, every spec-compliant receiver accepts."""
+    reshaped = reshape(SignalShape(level=level, timing_offset=offset))
+    compliant = [ReceiverTolerance(threshold=0.5, window=1.0),
+                 ReceiverTolerance(threshold=0.6, window=0.8)]
+    assert all(tolerance.accepts(reshaped) for tolerance in compliant)
+
+
+@given(st.floats(min_value=0.0, max_value=1.5),
+       st.lists(st.floats(min_value=0.1, max_value=1.0), min_size=1, max_size=6))
+def test_sos_implies_disagreement(level, thresholds):
+    shape = SignalShape(level=level)
+    tolerances = [ReceiverTolerance(threshold=threshold)
+                  for threshold in thresholds]
+    accepted, rejected = disagreement_profile(shape, tolerances)
+    assert is_sos(shape, tolerances) == (accepted > 0 and rejected > 0)

@@ -1,0 +1,221 @@
+"""Tests for the central star coupler / central bus guardian."""
+
+import pytest
+
+from repro.core.authority import CouplerAuthority
+from repro.network.channel import Channel, Transmission
+from repro.network.signal import SignalShape
+from repro.network.star_coupler import CouplerFault, StarCoupler
+from repro.sim.engine import Simulator
+from repro.ttp.cstate import CState
+from repro.ttp.frames import ColdStartFrame, IFrame
+from repro.ttp.medl import Medl
+
+
+def build(authority=CouplerAuthority.SMALL_SHIFTING, fault=CouplerFault.NONE,
+          **kwargs):
+    sim = Simulator()
+    medl = Medl.uniform(["A", "B", "C", "D"], slot_duration=100.0)
+    channel = Channel(sim, "ch0")
+    delivered = []
+    channel.subscribe(lambda tx, corrupted: delivered.append((tx, corrupted)))
+    coupler = StarCoupler(sim, "c0", authority, medl, channel, fault=fault,
+                          **kwargs)
+    return sim, coupler, delivered
+
+
+def uplink(sim, coupler, transmission, at):
+    sim.schedule(at, lambda: coupler.receive_uplink(transmission))
+
+
+def cold_start(source="A", slot=1, time=0):
+    return ColdStartFrame(sender_slot=slot,
+                          cstate=CState(global_time=time, medl_position=slot))
+
+
+def tx(frame, source, start, duration=40.0, shape=None):
+    return Transmission(frame=frame, source=source, start_time=start,
+                        duration=duration, shape=shape or SignalShape())
+
+
+# -- forwarding basics ---------------------------------------------------------------
+
+
+def test_passive_coupler_forwards_everything():
+    sim, coupler, delivered = build(authority=CouplerAuthority.PASSIVE)
+    uplink(sim, coupler, tx(IFrame(sender_slot=2), "B", 5.0), 5.0)
+    sim.run()
+    assert len(delivered) == 1
+    assert coupler.stats.forwarded == 1
+
+
+def test_passive_coupler_does_not_reshape():
+    sim, coupler, delivered = build(authority=CouplerAuthority.PASSIVE)
+    marginal = SignalShape(level=0.55)
+    uplink(sim, coupler, tx(IFrame(sender_slot=2), "B", 0.0, shape=marginal), 0.0)
+    sim.run()
+    assert delivered[0][0].shape.level == 0.55
+
+
+def test_small_shifting_coupler_reshapes_signal():
+    """Active signal reshaping removes value-domain SOS marginality."""
+    sim, coupler, delivered = build()
+    marginal = SignalShape(level=0.55)
+    uplink(sim, coupler, tx(IFrame(sender_slot=2), "B", 0.0, shape=marginal), 0.0)
+    sim.run()
+    assert delivered[0][0].shape.level == 1.0
+    assert coupler.stats.reshaped == 1
+
+
+# -- semantic analysis ----------------------------------------------------------------
+
+
+def test_masquerading_cold_start_blocked_by_port_check():
+    """Paper Section 2.2: semantic analysis stops startup masquerading."""
+    sim, coupler, delivered = build()
+    bogus = cold_start(slot=1)  # claims A's slot...
+    uplink(sim, coupler, tx(bogus, "D", 0.0), 0.0)  # ...from D's port
+    sim.run()
+    assert delivered == []
+    assert coupler.stats.blocked_semantic == 1
+
+
+def test_genuine_cold_start_passes_and_anchors():
+    sim, coupler, delivered = build()
+    uplink(sim, coupler, tx(cold_start(slot=1, time=9), "A", 600.0), 600.0)
+    sim.run()
+    assert len(delivered) == 1
+    assert coupler.synchronized
+    assert coupler.current_slot(600.0) == 1
+    assert coupler.current_slot(700.0) == 2
+
+
+def test_unknown_port_cold_start_blocked():
+    sim, coupler, delivered = build()
+    uplink(sim, coupler, tx(cold_start(slot=1), "intruder", 0.0), 0.0)
+    sim.run()
+    assert delivered == []
+
+
+def test_invalid_cstate_frame_blocked_after_anchor():
+    """Paper Section 2.2: semantic analysis stops invalid C-states from
+    reaching integrating nodes."""
+    sim, coupler, delivered = build()
+    uplink(sim, coupler, tx(cold_start(slot=1, time=0), "A", 600.0), 600.0)
+    # One slot later, B sends with a corrupted global time (should be 1).
+    bad = IFrame(sender_slot=2, cstate=CState(global_time=8, medl_position=2))
+    uplink(sim, coupler, tx(bad, "B", 700.0, duration=76.0), 700.0)
+    sim.run()
+    assert len(delivered) == 1  # only the cold-start frame
+    assert coupler.stats.blocked_semantic == 1
+
+
+def test_correct_cstate_frame_passes_after_anchor():
+    sim, coupler, delivered = build()
+    uplink(sim, coupler, tx(cold_start(slot=1, time=0), "A", 600.0), 600.0)
+    good = IFrame(sender_slot=2, cstate=CState(global_time=1, medl_position=2))
+    uplink(sim, coupler, tx(good, "B", 700.0, duration=76.0), 700.0)
+    sim.run()
+    assert len(delivered) == 2
+
+
+def test_time_windows_coupler_has_no_semantic_analysis():
+    sim, coupler, delivered = build(authority=CouplerAuthority.TIME_WINDOWS)
+    bogus = cold_start(slot=1)
+    uplink(sim, coupler, tx(bogus, "D", 0.0), 0.0)
+    sim.run()
+    assert len(delivered) == 1  # masquerade passes a time-windows coupler
+
+
+# -- time windows --------------------------------------------------------------------------
+
+
+def test_synchronized_coupler_blocks_out_of_window():
+    sim, coupler, delivered = build(authority=CouplerAuthority.TIME_WINDOWS)
+    coupler.synchronize(0.0)
+    # B owns slot 2 ([100, 200)); send during slot 3 instead.
+    uplink(sim, coupler, tx(IFrame(sender_slot=2), "B", 250.0, duration=76.0), 250.0)
+    sim.run()
+    assert delivered == []
+    assert coupler.stats.blocked_out_of_window == 1
+
+
+def test_synchronized_coupler_forwards_in_window():
+    sim, coupler, delivered = build(authority=CouplerAuthority.TIME_WINDOWS)
+    coupler.synchronize(0.0)
+    uplink(sim, coupler, tx(IFrame(sender_slot=2), "B", 100.0, duration=76.0), 100.0)
+    sim.run()
+    assert len(delivered) == 1
+
+
+def test_small_shift_rescues_marginal_frame_near_window():
+    sim, coupler, delivered = build(max_small_shift=2.0)
+    coupler.synchronize(0.0)
+    # 1.5 time units before B's window opens: rescued by small shifting.
+    uplink(sim, coupler, tx(IFrame(sender_slot=2), "B", 98.5, duration=76.0), 98.5)
+    sim.run()
+    assert len(delivered) == 1
+
+
+def test_small_shift_does_not_rescue_mid_slot_babble():
+    sim, coupler, delivered = build(max_small_shift=2.0)
+    coupler.synchronize(0.0)
+    uplink(sim, coupler, tx(IFrame(sender_slot=2), "B", 250.0, duration=76.0), 250.0)
+    sim.run()
+    assert delivered == []
+
+
+# -- fault modes ------------------------------------------------------------------------------
+
+
+def test_silence_fault_forwards_nothing():
+    sim, coupler, delivered = build(fault=CouplerFault.SILENCE)
+    uplink(sim, coupler, tx(IFrame(sender_slot=2), "B", 0.0), 0.0)
+    sim.run()
+    assert delivered == []
+    assert coupler.stats.silenced == 1
+
+
+def test_bad_frame_fault_destroys_signal():
+    sim, coupler, delivered = build(fault=CouplerFault.BAD_FRAME)
+    uplink(sim, coupler, tx(IFrame(sender_slot=2), "B", 0.0), 0.0)
+    sim.run()
+    assert len(delivered) == 1
+    assert delivered[0][0].shape.level == 0.0
+
+
+def test_out_of_slot_fault_requires_full_shifting():
+    with pytest.raises(ValueError):
+        build(authority=CouplerAuthority.SMALL_SHIFTING,
+              fault=CouplerFault.OUT_OF_SLOT)
+
+
+def test_out_of_slot_fault_replays_buffered_frame():
+    sim, coupler, delivered = build(authority=CouplerAuthority.FULL_SHIFTING,
+                                    fault=CouplerFault.OUT_OF_SLOT)
+    frame = cold_start(slot=1)
+    uplink(sim, coupler, tx(frame, "A", 0.0), 0.0)
+    sim.run()
+    assert len(delivered) == 2  # original + replay
+    assert delivered[1][0].frame is frame
+    assert delivered[1][0].start_time == pytest.approx(100.0)  # one slot later
+    assert coupler.stats.replayed == 1
+
+
+def test_replay_limit_bounds_out_of_slot_errors():
+    sim, coupler, delivered = build(authority=CouplerAuthority.FULL_SHIFTING,
+                                    fault=CouplerFault.OUT_OF_SLOT,
+                                    replay_limit=1)
+    uplink(sim, coupler, tx(cold_start(slot=1), "A", 0.0), 0.0)
+    uplink(sim, coupler, tx(cold_start(slot=1, time=4), "A", 400.0), 400.0)
+    sim.run()
+    assert coupler.stats.replayed == 1
+
+
+def test_healthy_full_shifting_coupler_buffers_but_does_not_replay():
+    sim, coupler, delivered = build(authority=CouplerAuthority.FULL_SHIFTING)
+    uplink(sim, coupler, tx(cold_start(slot=1), "A", 0.0), 0.0)
+    sim.run()
+    assert len(delivered) == 1
+    assert coupler.stats.replayed == 0
+    assert coupler._buffered is not None

@@ -1,0 +1,119 @@
+"""Tests for bus/star topology wiring."""
+
+import pytest
+
+from repro.core.authority import CouplerAuthority
+from repro.network.guardian import GuardianFault
+from repro.network.star_coupler import CouplerFault
+from repro.network.topology import BusTopology, StarTopology
+from repro.sim.engine import Simulator
+from repro.ttp.frames import IFrame
+from repro.ttp.medl import Medl
+
+
+def medl():
+    return Medl.uniform(["A", "B", "C", "D"], slot_duration=100.0)
+
+
+def test_both_topologies_have_two_channels():
+    sim = Simulator()
+    assert len(BusTopology(sim, medl()).channels) == 2
+    sim2 = Simulator()
+    assert len(StarTopology(sim2, medl()).channels) == 2
+
+
+def test_send_reaches_receivers_on_both_channels_star():
+    sim = Simulator()
+    topology = StarTopology(sim, medl())
+    received = []
+    topology.attach_receiver(
+        lambda channel, tx, corrupted: received.append((channel, tx.source)))
+    sim.schedule(0.0, lambda: topology.send("A", IFrame(sender_slot=1), 76.0))
+    sim.run()
+    assert sorted(received) == [(0, "A"), (1, "A")]
+
+
+def test_send_reaches_receivers_on_both_channels_bus():
+    sim = Simulator()
+    topology = BusTopology(sim, medl())
+    received = []
+    topology.attach_receiver(
+        lambda channel, tx, corrupted: received.append(channel))
+    sim.schedule(0.0, lambda: topology.send("A", IFrame(sender_slot=1), 76.0))
+    sim.run()
+    assert sorted(received) == [0, 1]
+
+
+def test_bus_has_one_guardian_per_node_per_channel():
+    sim = Simulator()
+    topology = BusTopology(sim, medl())
+    assert set(topology.guardians) == {"A", "B", "C", "D"}
+    assert all(len(guardians) == 2 for guardians in topology.guardians.values())
+
+
+def test_bus_guardian_fault_applies_to_named_node():
+    sim = Simulator()
+    topology = BusTopology(sim, medl(),
+                           guardian_faults={"B": GuardianFault.BLOCK_ALL})
+    received = []
+    topology.attach_receiver(lambda channel, tx, corrupted: received.append(tx))
+    sim.schedule(0.0, lambda: topology.send("B", IFrame(sender_slot=2), 76.0))
+    sim.schedule(100.0, lambda: topology.send("A", IFrame(sender_slot=1), 76.0))
+    sim.run()
+    assert [tx.source for tx in received] == ["A", "A"]
+
+
+def test_star_single_fault_hypothesis_enforced():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        StarTopology(sim, medl(),
+                     coupler_faults=[CouplerFault.SILENCE, CouplerFault.BAD_FRAME])
+
+
+def test_star_coupler_fault_list_length_checked():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        StarTopology(sim, medl(), coupler_faults=[CouplerFault.NONE])
+
+
+def test_star_silent_coupler_halves_delivery():
+    sim = Simulator()
+    topology = StarTopology(sim, medl(),
+                            coupler_faults=[CouplerFault.SILENCE,
+                                            CouplerFault.NONE])
+    received = []
+    topology.attach_receiver(lambda channel, tx, corrupted: received.append(channel))
+    sim.schedule(0.0, lambda: topology.send("A", IFrame(sender_slot=1), 76.0))
+    sim.run()
+    assert received == [1]
+
+
+def test_node_activated_syncs_bus_guardians():
+    sim = Simulator()
+    topology = BusTopology(sim, medl())
+    topology.node_activated("B", round_start_ref_time=50.0)
+    assert all(guardian.synchronized for guardian in topology.guardians["B"])
+    assert not any(guardian.synchronized for guardian in topology.guardians["A"])
+
+
+def test_node_activated_syncs_unsynced_couplers():
+    sim = Simulator()
+    topology = StarTopology(sim, medl(), authority=CouplerAuthority.TIME_WINDOWS)
+    topology.node_activated("A", round_start_ref_time=600.0)
+    assert all(coupler.synchronized for coupler in topology.couplers)
+
+
+def test_node_activated_does_not_overwrite_semantic_anchor():
+    sim = Simulator()
+    topology = StarTopology(sim, medl())
+    topology.couplers[0].synchronize(100.0)
+    topology.node_activated("A", round_start_ref_time=999.0)
+    assert topology.couplers[0]._sync_anchor == 100.0
+    assert topology.couplers[1]._sync_anchor == 999.0
+
+
+def test_star_authority_propagates_to_couplers():
+    sim = Simulator()
+    topology = StarTopology(sim, medl(), authority=CouplerAuthority.FULL_SHIFTING)
+    assert all(coupler.authority is CouplerAuthority.FULL_SHIFTING
+               for coupler in topology.couplers)

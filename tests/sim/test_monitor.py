@@ -1,0 +1,99 @@
+"""Tests for the trace monitor."""
+
+from repro.sim.monitor import TraceMonitor, TraceRecord
+
+
+def make_monitor():
+    monitor = TraceMonitor()
+    monitor.record(1.0, "node:A", "state", state="listen")
+    monitor.record(2.0, "node:B", "state", state="listen")
+    monitor.record(3.0, "node:A", "send", frame_kind="cold_start")
+    monitor.record(4.0, "coupler:c0", "replay")
+    return monitor
+
+
+def test_records_in_order():
+    monitor = make_monitor()
+    assert [record.time for record in monitor] == [1.0, 2.0, 3.0, 4.0]
+    assert len(monitor) == 4
+
+
+def test_select_by_source():
+    monitor = make_monitor()
+    assert len(monitor.select(source="node:A")) == 2
+
+
+def test_select_by_kind():
+    monitor = make_monitor()
+    assert len(monitor.select(kind="state")) == 2
+
+
+def test_select_by_time_window():
+    monitor = make_monitor()
+    assert [record.time for record in monitor.select(after=2.0, before=3.0)] == [2.0, 3.0]
+
+
+def test_select_combined_filters():
+    monitor = make_monitor()
+    records = monitor.select(source="node:A", kind="send")
+    assert len(records) == 1
+    assert records[0].details == {"frame_kind": "cold_start"}
+
+
+def test_first_and_count():
+    monitor = make_monitor()
+    assert monitor.first("state").source == "node:A"
+    assert monitor.first("missing") is None
+    assert monitor.count("state") == 2
+    assert monitor.count("state", source="node:B") == 1
+
+
+def test_sources_first_appearance_order():
+    monitor = make_monitor()
+    assert monitor.sources() == ["node:A", "node:B", "coupler:c0"]
+
+
+def test_disabled_monitor_records_nothing():
+    monitor = TraceMonitor(enabled=False)
+    monitor.record(1.0, "x", "y")
+    assert len(monitor) == 0
+
+
+def test_subscribe_listener_sees_future_records():
+    monitor = TraceMonitor()
+    seen = []
+    monitor.subscribe(seen.append)
+    monitor.record(1.0, "a", "b")
+    assert len(seen) == 1
+    assert seen[0].kind == "b"
+
+
+def test_clear_keeps_listeners():
+    monitor = TraceMonitor()
+    seen = []
+    monitor.subscribe(seen.append)
+    monitor.record(1.0, "a", "b")
+    monitor.clear()
+    assert len(monitor) == 0
+    monitor.record(2.0, "a", "c")
+    assert len(seen) == 2
+
+
+def test_describe_format():
+    record = TraceRecord(time=1.5, source="node:A", kind="freeze",
+                         details={"reason": "clique_error"})
+    assert record.describe() == "[t=1.500000] node:A: freeze reason=clique_error"
+
+
+def test_format_with_limit():
+    monitor = make_monitor()
+    text = monitor.format(limit=2)
+    assert "2 more" in text
+    assert text.count("\n") == 2
+
+
+def test_records_property_is_copy():
+    monitor = make_monitor()
+    snapshot = monitor.records
+    snapshot.clear()
+    assert len(monitor) == 4

@@ -1,0 +1,233 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import Interrupt, Process, ProcessDied, Signal, Timeout
+
+
+def run_process(generator_fn, *args, until=None):
+    sim = Simulator()
+    process = Process(sim, generator_fn(sim, *args))
+    sim.run(until=until)
+    return sim, process
+
+
+def test_timeout_advances_time():
+    times = []
+
+    def proc(sim):
+        yield Timeout(5.0)
+        times.append(sim.now)
+        yield Timeout(2.5)
+        times.append(sim.now)
+
+    sim, process = run_process(proc)
+    assert times == [5.0, 7.5]
+    assert not process.alive
+
+
+def test_process_result_captured():
+    def proc(sim):
+        yield Timeout(1.0)
+        return 42
+
+    _, process = run_process(proc)
+    assert process.result == 42
+    assert process.error is None
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_signal_wakes_waiters_with_value():
+    sim = Simulator()
+    signal = Signal("go")
+    received = []
+
+    def waiter(sim):
+        value = yield signal
+        received.append(value)
+
+    Process(sim, waiter(sim))
+    Process(sim, waiter(sim))
+    sim.schedule(3.0, lambda: signal.trigger("payload"))
+    sim.run()
+    assert received == ["payload", "payload"]
+
+
+def test_signal_is_reusable():
+    sim = Simulator()
+    signal = Signal()
+    wakeups = []
+
+    def waiter(sim):
+        yield signal
+        wakeups.append(sim.now)
+        yield signal
+        wakeups.append(sim.now)
+
+    Process(sim, waiter(sim))
+    sim.schedule(1.0, signal.trigger)
+    sim.schedule(2.0, signal.trigger)
+    sim.run()
+    assert wakeups == [1.0, 2.0]
+
+
+def test_signal_trigger_returns_waiter_count():
+    sim = Simulator()
+    signal = Signal()
+
+    def waiter(sim):
+        yield signal
+
+    Process(sim, waiter(sim))
+    counts = []
+    sim.schedule(1.0, lambda: counts.append(signal.trigger()))
+    sim.run()
+    assert counts == [1]
+    assert signal.waiting == 0
+
+
+def test_waiting_on_process_joins_result():
+    sim = Simulator()
+    results = []
+
+    def worker(sim):
+        yield Timeout(2.0)
+        return "done"
+
+    def boss(sim, worker_process):
+        value = yield worker_process
+        results.append((sim.now, value))
+
+    worker_process = Process(sim, worker(sim))
+    Process(sim, boss(sim, worker_process))
+    sim.run()
+    assert results == [(2.0, "done")]
+
+
+def test_joining_finished_process_resumes_immediately():
+    sim = Simulator()
+    results = []
+
+    def worker(sim):
+        yield Timeout(1.0)
+        return 7
+
+    def boss(sim, worker_process):
+        yield Timeout(5.0)
+        value = yield worker_process
+        results.append(value)
+
+    worker_process = Process(sim, worker(sim))
+    Process(sim, boss(sim, worker_process))
+    sim.run()
+    assert results == [7]
+
+
+def test_joining_failed_process_raises_process_died():
+    sim = Simulator()
+    caught = []
+
+    def worker(sim):
+        yield Timeout(1.0)
+        raise ValueError("boom")
+
+    def boss(sim, worker_process):
+        try:
+            yield worker_process
+        except ProcessDied as error:
+            caught.append(str(error))
+
+    worker_process = Process(sim, worker(sim))
+    Process(sim, boss(sim, worker_process))
+    sim.run()
+    assert caught == ["boom"]
+    assert isinstance(worker_process.error, ValueError)
+
+
+def test_interrupt_raises_inside_generator():
+    sim = Simulator()
+    caught = []
+
+    def sleeper(sim):
+        try:
+            yield Timeout(100.0)
+        except Interrupt as interrupt:
+            caught.append((sim.now, interrupt.cause))
+
+    process = Process(sim, sleeper(sim))
+    sim.schedule(3.0, lambda: process.interrupt("wake"))
+    sim.run()
+    assert caught == [(3.0, "wake")]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield Timeout(1.0)
+
+    process = Process(sim, quick(sim))
+    sim.run()
+    process.interrupt()  # must not raise
+    sim.run()
+    assert not process.alive
+
+
+def test_unsupported_yield_kills_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield "not a command"
+
+    process = Process(sim, bad(sim))
+    sim.run()
+    assert not process.alive
+    assert isinstance(process.error, SimulationError)
+
+
+def test_process_error_recorded():
+    sim = Simulator()
+
+    def bad(sim):
+        yield Timeout(1.0)
+        raise RuntimeError("kaput")
+
+    process = Process(sim, bad(sim))
+    sim.run()
+    assert isinstance(process.error, RuntimeError)
+
+
+def test_simulator_process_helper():
+    sim = Simulator()
+
+    def proc(sim):
+        yield Timeout(1.0)
+        return "ok"
+
+    process = sim.process(proc(sim), name="helper")
+    sim.run()
+    assert process.result == "ok"
+    assert process.name == "helper"
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def ticker(sim, name, period):
+        while sim.now < 5.0:
+            yield Timeout(period)
+            log.append((name, sim.now))
+
+    Process(sim, ticker(sim, "fast", 1.0))
+    Process(sim, ticker(sim, "slow", 2.0))
+    sim.run(until=5.0)
+    fast = [time for name, time in log if name == "fast"]
+    slow = [time for name, time in log if name == "slow"]
+    assert fast == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert slow == [2.0, 4.0]

@@ -1,0 +1,203 @@
+"""Tests for DES resources and stores."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import Process, Timeout
+from repro.sim.resources import Resource, Store
+
+
+def test_resource_capacity_validation():
+    with pytest.raises(SimulationError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_single_capacity_serializes_critical_sections():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    log = []
+
+    def worker(name, hold):
+        yield resource.acquire()
+        try:
+            log.append((sim.now, name, "in"))
+            yield Timeout(hold)
+        finally:
+            resource.release()
+            log.append((sim.now, name, "out"))
+
+    Process(sim, worker("first", 5.0))
+    Process(sim, worker("second", 5.0))
+    sim.run()
+    entries = [(name, what) for _t, name, what in log]
+    assert entries == [("first", "in"), ("first", "out"),
+                       ("second", "in"), ("second", "out")]
+    assert resource.peak_in_use == 1
+    assert resource.grants == 2
+
+
+def test_multi_capacity_allows_parallelism():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    active = []
+    peak = []
+
+    def worker(name):
+        yield resource.acquire()
+        active.append(name)
+        peak.append(len(active))
+        yield Timeout(5.0)
+        active.remove(name)
+        resource.release()
+
+    for name in ("a", "b", "c"):
+        Process(sim, worker(name))
+    sim.run()
+    assert max(peak) == 2
+    assert resource.peak_in_use == 2
+
+
+def test_fifo_grant_order():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def holder():
+        yield resource.acquire()
+        yield Timeout(10.0)
+        resource.release()
+
+    def waiter(name, arrival):
+        yield Timeout(arrival)
+        yield resource.acquire()
+        order.append(name)
+        resource.release()
+
+    Process(sim, holder())
+    Process(sim, waiter("late", 2.0))
+    Process(sim, waiter("later", 3.0))
+    sim.run()
+    assert order == ["late", "later"]
+
+
+def test_release_of_idle_resource_rejected():
+    resource = Resource(Simulator(), capacity=1)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_queue_length_and_available():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+
+    def holder():
+        yield resource.acquire()
+        yield Timeout(10.0)
+        resource.release()
+
+    def waiter():
+        yield resource.acquire()
+        resource.release()
+
+    Process(sim, holder())
+    Process(sim, waiter())
+    sim.run(until=5.0)
+    assert resource.available == 0
+    assert resource.queue_length == 1
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def consumer():
+        item = yield store.get()
+        received.append((sim.now, item))
+
+    store.put("payload")
+    Process(sim, consumer())
+    sim.run()
+    assert received == [(0.0, "payload")]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def consumer():
+        item = yield store.get()
+        received.append((sim.now, item))
+
+    def producer():
+        yield Timeout(7.0)
+        store.put(42)
+
+    Process(sim, consumer())
+    Process(sim, producer())
+    sim.run()
+    assert received == [(7.0, 42)]
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    received = []
+
+    def consumer():
+        first = yield store.get()
+        second = yield store.get()
+        received.extend([first, second])
+
+    Process(sim, consumer())
+    sim.run()
+    assert received == [1, 2]
+
+
+def test_store_capacity_overflow():
+    store = Store(Simulator(), capacity=1)
+    store.put("a")
+    with pytest.raises(SimulationError):
+        store.put("b")
+
+
+def test_store_counts():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+
+    def consumer():
+        yield store.get()
+
+    Process(sim, consumer())
+    sim.run()
+    assert store.put_count == 1
+    assert store.got_count == 1
+    assert len(store) == 0
+
+
+def test_producer_consumer_pipeline():
+    """The classic DES smoke test: bounded producer, slower consumer."""
+    sim = Simulator()
+    store = Store(sim)
+    consumed = []
+
+    def producer():
+        for index in range(5):
+            yield Timeout(1.0)
+            store.put(index)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            consumed.append((sim.now, item))
+            yield Timeout(2.0)
+
+    Process(sim, producer())
+    Process(sim, consumer())
+    sim.run()
+    assert [item for _t, item in consumed] == [0, 1, 2, 3, 4]
+    assert consumed[-1][0] >= 9.0  # consumer-bound completion

@@ -1,0 +1,104 @@
+"""Tests for deterministic random streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RandomStream
+
+
+def test_same_seed_same_sequence():
+    first = [RandomStream(seed=7).uniform(0, 1) for _ in range(1)]
+    second = [RandomStream(seed=7).uniform(0, 1) for _ in range(1)]
+    assert first == second
+
+
+def test_different_seeds_differ():
+    draws_a = [RandomStream(seed=1).uniform(0, 1) for _ in range(1)]
+    draws_b = [RandomStream(seed=2).uniform(0, 1) for _ in range(1)]
+    assert draws_a != draws_b
+
+
+def test_child_streams_are_independent_of_consumption():
+    root = RandomStream(seed=3)
+    child_before = root.child("node").uniform(0, 1)
+    for _ in range(10):
+        root.uniform(0, 1)  # consume from the parent
+    child_after = RandomStream(seed=3).child("node").uniform(0, 1)
+    assert child_before == child_after
+
+
+def test_distinct_children_differ():
+    root = RandomStream(seed=3)
+    assert root.child("a").uniform(0, 1) != root.child("b").uniform(0, 1)
+
+
+def test_nested_children_paths():
+    stream = RandomStream(seed=0).child("x").child("y")
+    assert stream.path == "root/x/y"
+
+
+def test_randint_bounds():
+    stream = RandomStream(seed=5)
+    draws = [stream.randint(3, 7) for _ in range(100)]
+    assert all(3 <= value <= 7 for value in draws)
+    assert set(draws) == {3, 4, 5, 6, 7}
+
+
+def test_bernoulli_extremes():
+    stream = RandomStream(seed=5)
+    assert all(stream.bernoulli(1.0) for _ in range(20))
+    assert not any(stream.bernoulli(0.0) for _ in range(20))
+
+
+def test_bernoulli_rejects_bad_probability():
+    with pytest.raises(ValueError):
+        RandomStream().bernoulli(1.5)
+
+
+def test_choice_and_empty_choice():
+    stream = RandomStream(seed=1)
+    assert stream.choice(["only"]) == "only"
+    with pytest.raises(ValueError):
+        stream.choice([])
+
+
+def test_sample_distinct():
+    stream = RandomStream(seed=1)
+    sample = stream.sample(range(10), 5)
+    assert len(sample) == len(set(sample)) == 5
+
+
+def test_shuffle_returns_copy():
+    stream = RandomStream(seed=2)
+    original = [1, 2, 3, 4, 5]
+    shuffled = stream.shuffle(original)
+    assert sorted(shuffled) == original
+    assert original == [1, 2, 3, 4, 5]
+
+
+def test_exponential_positive_and_mean_validation():
+    stream = RandomStream(seed=4)
+    assert stream.exponential(10.0) > 0
+    with pytest.raises(ValueError):
+        stream.exponential(0.0)
+
+
+def test_ppm_offset_within_band():
+    stream = RandomStream(seed=9)
+    draws = [stream.ppm_offset(100.0) for _ in range(200)]
+    assert all(-100.0 <= value <= 100.0 for value in draws)
+    assert any(value < 0 for value in draws)
+    assert any(value > 0 for value in draws)
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+def test_any_seed_and_path_reproducible(seed, name):
+    draw_a = RandomStream(seed=seed).child(name).uniform(0, 1)
+    draw_b = RandomStream(seed=seed).child(name).uniform(0, 1)
+    assert draw_a == draw_b
+
+
+@given(st.floats(min_value=-5, max_value=5), st.floats(min_value=0.1, max_value=5))
+def test_gauss_runs(mu, sigma):
+    value = RandomStream(seed=0).gauss(mu, sigma)
+    assert isinstance(value, float)

@@ -1,0 +1,57 @@
+"""Stateful property test: the Store behaves as a FIFO under any
+interleaving of puts and gets."""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.resources import Store
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.store = Store(self.sim)
+        self.reference = []      # model FIFO
+        self.received = []
+        self.pending_gets = 0
+        self.counter = 0
+
+    @rule()
+    def put(self):
+        self.counter += 1
+        item = self.counter
+        self.store.put(item)
+        self.reference.append(item)
+        self.sim.run()
+
+    @rule()
+    def get(self):
+        def consumer():
+            item = yield self.store.get()
+            self.received.append(item)
+
+        Process(self.sim, consumer())
+        self.pending_gets += 1
+        self.sim.run()
+
+    @invariant()
+    def fifo_order_respected(self):
+        delivered = min(len(self.reference), self.pending_gets)
+        assert self.received == self.reference[:delivered]
+
+    @invariant()
+    def counts_consistent(self):
+        assert self.store.put_count == len(self.reference)
+        assert self.store.got_count == len(self.received)
+        assert len(self.store) == max(
+            0, len(self.reference) - self.pending_gets)
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestStoreMachine.settings = settings(max_examples=40,
+                                     stateful_step_count=30,
+                                     deadline=None)

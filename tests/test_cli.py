@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_analysis_command(capsys):
+    code, out = run_cli(capsys, "analysis")
+    assert code == 0
+    assert "115000" in out
+    assert "match" in out
+    assert "MISMATCH" not in out
+
+
+def test_figure3_command(capsys):
+    code, out = run_cli(capsys, "figure3", "--points", "4")
+    assert code == 0
+    assert "25.6" in out  # the 128-bit reference point
+
+
+def test_leaky_command(capsys):
+    code, out = run_cli(capsys, "leaky")
+    assert code == 0
+    assert "ok" in out
+    assert "DIVERGED" not in out
+
+
+def test_verify_command(capsys):
+    code, out = run_cli(capsys, "verify")
+    assert code == 0
+    assert out.count("HOLDS") == 3
+    assert out.count("VIOLATED") == 1
+
+
+def test_trace_coldstart_command(capsys):
+    code, out = run_cli(capsys, "trace", "coldstart")
+    assert code == 0  # 0 = counterexample found, as expected
+    assert "PROPERTY VIOLATED" in out
+    assert "out_of_slot" in out
+
+
+def test_trace_narrate_flag(capsys):
+    code, out = run_cli(capsys, "trace", "coldstart", "--narrate")
+    assert code == 0
+    assert out.startswith("1) Initially, all nodes are in the freeze state.")
+    assert "clique avoidance error." in out
+
+
+def test_trace_cstate_command(capsys):
+    code, out = run_cli(capsys, "trace", "cstate")
+    assert code == 0
+    assert "c_state" in out
+
+
+def test_campaign_command(capsys):
+    code, out = run_cli(capsys, "campaign", "--rounds", "40")
+    assert code == 0
+    assert "sos_signal" in out
+    assert "propagated" in out
+    assert "contained" in out
+
+
+def test_statespace_command(capsys):
+    code, out = run_cli(capsys, "statespace", "--authority", "passive")
+    assert code == 0
+    assert "reachable states" in out
+    assert "14772" in out
+
+
+def test_statespace_max_states(capsys):
+    code, out = run_cli(capsys, "statespace", "--authority", "passive",
+                        "--max-states", "100")
+    assert code == 0
+    assert "truncated" in out
+
+
+def test_blocking_command(capsys):
+    code, out = run_cli(capsys, "blocking")
+    assert code == 0
+    assert "blast radius" in out
+    assert "4/4 active" in out
+
+
+def test_clocksync_command(capsys):
+    code, out = run_cli(capsys, "clocksync", "--rounds", "150")
+    assert code == 0
+    assert "active/freeze" in out  # the no-sync row falls apart
+
+
+def test_report_command(capsys, tmp_path):
+    target = tmp_path / "report.txt"
+    code, out = run_cli(capsys, "report", "--output", str(target))
+    assert code == 0
+    assert "REPRODUCTION REPORT" in out
+    assert out.count("match") >= 8
+    assert "MISMATCH" not in out
+    assert target.exists()
+    assert "EXP-V1" in target.read_text()
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])

@@ -1,0 +1,98 @@
+"""Tests for the cluster assembly layer."""
+
+import pytest
+
+from repro.cluster import DEFAULT_NODE_NAMES, Cluster, ClusterSpec
+from repro.core.authority import CouplerAuthority
+from repro.network.topology import BusTopology, StarTopology
+from repro.ttp.constants import ControllerStateName
+
+
+def test_default_spec_builds_four_node_star():
+    cluster = Cluster(ClusterSpec())
+    assert isinstance(cluster.topology, StarTopology)
+    assert list(cluster.controllers) == DEFAULT_NODE_NAMES
+    assert cluster.medl.slot_count == 4
+
+
+def test_bus_spec_builds_bus_topology():
+    cluster = Cluster(ClusterSpec(topology="bus"))
+    assert isinstance(cluster.topology, BusTopology)
+
+
+def test_custom_node_names_and_slot_duration():
+    spec = ClusterSpec(node_names=["N1", "N2", "N3"], slot_duration=50.0)
+    cluster = Cluster(spec)
+    assert cluster.medl.round_duration() == 150.0
+    assert cluster.medl.slot_of("N2") == 2
+
+
+def test_per_node_ppm_applied():
+    spec = ClusterSpec(node_ppm={"A": 100.0, "B": -100.0})
+    cluster = Cluster(spec)
+    assert cluster.controllers["A"].clock.rate == pytest.approx(1.0001)
+    assert cluster.controllers["B"].clock.rate == pytest.approx(0.9999)
+    assert cluster.controllers["C"].clock.rate == 1.0
+
+
+def test_power_on_uses_explicit_delays():
+    spec = ClusterSpec(power_on_delays={"A": 0.0, "B": 5.0, "C": 10.0, "D": 15.0})
+    cluster = Cluster(spec)
+    cluster.power_on()
+    cluster.sim.run(until=16.0)
+    states = cluster.states()
+    assert all(state is not ControllerStateName.FREEZE for state in states.values())
+
+
+def test_default_stagger_is_incommensurate_with_slots():
+    spec = ClusterSpec()
+    cluster = Cluster(spec)
+    cluster.power_on(stagger=37.0)
+    cluster.sim.run(until=200.0)
+    init_times = [record.time for record in cluster.monitor.select(kind="state")
+                  if record.details.get("state") == "init"]
+    assert init_times == [0.0, 37.0, 74.0, 111.0]
+
+
+def test_run_horizon_in_rounds():
+    cluster = Cluster(ClusterSpec())
+    cluster.power_on()
+    cluster.run(rounds=5.0)
+    assert cluster.sim.now == pytest.approx(5.0 * cluster.medl.round_duration())
+
+
+def test_states_and_integrated_queries():
+    cluster = Cluster(ClusterSpec())
+    cluster.power_on()
+    cluster.run(rounds=20)
+    assert set(cluster.states()) == set(DEFAULT_NODE_NAMES)
+    assert sorted(cluster.integrated_nodes()) == DEFAULT_NODE_NAMES
+
+
+def test_clique_frozen_empty_for_healthy_cluster():
+    cluster = Cluster(ClusterSpec())
+    cluster.power_on()
+    cluster.run(rounds=20)
+    assert cluster.clique_frozen_nodes() == []
+
+
+def test_legitimate_grid_phase_from_first_cold_starter():
+    cluster = Cluster(ClusterSpec())
+    cluster.power_on()
+    cluster.run(rounds=20)
+    phase = cluster.legitimate_grid_phase()
+    assert phase is not None
+    # A entered cold start at t=600 (slot 1, offset 0): phase 600 % 400.
+    assert phase == pytest.approx(200.0)
+
+
+def test_legitimate_grid_phase_none_before_cold_start():
+    cluster = Cluster(ClusterSpec())
+    assert cluster.legitimate_grid_phase() is None
+
+
+def test_healthy_victims_empty_without_faults():
+    cluster = Cluster(ClusterSpec())
+    cluster.power_on()
+    cluster.run(rounds=20)
+    assert cluster.healthy_victims() == []

@@ -1,0 +1,61 @@
+"""Cluster-size generality of the DES stack.
+
+The paper models four nodes (the Byzantine minimum); the simulation stack
+itself is size-generic.  These tests pin healthy startup, fault
+containment, and the out-of-slot failure on 3- and 6-node clusters.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core.authority import CouplerAuthority
+from repro.network.star_coupler import CouplerFault
+from repro.ttp.constants import ControllerStateName
+
+
+def build(names, **kwargs):
+    spec = ClusterSpec(node_names=list(names), **kwargs)
+    cluster = Cluster(spec)
+    cluster.power_on()
+    return cluster
+
+
+@pytest.mark.parametrize("names", [
+    ["A", "B", "C"],
+    ["A", "B", "C", "D", "E", "F"],
+])
+def test_healthy_startup_scales(names):
+    cluster = build(names)
+    cluster.run(rounds=30)
+    assert all(state is ControllerStateName.ACTIVE
+               for state in cluster.states().values())
+    assert cluster.healthy_victims() == []
+
+
+def test_six_node_membership_converges():
+    cluster = build(["A", "B", "C", "D", "E", "F"])
+    cluster.run(rounds=30)
+    expected = frozenset(range(1, 7))
+    for controller in cluster.controllers.values():
+        assert controller.view.membership_set() == expected
+
+
+def test_out_of_slot_failure_reproduces_at_six_nodes():
+    cluster = build(["A", "B", "C", "D", "E", "F"],
+                    authority=CouplerAuthority.FULL_SHIFTING,
+                    coupler_faults=[CouplerFault.OUT_OF_SLOT, CouplerFault.NONE])
+    cluster.run(rounds=40)
+    assert cluster.clique_frozen_nodes() != []
+
+
+def test_three_node_cluster_round_duration():
+    cluster = build(["A", "B", "C"])
+    assert cluster.medl.round_duration() == 300.0
+
+
+def test_sixteen_slot_membership_field_limit():
+    """The 16-bit membership field caps the cluster at 16 slots."""
+    names = [f"N{i}" for i in range(17)]
+    cluster = build(names)
+    with pytest.raises(ValueError):
+        cluster.run(rounds=30)

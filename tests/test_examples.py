@@ -1,0 +1,38 @@
+"""Smoke-run every example script (the documented public-API surface)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["VIOLATED", "buildable?"],
+    "coldstart_masquerade.py": ["Paper-style narration",
+                                "clique avoidance error"],
+    "buffer_sizing.py": ["BUILDABLE", "REJECTED"],
+    "fault_injection_campaign.py": ["PROPAGATED", "contained"],
+    "topology_comparison.py": ["out_of_slot_replay", "clique-frozen"],
+    "data_continuity.py": ["0x0111", "out-of-slot replay fault"],
+    "clock_drift.py": ["with FTA sync", "without sync"],
+    "mode_switching.py": ["Deferred mode changes", "mode changes observed"],
+}
+
+
+def test_every_example_has_marker_expectations():
+    names = {script.name for script in EXAMPLE_SCRIPTS}
+    assert names == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS,
+                         ids=[script.name for script in EXAMPLE_SCRIPTS])
+def test_example_runs_and_produces_expected_output(script):
+    completed = subprocess.run([sys.executable, str(script)],
+                               capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[script.name]:
+        assert marker.lower() in completed.stdout.lower(), (
+            f"{script.name}: expected {marker!r} in output")

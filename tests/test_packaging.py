@@ -1,0 +1,47 @@
+"""Package-level hygiene: every module imports, every export exists."""
+
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGE_ROOT = pathlib.Path(repro.__file__).parent
+
+
+def all_module_names():
+    names = ["repro"]
+    for module in pkgutil.walk_packages([str(PACKAGE_ROOT)], prefix="repro."):
+        names.append(module.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", all_module_names())
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name", all_module_names())
+def test_declared_exports_exist(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("module_name", all_module_names())
+def test_every_module_has_a_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} has no module docstring"
+    assert len(module.__doc__.strip()) > 20
+
+
+def test_version_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_cli_entry_point_importable():
+    from repro.cli import main
+
+    assert callable(main)

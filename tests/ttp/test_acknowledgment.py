@@ -1,0 +1,134 @@
+"""Tests for the explicit acknowledgment (sender self-check)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.faults.injector import apply_fault
+from repro.faults.types import FaultDescriptor, FaultType
+from repro.ttp.acknowledgment import AckOutcome, AcknowledgmentState
+from repro.ttp.constants import ControllerStateName
+from repro.ttp.controller import FreezeReason
+
+
+def make_ack():
+    return AcknowledgmentState(own_slot=2)
+
+
+# -- the state machine -----------------------------------------------------------
+
+
+def test_unarmed_observation_is_pending():
+    ack = make_ack()
+    assert ack.observe_successor(frozenset({1, 3})) is AckOutcome.PENDING
+    assert not ack.armed
+
+
+def test_positive_witness_acknowledges():
+    ack = make_ack()
+    ack.arm()
+    assert ack.observe_successor(frozenset({1, 2, 3})) is AckOutcome.ACKNOWLEDGED
+    assert not ack.armed
+
+
+def test_single_denial_keeps_waiting():
+    """The first successor may itself be faulty: one denial is tolerated."""
+    ack = make_ack()
+    ack.arm()
+    assert ack.observe_successor(frozenset({1, 3})) is AckOutcome.PENDING
+    assert ack.armed
+    assert ack.denials == 1
+
+
+def test_denial_then_positive_acknowledges():
+    ack = make_ack()
+    ack.arm()
+    ack.observe_successor(frozenset({1, 3}))
+    assert ack.observe_successor(frozenset({2, 3})) is AckOutcome.ACKNOWLEDGED
+
+
+def test_two_denials_is_send_fault():
+    ack = make_ack()
+    ack.arm()
+    ack.observe_successor(frozenset({1, 3}))
+    assert ack.observe_successor(frozenset({1, 4})) is AckOutcome.SEND_FAULT
+    assert ack.send_faults == 1
+    assert not ack.armed
+
+
+def test_rearming_resets_denials():
+    ack = make_ack()
+    ack.arm()
+    ack.observe_successor(frozenset({1}))
+    ack.arm()
+    assert ack.denials == 0
+    assert ack.sends_checked == 2
+
+
+def test_disarm():
+    ack = make_ack()
+    ack.arm()
+    ack.disarm()
+    assert ack.observe_successor(frozenset({1})) is AckOutcome.PENDING
+
+
+def test_custom_witness_count():
+    ack = AcknowledgmentState(own_slot=1, witnesses=3)
+    ack.arm()
+    ack.observe_successor(frozenset())
+    ack.observe_successor(frozenset())
+    assert ack.observe_successor(frozenset()) is AckOutcome.SEND_FAULT
+
+
+# -- on the cluster ------------------------------------------------------------------
+
+
+def test_healthy_cluster_all_sends_acknowledged():
+    cluster = Cluster(ClusterSpec(topology="star"))
+    cluster.power_on()
+    cluster.run(rounds=30)
+    for controller in cluster.controllers.values():
+        assert controller.ack.send_faults == 0
+        assert controller.ack.sends_checked > 10
+
+
+def test_blocked_transmitter_self_diagnoses():
+    """The Section 1 scenario: a block-all local guardian makes node B's
+    sends vanish; the acknowledgment detects the send fault and B freezes
+    instead of lingering with a divergent view."""
+    spec = apply_fault(ClusterSpec(topology="bus"),
+                       FaultDescriptor(FaultType.GUARDIAN_BLOCK_ALL, target="B"))
+    cluster = Cluster(spec)
+    cluster.power_on()
+    cluster.run(rounds=40)
+    victim = cluster.controllers["B"]
+    assert victim.state is ControllerStateName.FREEZE
+    assert victim.freeze_reason is FreezeReason.ACK_FAILURE
+    assert victim.ack.send_faults >= 1
+    assert "B" in cluster.protocol_frozen_nodes()
+
+
+def test_ack_failure_recorded_in_monitor():
+    spec = apply_fault(ClusterSpec(topology="bus"),
+                       FaultDescriptor(FaultType.GUARDIAN_BLOCK_ALL, target="B"))
+    cluster = Cluster(spec)
+    cluster.power_on()
+    cluster.run(rounds=40)
+    assert cluster.monitor.count("ack_failure", source="node:B") == 1
+
+
+def test_ack_can_be_disabled():
+    from repro.ttp.controller import ControllerConfig
+
+    spec = apply_fault(ClusterSpec(topology="bus"),
+                       FaultDescriptor(FaultType.GUARDIAN_BLOCK_ALL, target="B"))
+    base = spec.node_configs.get("B", ControllerConfig())
+    from dataclasses import replace
+
+    spec.node_configs["B"] = replace(base, explicit_acknowledgment=False)
+    cluster = Cluster(spec)
+    cluster.power_on()
+    cluster.run(rounds=40)
+    victim = cluster.controllers["B"]
+    # Without the ack service B still gets expelled, but the freeze (if
+    # any) comes from the slower clique path.
+    assert victim.freeze_reason is not FreezeReason.ACK_FAILURE

@@ -1,0 +1,101 @@
+"""Tests for fault-tolerant-average clock synchronization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ttp.clock_sync import (
+    ClockSynchronizer,
+    fault_tolerant_average,
+    precision_bound,
+)
+
+
+def test_fta_plain_average_small_sets():
+    assert fault_tolerant_average([1.0, 3.0]) == 2.0
+    assert fault_tolerant_average([5.0]) == 5.0
+
+
+def test_fta_empty_is_zero():
+    assert fault_tolerant_average([]) == 0.0
+
+
+def test_fta_discards_extremes():
+    # One Byzantine clock reporting a huge deviation is discarded.
+    assert fault_tolerant_average([1.0, 2.0, 1000.0], discard=1) == 2.0
+    assert fault_tolerant_average([-1000.0, 1.0, 2.0], discard=1) == 1.0
+
+
+def test_fta_discard_both_sides():
+    values = [-100.0, 1.0, 2.0, 3.0, 100.0]
+    assert fault_tolerant_average(values, discard=1) == 2.0
+
+
+def test_fta_discard_zero_is_mean():
+    assert fault_tolerant_average([1.0, 2.0, 3.0], discard=0) == 2.0
+
+
+def test_fta_negative_discard_rejected():
+    with pytest.raises(ValueError):
+        fault_tolerant_average([1.0], discard=-1)
+
+
+@given(st.lists(st.floats(min_value=-10, max_value=10), min_size=3, max_size=20))
+def test_fta_within_remaining_range(values):
+    result = fault_tolerant_average(values, discard=1)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=-10, max_value=10), min_size=3, max_size=9),
+       st.floats(min_value=50, max_value=1e6))
+def test_fta_outlier_resistance(values, outlier):
+    """A single arbitrarily large outlier cannot move the FTA outside the
+    span of the correct readings."""
+    honest_low, honest_high = min(values), max(values)
+    result = fault_tolerant_average(values + [outlier], discard=1)
+    assert honest_low - 1e-9 <= result <= honest_high + 1e-9
+
+
+def test_synchronizer_observe_and_correct():
+    synchronizer = ClockSynchronizer(discard=0)
+    synchronizer.observe(1, expected_arrival=100.0, actual_arrival=100.4)
+    synchronizer.observe(2, expected_arrival=200.0, actual_arrival=200.2)
+    correction = synchronizer.compute_correction()
+    assert correction == pytest.approx(0.3)
+    assert synchronizer.pending_count() == 0
+    assert synchronizer.corrections_applied == 1
+    assert synchronizer.last_correction == pytest.approx(0.3)
+
+
+def test_synchronizer_clamps_to_precision_window():
+    synchronizer = ClockSynchronizer(discard=0, max_correction=1.0)
+    synchronizer.observe(1, expected_arrival=0.0, actual_arrival=50.0)
+    assert synchronizer.compute_correction() == 1.0
+    synchronizer.observe(1, expected_arrival=0.0, actual_arrival=-50.0)
+    assert synchronizer.compute_correction() == -1.0
+
+
+def test_synchronizer_reset_drops_measurements():
+    synchronizer = ClockSynchronizer()
+    synchronizer.observe(1, 0.0, 1.0)
+    synchronizer.reset()
+    assert synchronizer.pending_count() == 0
+    assert synchronizer.compute_correction() == 0.0
+
+
+def test_precision_bound_formula():
+    # 2e-4 relative drift over a 400 us round: 0.08 us divergence.
+    assert precision_bound(2e-4, 400.0) == pytest.approx(0.08)
+    assert precision_bound(2e-4, 400.0, reading_error=0.02) == pytest.approx(0.10)
+
+
+def test_precision_bound_validation():
+    with pytest.raises(ValueError):
+        precision_bound(-1e-4, 100.0)
+    with pytest.raises(ValueError):
+        precision_bound(1e-4, -100.0)
+
+
+@given(st.floats(min_value=0, max_value=1e-2), st.floats(min_value=0, max_value=1e4))
+def test_precision_bound_monotone_in_interval(delta_rho, interval):
+    assert precision_bound(delta_rho, interval) <= precision_bound(delta_rho,
+                                                                   interval + 1.0)

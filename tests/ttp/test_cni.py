@@ -1,0 +1,135 @@
+"""Tests for the Communication Network Interface (host boundary)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.ttp.cni import CniMessage, CommunicationNetworkInterface
+from repro.ttp.constants import ControllerStateName
+
+
+def make_cni():
+    return CommunicationNetworkInterface(own_slot=1)
+
+
+# -- unit behaviour ---------------------------------------------------------------
+
+
+def test_post_and_outgoing():
+    cni = make_cni()
+    cni.post([1, 0, 1])
+    assert cni.outgoing_payload() == (1, 0, 1)
+    assert cni.posts == 1
+
+
+def test_post_is_state_semantics_overwrite():
+    cni = make_cni()
+    cni.post([1])
+    cni.post([0, 0])
+    assert cni.outgoing_payload() == (0, 0)
+
+
+def test_post_validation():
+    cni = make_cni()
+    with pytest.raises(ValueError):
+        cni.post([2])
+    with pytest.raises(ValueError):
+        cni.post([0] * 2000)
+
+
+def test_post_int_roundtrip():
+    cni = make_cni()
+    cni.post_int(0xBEEF, 16)
+    assert len(cni.outgoing_payload()) == 16
+    cni.deliver(2, cni.outgoing_payload(), global_time=5)
+    assert cni.read(2).as_int() == 0xBEEF
+
+
+def test_post_int_validation():
+    with pytest.raises(ValueError):
+        make_cni().post_int(16, 4)
+    with pytest.raises(ValueError):
+        make_cni().post_int(-1, 4)
+
+
+def test_clear_outgoing():
+    cni = make_cni()
+    cni.post([1])
+    cni.clear_outgoing()
+    assert cni.outgoing_payload() is None
+
+
+def test_deliver_and_read_non_consuming():
+    cni = make_cni()
+    cni.deliver(3, (1, 1), global_time=10)
+    first = cni.read(3)
+    second = cni.read(3)
+    assert first is second
+    assert first.sender_slot == 3
+    assert first.global_time == 10
+
+
+def test_newer_delivery_overwrites():
+    cni = make_cni()
+    cni.deliver(3, (1,), global_time=10)
+    cni.deliver(3, (0,), global_time=14)
+    message = cni.read(3)
+    assert message.data_bits == (0,)
+    assert message.receive_count == 2
+
+
+def test_freshness():
+    cni = make_cni()
+    cni.deliver(3, (1,), global_time=10)
+    assert cni.freshness(3, now_global_time=14) == 4
+    assert cni.freshness(9, now_global_time=14) is None
+
+
+def test_known_senders_sorted():
+    cni = make_cni()
+    cni.deliver(4, (1,), 0)
+    cni.deliver(2, (1,), 0)
+    assert cni.known_senders() == [2, 4]
+
+
+# -- end-to-end over the simulated cluster -------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def data_cluster():
+    cluster = Cluster(ClusterSpec(topology="star", slot_duration=400.0))
+    cluster.power_on()
+    cluster.controllers["A"].cni.post_int(0xCAFE, 16)
+    cluster.controllers["B"].cni.post_int(1234, 16)
+    cluster.run(rounds=25)
+    return cluster
+
+
+def test_cluster_stays_healthy_with_app_data(data_cluster):
+    assert all(state is ControllerStateName.ACTIVE
+               for state in data_cluster.states().values())
+
+
+def test_every_node_receives_both_payloads(data_cluster):
+    for name in ("C", "D"):
+        cni = data_cluster.controllers[name].cni
+        assert cni.read(1).as_int() == 0xCAFE
+        assert cni.read(2).as_int() == 1234
+
+
+def test_payload_rebroadcast_every_round(data_cluster):
+    message = data_cluster.controllers["D"].cni.read(1)
+    assert message.receive_count >= 10  # one per round after activation
+
+
+def test_freshness_within_one_round(data_cluster):
+    controller = data_cluster.controllers["D"]
+    age = controller.cni.freshness(1, controller.cstate.global_time)
+    assert age is not None and age <= 4
+
+
+def test_oversized_frame_raises_configuration_error():
+    cluster = Cluster(ClusterSpec(topology="star", slot_duration=100.0))
+    cluster.power_on()
+    cluster.controllers["A"].cni.post_int(1, 16)  # X-frame won't fit 100
+    with pytest.raises(ValueError):
+        cluster.run(rounds=20)

@@ -1,0 +1,60 @@
+"""The frame-size constants the paper's arithmetic depends on."""
+
+import pytest
+
+from repro.ttp import constants
+
+
+def test_n_frame_is_28_bits():
+    """Paper Section 6: shortest TTP/C frame (N-frame, implicit CRC)."""
+    assert constants.N_FRAME_BITS == 28
+
+
+def test_cold_start_frame_stated_value():
+    """Paper states 40 bits (its own field list sums to 50 -- recorded)."""
+    assert constants.COLD_START_FRAME_BITS == 40
+    assert constants.COLD_START_FRAME_FIELD_SUM_BITS == 50
+
+
+def test_i_frame_is_76_bits():
+    """The value the paper's eq. (8) arithmetic requires."""
+    assert constants.I_FRAME_BITS == 76
+
+
+def test_x_frame_is_2076_bits():
+    """Paper Section 6: longest allowable TTP/C frame."""
+    assert constants.X_FRAME_BITS == 2076
+
+
+def test_x_frame_field_breakdown():
+    assert (constants.HEADER_BITS + constants.X_CSTATE_BITS
+            + constants.X_DATA_BITS + 2 * constants.CRC_BITS
+            + constants.X_CRC_PAD_BITS) == 2076
+
+
+def test_line_encoding_bits():
+    assert constants.LINE_ENCODING_BITS == 4
+
+
+def test_commodity_crystal_worst_case():
+    assert constants.WORST_CASE_COMMODITY_DELTA_RHO == pytest.approx(2e-4)
+
+
+def test_cluster_defaults():
+    assert constants.DEFAULT_CLUSTER_SIZE == 4
+    assert constants.CHANNEL_COUNT == 2
+
+
+def test_nine_controller_states():
+    assert len(constants.ControllerStateName) == 9
+
+
+def test_integrated_states():
+    assert constants.ControllerStateName.ACTIVE in constants.INTEGRATED_STATES
+    assert constants.ControllerStateName.PASSIVE in constants.INTEGRATED_STATES
+    assert constants.ControllerStateName.LISTEN not in constants.INTEGRATED_STATES
+
+
+def test_frame_kinds_match_paper_model():
+    values = {kind.value for kind in constants.FrameKind}
+    assert values == {"none", "cold_start", "c_state", "bad_frame", "other"}

@@ -1,0 +1,110 @@
+"""Tests for the controller state (C-state)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ttp.cstate import CState
+
+
+def test_default_cstate():
+    cstate = CState()
+    assert cstate.global_time == 0
+    assert cstate.medl_position == 1
+    assert cstate.membership == frozenset()
+
+
+def test_field_range_validation():
+    with pytest.raises(ValueError):
+        CState(global_time=1 << 16)
+    with pytest.raises(ValueError):
+        CState(medl_position=1 << 16)
+    with pytest.raises(ValueError):
+        CState(membership=frozenset({16}))
+
+
+def test_membership_word_packing():
+    cstate = CState(membership=frozenset({0, 2, 5}))
+    assert cstate.membership_word() == 0b100101
+
+
+def test_from_fields_roundtrip():
+    original = CState(global_time=1234, medl_position=3,
+                      membership=frozenset({1, 2, 4}))
+    rebuilt = CState.from_fields(original.global_time, original.medl_position,
+                                 original.membership_word())
+    assert rebuilt.agrees_with(original)
+
+
+def test_to_bits_width():
+    assert len(CState().to_bits()) == 16 + 16 + 16
+
+
+def test_digest_differs_with_state():
+    base = CState(global_time=10, medl_position=2)
+    other = CState(global_time=11, medl_position=2)
+    assert base.digest() != other.digest()
+
+
+def test_advanced_increments_time_and_position():
+    cstate = CState(global_time=5, medl_position=2)
+    advanced = cstate.advanced(slots_in_round=4)
+    assert advanced.global_time == 6
+    assert advanced.medl_position == 3
+
+
+def test_advanced_wraps_position():
+    cstate = CState(global_time=0, medl_position=4)
+    assert cstate.advanced(slots_in_round=4).medl_position == 1
+
+
+def test_advanced_wraps_global_time():
+    cstate = CState(global_time=(1 << 16) - 1)
+    assert cstate.advanced(slots_in_round=4).global_time == 0
+
+
+def test_with_member_add_and_remove():
+    cstate = CState()
+    with_member = cstate.with_member(3, True)
+    assert 3 in with_member.membership
+    without = with_member.with_member(3, False)
+    assert 3 not in without.membership
+
+
+def test_agrees_with_requires_all_fields():
+    base = CState(global_time=1, medl_position=2, membership=frozenset({1}))
+    assert base.agrees_with(CState(global_time=1, medl_position=2,
+                                   membership=frozenset({1})))
+    assert not base.agrees_with(CState(global_time=2, medl_position=2,
+                                       membership=frozenset({1})))
+    assert not base.agrees_with(CState(global_time=1, medl_position=3,
+                                       membership=frozenset({1})))
+    assert not base.agrees_with(CState(global_time=1, medl_position=2))
+
+
+def test_as_tuple_hashable_summary():
+    cstate = CState(global_time=7, medl_position=2, membership=frozenset({0}))
+    assert cstate.as_tuple() == (7, 2, 1, 0)
+
+
+def test_str_rendering():
+    text = str(CState(global_time=3, medl_position=1, membership=frozenset({1, 2})))
+    assert "t=3" in text and "1,2" in text
+
+
+@given(st.integers(min_value=0, max_value=(1 << 16) - 1),
+       st.integers(min_value=1, max_value=100),
+       st.sets(st.integers(min_value=0, max_value=15), max_size=16))
+def test_roundtrip_wire_fields(global_time, position, members):
+    original = CState(global_time=global_time, medl_position=position,
+                      membership=frozenset(members))
+    rebuilt = CState.from_fields(global_time, position, original.membership_word())
+    assert rebuilt == original
+
+
+@given(st.integers(min_value=2, max_value=16))
+def test_advancing_full_round_returns_position(slots):
+    cstate = CState(global_time=0, medl_position=1)
+    for _ in range(slots):
+        cstate = cstate.advanced(slots_in_round=slots)
+    assert cstate.medl_position == 1
+    assert cstate.global_time == slots

@@ -1,0 +1,108 @@
+"""Tests for the host application layer."""
+
+import itertools
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.ttp.host import (
+    FreshnessWatchdog,
+    HostRuntime,
+    HostTask,
+    PeriodicPublisher,
+)
+
+
+@pytest.fixture()
+def cluster():
+    built = Cluster(ClusterSpec(topology="star", slot_duration=400.0))
+    built.power_on()
+    return built
+
+
+def attach_publisher(cluster, node, start=0.0):
+    counter = itertools.count(1)
+    runtime = HostRuntime(cluster.controllers[node])
+    publisher = runtime.add_task(PeriodicPublisher(lambda: next(counter)))
+    runtime.start(delay=start)
+    return runtime, publisher
+
+
+def test_publisher_streams_fresh_values(cluster):
+    runtime, publisher = attach_publisher(cluster, "A")
+    cluster.run(rounds=20)
+    assert publisher.published > 5
+    receiver = cluster.controllers["C"].cni
+    message = receiver.read(1)
+    assert message is not None
+    assert message.as_int() >= 5  # values kept increasing
+
+
+def test_host_runs_only_while_integrated(cluster):
+    runtime, publisher = attach_publisher(cluster, "A")
+    cluster.run(rounds=3)  # startup not finished for most of this window
+    early = publisher.published
+    cluster.run(rounds=20)
+    assert publisher.published > early
+    assert runtime.rounds_run >= publisher.published
+
+
+def test_runtime_cannot_start_twice(cluster):
+    runtime = HostRuntime(cluster.controllers["A"])
+    runtime.start()
+    with pytest.raises(RuntimeError):
+        runtime.start()
+
+
+def test_base_task_is_abstract(cluster):
+    with pytest.raises(NotImplementedError):
+        HostTask().on_round(cluster.controllers["A"])
+
+
+def test_watchdog_quiet_while_producer_healthy(cluster):
+    attach_publisher(cluster, "A")
+    watchdog_runtime = HostRuntime(cluster.controllers["D"])
+    watchdog = watchdog_runtime.add_task(
+        FreshnessWatchdog(sources=[1], max_age=8))
+    watchdog_runtime.start()
+    cluster.run(rounds=30)
+    assert watchdog.events == []
+
+
+def test_watchdog_detects_frozen_producer(cluster):
+    """Fail-operational monitoring: when the producer's node freezes, its
+    state message ages out and the consumer's watchdog fires."""
+    attach_publisher(cluster, "A")
+    watchdog_runtime = HostRuntime(cluster.controllers["D"])
+    watchdog = watchdog_runtime.add_task(
+        FreshnessWatchdog(sources=[1], max_age=8))
+    watchdog_runtime.start()
+    cluster.run(rounds=20)
+    cluster.controllers["A"].host_freeze()
+    cluster.run(rounds=20)
+    assert watchdog.stale_sources() == [1]
+
+
+def test_watchdog_flags_never_heard_producer(cluster):
+    """A producer that never publishes is stale after the grace period."""
+    watchdog_runtime = HostRuntime(cluster.controllers["D"])
+    watchdog = watchdog_runtime.add_task(
+        FreshnessWatchdog(sources=[2], max_age=8, grace_rounds=6))
+    watchdog_runtime.start()
+    cluster.run(rounds=30)
+    assert watchdog.stale_sources() == [2]
+    assert all(event.age is None for event in watchdog.events)
+
+
+def test_stale_value_remains_readable(cluster):
+    """State-message semantics: the last value survives the producer's
+    freeze -- data continuity lives in the hosts' CNIs, not the guardian."""
+    attach_publisher(cluster, "A")
+    cluster.run(rounds=20)
+    cluster.controllers["A"].host_freeze()
+    cluster.run(rounds=10)
+    consumer = cluster.controllers["D"]
+    message = consumer.cni.read(1)
+    assert message is not None  # stale but present
+    age = consumer.cni.freshness(1, consumer.cstate.global_time)
+    assert age is not None and age > 8

@@ -1,0 +1,115 @@
+"""Tests for the MEDL / TDMA schedule."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ttp.medl import Medl, SlotDescriptor
+
+
+def uniform_medl():
+    return Medl.uniform(["A", "B", "C", "D"], slot_duration=100.0, frame_bits=76)
+
+
+def test_uniform_builder():
+    medl = uniform_medl()
+    assert medl.slot_count == 4
+    assert medl.node_names() == ["A", "B", "C", "D"]
+    assert medl.round_duration() == 400.0
+
+
+def test_slot_descriptor_validation():
+    with pytest.raises(ValueError):
+        SlotDescriptor(slot_id=0, sender="A")
+    with pytest.raises(ValueError):
+        SlotDescriptor(slot_id=1, sender="A", duration=0)
+    with pytest.raises(ValueError):
+        SlotDescriptor(slot_id=1, sender="A", frame_bits=0)
+
+
+def test_medl_requires_contiguous_ids():
+    with pytest.raises(ValueError):
+        Medl(slots=(SlotDescriptor(slot_id=2, sender="A"),))
+
+
+def test_medl_rejects_duplicate_senders():
+    with pytest.raises(ValueError):
+        Medl(slots=(SlotDescriptor(slot_id=1, sender="A"),
+                    SlotDescriptor(slot_id=2, sender="A")))
+
+
+def test_medl_rejects_empty():
+    with pytest.raises(ValueError):
+        Medl(slots=())
+
+
+def test_slot_lookup():
+    medl = uniform_medl()
+    assert medl.slot(2).sender == "B"
+    with pytest.raises(KeyError):
+        medl.slot(5)
+    with pytest.raises(KeyError):
+        medl.slot(0)
+
+
+def test_sender_of_and_slot_of_are_inverse():
+    medl = uniform_medl()
+    for slot_id in range(1, 5):
+        assert medl.slot_of(medl.sender_of(slot_id)) == slot_id
+
+
+def test_slot_of_unknown_node():
+    with pytest.raises(KeyError):
+        uniform_medl().slot_of("Z")
+
+
+def test_next_slot_wraps():
+    medl = uniform_medl()
+    assert medl.next_slot(1) == 2
+    assert medl.next_slot(4) == 1
+
+
+def test_slot_start_offsets():
+    medl = uniform_medl()
+    assert medl.slot_start_offset(1) == 0.0
+    assert medl.slot_start_offset(3) == 200.0
+
+
+def test_non_uniform_slot_durations():
+    medl = Medl(slots=(SlotDescriptor(slot_id=1, sender="A", duration=50.0),
+                       SlotDescriptor(slot_id=2, sender="B", duration=150.0)))
+    assert medl.round_duration() == 200.0
+    assert medl.slot_start_offset(2) == 50.0
+
+
+def test_frame_size_extremes():
+    medl = Medl(slots=(SlotDescriptor(slot_id=1, sender="A", frame_bits=28),
+                       SlotDescriptor(slot_id=2, sender="B", frame_bits=2076)))
+    assert medl.min_frame_bits() == 28
+    assert medl.max_frame_bits() == 2076
+
+
+def test_iteration_and_len():
+    medl = uniform_medl()
+    assert len(medl) == 4
+    assert [descriptor.slot_id for descriptor in medl] == [1, 2, 3, 4]
+
+
+@given(st.integers(min_value=1, max_value=12))
+def test_next_slot_cycles_through_all(count):
+    names = [f"N{i}" for i in range(count)]
+    medl = Medl.uniform(names)
+    slot = 1
+    visited = []
+    for _ in range(count):
+        visited.append(slot)
+        slot = medl.next_slot(slot)
+    assert visited == list(range(1, count + 1))
+    assert slot == 1
+
+
+@given(st.integers(min_value=1, max_value=12))
+def test_offsets_sum_to_round(count):
+    medl = Medl.uniform([f"N{i}" for i in range(count)], slot_duration=10.0)
+    last = medl.slot(count)
+    assert medl.slot_start_offset(count) + last.duration == pytest.approx(
+        medl.round_duration())

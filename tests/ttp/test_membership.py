@@ -1,0 +1,111 @@
+"""Tests for the group-membership bookkeeping."""
+
+from repro.ttp.cstate import CState
+from repro.ttp.frames import FrameObservation, IFrame
+from repro.ttp.membership import MembershipView, SlotJudgment
+
+
+def make_view():
+    return MembershipView(own_slot=1)
+
+
+def cstate(time=0, position=1, members=()):
+    return CState(global_time=time, medl_position=position,
+                  membership=frozenset(members))
+
+
+def test_judgment_failed_flag():
+    assert SlotJudgment(slot_id=1, correct=False, null=False).failed
+    assert not SlotJudgment(slot_id=1, correct=True, null=False).failed
+    assert not SlotJudgment(slot_id=1, correct=False, null=True).failed
+
+
+def test_correct_frame_adds_member_and_agreed():
+    view = make_view()
+    receiver = cstate(time=5, position=2)
+    frame = IFrame(sender_slot=2, cstate=receiver)
+    judgment = view.judge_slot(2, [FrameObservation(frame=frame)], receiver)
+    assert judgment.correct
+    assert view.is_member(2)
+    assert view.counters.agreed == 1
+
+
+def test_incorrect_frame_removes_member_and_fails():
+    view = make_view()
+    view.members.add(2)
+    receiver = cstate(time=5, position=2)
+    wrong = IFrame(sender_slot=2, cstate=cstate(time=99, position=2))
+    judgment = view.judge_slot(2, [FrameObservation(frame=wrong)], receiver)
+    assert judgment.failed
+    assert not view.is_member(2)
+    assert view.counters.failed == 1
+
+
+def test_silent_slot_removes_member_without_counting():
+    view = make_view()
+    view.members.add(3)
+    judgment = view.judge_slot(3, [FrameObservation(frame=None),
+                                   FrameObservation(frame=None)], cstate())
+    assert judgment.null
+    assert not view.is_member(3)
+    assert view.counters.total == 0
+
+
+def test_any_channel_correct_wins():
+    """Channels are replicas: one corrupted copy does not fail the slot."""
+    view = make_view()
+    receiver = cstate(time=1, position=2)
+    good = FrameObservation(frame=IFrame(sender_slot=2, cstate=receiver))
+    bad = good.with_corruption()
+    judgment = view.judge_slot(2, [bad, good], receiver)
+    assert judgment.correct
+    assert view.counters.agreed == 1
+
+
+def test_own_send_counts_agreed_and_self_membership():
+    view = make_view()
+    view.record_own_send()
+    assert view.is_member(1)
+    assert view.counters.agreed == 1
+
+
+def test_reset_round_clears_counters_not_members():
+    view = make_view()
+    view.record_own_send()
+    view.reset_round()
+    assert view.counters.total == 0
+    assert view.is_member(1)
+
+
+def test_adopt_replaces_membership():
+    view = make_view()
+    view.members = {1, 2}
+    view.adopt(cstate(members=(3, 4)))
+    assert view.membership_set() == frozenset({3, 4})
+
+
+def test_membership_set_is_immutable_snapshot():
+    view = make_view()
+    view.members.add(2)
+    snapshot = view.membership_set()
+    view.members.add(3)
+    assert snapshot == frozenset({2})
+
+
+def test_failed_ratio():
+    view = make_view()
+    view.apply_judgment(SlotJudgment(slot_id=2, correct=True, null=False))
+    view.apply_judgment(SlotJudgment(slot_id=3, correct=False, null=False))
+    view.apply_judgment(SlotJudgment(slot_id=4, correct=False, null=True))
+    assert view.failed_ratio() == 1 / 3
+
+
+def test_failed_ratio_empty_history():
+    assert make_view().failed_ratio() == 0.0
+
+
+def test_history_records_every_judgment():
+    view = make_view()
+    for slot_id in (2, 3, 4):
+        view.apply_judgment(SlotJudgment(slot_id=slot_id, correct=True, null=False))
+    assert [judgment.slot_id for judgment in view.history] == [2, 3, 4]

@@ -1,0 +1,160 @@
+"""Tests for operating modes and deferred mode changes."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.ttp.constants import ControllerStateName
+from repro.ttp.medl import Medl, SlotDescriptor
+from repro.ttp.modes import IncompatibleModeError, ModeSet, validate_mode_compatible
+
+NODES = ["A", "B", "C", "D"]
+
+
+def status_mode():
+    """Mode 0: short status frames with explicit C-state."""
+    return Medl.uniform(NODES, slot_duration=400.0, frame_bits=76)
+
+
+def payload_mode():
+    """Mode 1: same timing, full payload frames."""
+    return Medl(slots=tuple(
+        SlotDescriptor(slot_id=index + 1, sender=name, duration=400.0,
+                       frame_bits=2076, explicit_cstate=True)
+        for index, name in enumerate(NODES)))
+
+
+# -- mode-set validation --------------------------------------------------------
+
+
+def test_compatible_modes_accepted():
+    ModeSet.of([status_mode(), payload_mode()])
+
+
+def test_single_mode_set():
+    mode_set = ModeSet.single(status_mode())
+    assert mode_set.mode_count == 1
+    assert mode_set.valid_mode(0)
+    assert not mode_set.valid_mode(1)
+
+
+def test_empty_mode_set_rejected():
+    with pytest.raises(ValueError):
+        ModeSet.of([])
+
+
+def test_different_slot_count_rejected():
+    other = Medl.uniform(["A", "B", "C"], slot_duration=400.0)
+    with pytest.raises(IncompatibleModeError):
+        validate_mode_compatible(status_mode(), other)
+
+
+def test_different_timing_rejected():
+    other = Medl.uniform(NODES, slot_duration=200.0)
+    with pytest.raises(IncompatibleModeError):
+        validate_mode_compatible(status_mode(), other)
+
+
+def test_different_senders_rejected():
+    other = Medl.uniform(["A", "B", "D", "C"], slot_duration=400.0)
+    with pytest.raises(IncompatibleModeError):
+        validate_mode_compatible(status_mode(), other)
+
+
+def test_schedule_lookup():
+    mode_set = ModeSet.of([status_mode(), payload_mode()])
+    assert mode_set.schedule(1).max_frame_bits() == 2076
+    with pytest.raises(KeyError):
+        mode_set.schedule(2)
+
+
+# -- cluster-level deferred mode change --------------------------------------------
+
+
+@pytest.fixture()
+def dual_mode_cluster():
+    spec = ClusterSpec(modes=[status_mode(), payload_mode()],
+                       slot_duration=400.0)
+    cluster = Cluster(spec)
+    cluster.power_on()
+    cluster.run(rounds=20)
+    assert all(state is ControllerStateName.ACTIVE
+               for state in cluster.states().values())
+    return cluster
+
+
+def test_cluster_starts_in_mode_zero(dual_mode_cluster):
+    assert all(controller.current_mode == 0
+               for controller in dual_mode_cluster.controllers.values())
+
+
+def test_deferred_mode_change_switches_whole_cluster(dual_mode_cluster):
+    cluster = dual_mode_cluster
+    cluster.controllers["B"].request_mode_change(1)
+    cluster.run(rounds=4)
+    assert all(controller.current_mode == 1
+               for controller in cluster.controllers.values())
+    assert all(controller.pending_mode is None
+               for controller in cluster.controllers.values())
+
+
+def test_mode_change_is_deferred_not_immediate(dual_mode_cluster):
+    cluster = dual_mode_cluster
+    requester = cluster.controllers["B"]
+    requester.request_mode_change(1)
+    assert requester.current_mode == 0  # nothing happens until the boundary
+    assert requester.pending_mode == 1
+
+
+def test_cluster_survives_the_switch(dual_mode_cluster):
+    cluster = dual_mode_cluster
+    cluster.controllers["C"].request_mode_change(1)
+    cluster.run(rounds=20)
+    assert all(state is ControllerStateName.ACTIVE
+               for state in cluster.states().values())
+    assert cluster.healthy_victims() == []
+
+
+def test_new_mode_frames_on_the_wire(dual_mode_cluster):
+    """After the switch the senders emit the payload-mode X-frames."""
+    cluster = dual_mode_cluster
+    for controller in cluster.controllers.values():
+        controller.cni.post_int(0xAB, 8)
+    cluster.controllers["A"].request_mode_change(1)
+    cluster.run(rounds=10)
+    # Every node received everyone's payload in the new mode.
+    for controller in cluster.controllers.values():
+        others = set(range(1, 5)) - {controller.own_slot}
+        assert set(controller.cni.known_senders()) >= others
+
+
+def test_mode_change_recorded(dual_mode_cluster):
+    cluster = dual_mode_cluster
+    cluster.controllers["D"].request_mode_change(1)
+    cluster.run(rounds=4)
+    assert cluster.monitor.count("mode_change") == 4  # one per node
+    assert cluster.monitor.count("dmc_latched") >= 3
+
+
+def test_requesting_current_mode_cancels_pending(dual_mode_cluster):
+    controller = dual_mode_cluster.controllers["A"]
+    controller.request_mode_change(1)
+    controller.request_mode_change(0)
+    assert controller.pending_mode is None
+
+
+def test_invalid_mode_request_rejected(dual_mode_cluster):
+    with pytest.raises(ValueError):
+        dual_mode_cluster.controllers["A"].request_mode_change(5)
+
+
+def test_switch_back_and_forth(dual_mode_cluster):
+    """Mode 0 is a first-class DMC target (wire encoding is index + 1)."""
+    cluster = dual_mode_cluster
+    cluster.controllers["A"].request_mode_change(1)
+    cluster.run(rounds=5)
+    assert all(c.current_mode == 1 for c in cluster.controllers.values())
+    cluster.controllers["B"].request_mode_change(0)
+    cluster.run(rounds=5)
+    assert all(c.current_mode == 0 for c in cluster.controllers.values())
+    assert all(state is ControllerStateName.ACTIVE
+               for state in cluster.states().values())

@@ -1,0 +1,103 @@
+"""Reintegration: frozen nodes rejoin only when their host reawakens them.
+
+Paper Section 2.1: "Nodes that have been frozen cannot regain membership
+and transmit on the network until they have been awakened by their hosts."
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.ttp.constants import ControllerStateName
+from repro.ttp.controller import FreezeReason
+
+
+@pytest.fixture()
+def running_cluster():
+    cluster = Cluster(ClusterSpec(topology="star"))
+    cluster.power_on()
+    cluster.run(rounds=20)
+    assert all(state is ControllerStateName.ACTIVE
+               for state in cluster.states().values())
+    return cluster
+
+
+def test_frozen_node_stays_frozen_without_host(running_cluster):
+    cluster = running_cluster
+    cluster.controllers["B"].host_freeze()
+    cluster.run(rounds=40)
+    assert cluster.controllers["B"].state is ControllerStateName.FREEZE
+
+
+def test_frozen_node_loses_membership_everywhere(running_cluster):
+    cluster = running_cluster
+    cluster.controllers["B"].host_freeze()
+    cluster.run(rounds=40)
+    for name in ("A", "C", "D"):
+        assert 2 not in cluster.controllers[name].view.membership_set()
+
+
+def test_cluster_survives_one_frozen_node(running_cluster):
+    cluster = running_cluster
+    cluster.controllers["B"].host_freeze()
+    cluster.run(rounds=40)
+    for name in ("A", "C", "D"):
+        assert cluster.controllers[name].state is ControllerStateName.ACTIVE
+
+
+def test_host_restart_reintegrates(running_cluster):
+    cluster = running_cluster
+    victim = cluster.controllers["B"]
+    victim.host_freeze()
+    cluster.run(rounds=10)
+    victim.power_on()  # the host awakens the controller
+    cluster.run(rounds=20)
+    assert victim.state is ControllerStateName.ACTIVE
+
+
+def test_reintegrated_node_regains_membership(running_cluster):
+    cluster = running_cluster
+    victim = cluster.controllers["B"]
+    victim.host_freeze()
+    cluster.run(rounds=10)
+    victim.power_on()
+    cluster.run(rounds=20)
+    for controller in cluster.controllers.values():
+        assert controller.view.membership_set() == frozenset({1, 2, 3, 4})
+
+
+def test_reintegration_path_is_c_state(running_cluster):
+    """Rejoining a running cluster goes through immediate C-state
+    integration, not a cold start."""
+    cluster = running_cluster
+    victim = cluster.controllers["B"]
+    victim.host_freeze()
+    cluster.run(rounds=10)
+    victim.power_on()
+    cluster.run(rounds=20)
+    integrations = cluster.monitor.select(source="node:B", kind="integrated")
+    assert integrations[-1].details["via"] == "c_state"
+
+
+def test_reintegrated_node_sends_again(running_cluster):
+    cluster = running_cluster
+    victim = cluster.controllers["B"]
+    victim.host_freeze()
+    cluster.run(rounds=10)
+    freeze_time = cluster.sim.now
+    victim.power_on()
+    cluster.run(rounds=20)
+    late_sends = cluster.monitor.select(source="node:B", kind="send",
+                                        after=freeze_time)
+    assert len(late_sends) >= 10
+
+
+def test_repeated_freeze_restart_cycles(running_cluster):
+    cluster = running_cluster
+    victim = cluster.controllers["B"]
+    for _ in range(3):
+        victim.host_freeze()
+        cluster.run(rounds=8)
+        victim.power_on()
+        cluster.run(rounds=12)
+    assert victim.state is ControllerStateName.ACTIVE
+    assert cluster.healthy_victims() == []

@@ -1,0 +1,148 @@
+"""Tests for listen-timeout and big-bang cold-start rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ttp.constants import FrameKind
+from repro.ttp.startup import StartupRules, listen_timeout_slots
+
+NONE = FrameKind.NONE
+COLD = FrameKind.COLD_START
+CSTATE = FrameKind.C_STATE
+BAD = FrameKind.BAD_FRAME
+OTHER = FrameKind.OTHER
+
+
+def make_rules(slot_count=4, node_slot=1):
+    return StartupRules(slot_count=slot_count, node_slot=node_slot)
+
+
+def test_timeout_formula_matches_paper():
+    """Paper Section 4.3.2: timeout = slots + node_id."""
+    assert listen_timeout_slots(4, 1) == 5
+    assert listen_timeout_slots(4, 4) == 8
+
+
+def test_timeout_formula_validation():
+    with pytest.raises(ValueError):
+        listen_timeout_slots(0, 1)
+    with pytest.raises(ValueError):
+        listen_timeout_slots(4, 5)
+    with pytest.raises(ValueError):
+        listen_timeout_slots(4, 0)
+
+
+def test_unique_timeouts_prevent_simultaneous_cold_start():
+    timeouts = [listen_timeout_slots(4, node) for node in range(1, 5)]
+    assert len(set(timeouts)) == 4
+
+
+def test_silence_counts_down_to_cold_start():
+    rules = make_rules(node_slot=1)
+    decisions = [rules.observe_slot(NONE, NONE) for _ in range(5)]
+    assert decisions[:-1] == ["listen"] * 4
+    assert decisions[-1] == "cold_start"
+
+
+def test_noise_also_counts_down():
+    """Bad frames are not traffic: they do not reset the timeout."""
+    rules = make_rules(node_slot=1)
+    decisions = [rules.observe_slot(BAD, NONE) for _ in range(5)]
+    assert decisions[-1] == "cold_start"
+
+
+def test_regular_traffic_resets_timeout():
+    rules = make_rules(node_slot=1)
+    for _ in range(4):
+        rules.observe_slot(NONE, NONE)
+    assert rules.observe_slot(OTHER, NONE) == "listen"
+    # The reset means another full timeout of silence is needed.
+    decisions = [rules.observe_slot(NONE, NONE) for _ in range(5)]
+    assert decisions[-1] == "cold_start"
+    assert decisions[:-1] == ["listen"] * 4
+
+
+def test_first_cold_start_is_big_bang_only():
+    """The big-bang rule: never integrate on the first cold-start frame."""
+    rules = make_rules()
+    assert rules.observe_slot(COLD, NONE) == "listen"
+    assert rules.big_bang_seen
+
+
+def test_second_cold_start_integrates():
+    rules = make_rules()
+    rules.observe_slot(COLD, NONE)
+    assert rules.observe_slot(NONE, NONE) == "listen"
+    assert rules.observe_slot(COLD, NONE) == "integrate_cold_start"
+
+
+def test_same_slot_cold_start_on_both_channels_is_one_sighting():
+    """Simultaneous channel copies are one frame, not two."""
+    rules = make_rules()
+    assert rules.observe_slot(COLD, COLD) == "listen"
+    assert rules.big_bang_seen
+
+
+def test_cstate_frame_integrates_immediately():
+    rules = make_rules()
+    assert rules.observe_slot(CSTATE, NONE) == "integrate_c_state"
+
+
+def test_cstate_beats_cold_start_in_same_slot():
+    rules = make_rules()
+    rules.observe_slot(COLD, NONE)
+    assert rules.observe_slot(CSTATE, COLD) == "integrate_c_state"
+
+
+def test_cold_start_frame_prevents_timeout_expiry():
+    """Paper: a cold-start frame on the channel keeps the node in listen
+    even when the timeout would have just expired."""
+    rules = make_rules(node_slot=1)
+    for _ in range(4):
+        rules.observe_slot(NONE, NONE)
+    assert rules.observe_slot(COLD, NONE) == "listen"
+
+
+def test_reset_restores_initial_state():
+    rules = make_rules()
+    rules.observe_slot(COLD, NONE)
+    rules.observe_slot(NONE, NONE)
+    rules.reset()
+    assert not rules.big_bang_seen
+    assert rules.timeout_remaining == listen_timeout_slots(4, 1)
+
+
+def test_integration_slot_is_successor_with_wraparound():
+    rules = make_rules(slot_count=4)
+    assert rules.integration_slot(1) == 2
+    assert rules.integration_slot(4) == 1
+
+
+def test_integration_slot_validation():
+    with pytest.raises(ValueError):
+        make_rules().integration_slot(0)
+    with pytest.raises(ValueError):
+        make_rules().integration_slot(5)
+
+
+@given(st.integers(min_value=2, max_value=16), st.integers(min_value=1, max_value=16))
+def test_timeout_always_exceeds_round(slot_count, node_slot):
+    """A listener always waits at least one full round plus its own slot
+    offset -- ensuring a cold-starter's second frame is seen first."""
+    if node_slot > slot_count:
+        return
+    assert listen_timeout_slots(slot_count, node_slot) > slot_count
+
+
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=8))
+def test_silence_expiry_exact(slot_count, node_slot):
+    if node_slot > slot_count:
+        return
+    rules = StartupRules(slot_count=slot_count, node_slot=node_slot)
+    expiry = listen_timeout_slots(slot_count, node_slot)
+    for step in range(expiry):
+        decision = rules.observe_slot(NONE, NONE)
+        if step < expiry - 1:
+            assert decision == "listen"
+        else:
+            assert decision == "cold_start"
