@@ -8,9 +8,13 @@ printed, which ``pytest -s`` (or the tee'd benchmark log) makes visible.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: Machine-readable performance numbers for the checker benchmarks.
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_checker.json"
 
 
 def write_report(experiment_id: str, text: str) -> pathlib.Path:
@@ -21,3 +25,21 @@ def write_report(experiment_id: str, text: str) -> pathlib.Path:
     print(f"\n[{experiment_id}]")
     print(text)
     return path
+
+
+def update_bench_json(key: str, payload: dict) -> pathlib.Path:
+    """Merge one benchmark's numbers into ``benchmarks/BENCH_checker.json``.
+
+    Each benchmark owns one top-level key, so the two checker benchmarks
+    can run in either order (or alone) without clobbering each other.
+    """
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            data = {}
+    data[key] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+    return BENCH_JSON

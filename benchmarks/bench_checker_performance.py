@@ -3,19 +3,28 @@
 Paper Section 5.2: "Both traces are generated in less than a minute on a
 1.5 GHz AMD machine" (with SMV).  This benchmark measures our
 explicit-state checker generating both counterexample traces and exploring
-the full reachable space of a PASS configuration, and reports states/sec.
-Absolute times are machine-dependent; the reproduced claim is the *order
-of magnitude*: both traces well under a minute.
+the full reachable space of a PASS configuration, and reports states/sec
+for both engines: the original tuple-state BFS and the packed-integer
+engine.  Absolute times are machine-dependent; the reproduced claims are
+the *order of magnitude* (both traces well under a minute) and the packed
+engine's speedup over the tuple baseline on the same exhaustive run.
 """
 
 import time
 
-from _report import write_report
+from _report import update_bench_json, write_report
 
 from repro.analysis.tables import format_table
 from repro.core.authority import CouplerAuthority
 from repro.core.verification import verify_authority, verify_config
 from repro.model.scenarios import trace1_scenario, trace2_scenario
+
+#: The seed repository's EXP-P1 exploration rate (tuple engine, this
+#: container class) -- the fixed reference the speedup gate is anchored to.
+SEED_TUPLE_RATE = 18_768.0
+
+#: Required speedup of the packed engine over the live tuple baseline.
+REQUIRED_SPEEDUP = 3.0
 
 
 def generate_both_traces():
@@ -32,9 +41,25 @@ def test_exp_p1_trace_generation_time(benchmark):
     # The paper's headline performance claim, with ample margin.
     assert elapsed < 60.0, "trace generation exceeded one minute"
 
-    exhaustive = verify_authority(CouplerAuthority.SMALL_SHIFTING)
-    explored = exhaustive.check.states_explored
-    rate = explored / max(exhaustive.check.elapsed_seconds, 1e-9)
+    # Same exhaustive PASS configuration, both engines: the tuple engine is
+    # the seed baseline, the packed engine is the fast path.  Rates are
+    # measured live in the same process so the comparison is like-for-like.
+    baseline = verify_authority(CouplerAuthority.SMALL_SHIFTING,
+                                engine="tuple")
+    packed = verify_authority(CouplerAuthority.SMALL_SHIFTING,
+                              engine="packed")
+    assert packed.property_holds == baseline.property_holds
+    assert (packed.check.states_explored == baseline.check.states_explored)
+
+    tuple_rate = baseline.check.states_per_second
+    packed_rate = packed.check.states_per_second
+    speedup = packed_rate / max(tuple_rate, 1e-9)
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"packed engine {packed_rate:,.0f} st/s is only {speedup:.2f}x the "
+        f"tuple baseline {tuple_rate:,.0f} st/s (need >= {REQUIRED_SPEEDUP}x)")
+    assert packed_rate >= REQUIRED_SPEEDUP * SEED_TUPLE_RATE, (
+        f"packed engine {packed_rate:,.0f} st/s below {REQUIRED_SPEEDUP}x "
+        f"the seed EXP-P1 rate of {SEED_TUPLE_RATE:,.0f} st/s")
 
     rows = [
         ("trace 1 (cold-start replay)",
@@ -44,11 +69,30 @@ def test_exp_p1_trace_generation_time(benchmark):
          f"{trace2.check.elapsed_seconds:.2f}s",
          trace2.check.states_explored),
         ("both traces total", f"{elapsed:.2f}s", "-"),
-        ("exhaustive PASS config", f"{exhaustive.check.elapsed_seconds:.2f}s",
-         explored),
-        ("exploration rate", f"{rate:,.0f} states/s", "-"),
+        ("exhaustive PASS config (tuple)",
+         f"{baseline.check.elapsed_seconds:.2f}s",
+         baseline.check.states_explored),
+        ("exhaustive PASS config (packed)",
+         f"{packed.check.elapsed_seconds:.2f}s",
+         packed.check.states_explored),
+        ("tuple engine rate", f"{tuple_rate:,.0f} states/s", "-"),
+        ("packed engine rate", f"{packed_rate:,.0f} states/s", "-"),
+        ("packed/tuple speedup", f"{speedup:.1f}x", "-"),
+        ("seed EXP-P1 rate", f"{SEED_TUPLE_RATE:,.0f} states/s", "-"),
         ("paper reference", "< 60s (SMV, 1.5 GHz AMD)", "-"),
     ]
     write_report("EXP-P1", format_table(
         ["measurement", "time", "states"], rows,
         title="Model-checking performance"))
+    update_bench_json("exp_p1_engine_rates", {
+        "config": "small_shifting slots=4 budget=1 (exhaustive PASS)",
+        "states_explored": baseline.check.states_explored,
+        "tuple_states_per_second": round(tuple_rate, 1),
+        "packed_states_per_second": round(packed_rate, 1),
+        "speedup_packed_over_tuple": round(speedup, 2),
+        "seed_tuple_states_per_second": SEED_TUPLE_RATE,
+        "speedup_packed_over_seed": round(packed_rate / SEED_TUPLE_RATE, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "both_traces_seconds": round(elapsed, 3),
+        "trace_engines": [trace1.check.engine, trace2.check.engine],
+    })

@@ -23,8 +23,16 @@ from repro.core.verification import verify_all_authorities, verify_config
 from repro.model.scenarios import trace1_scenario, trace2_scenario
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
-    results = verify_all_authorities(slots=args.slots)
+    results = verify_all_authorities(slots=args.slots, engine=args.engine,
+                                     jobs=args.jobs)
     rows = []
     for authority, result in results.items():
         rows.append((authority.value,
@@ -194,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify = subparsers.add_parser("verify", help="EXP-V1 verification matrix")
     verify.add_argument("--slots", type=int, default=4)
+    verify.add_argument("--jobs", type=_positive_int, default=None,
+                        help="fan the four checks out over N worker "
+                             "processes (default: serial)")
+    verify.add_argument("--engine", choices=("auto", "packed", "tuple"),
+                        default="auto",
+                        help="state representation for the BFS core "
+                             "(default: auto = packed when available)")
     verify.set_defaults(func=_cmd_verify)
 
     trace = subparsers.add_parser("trace", help="EXP-T1/T2 counterexample traces")

@@ -66,10 +66,11 @@ class VerificationResult:
 
 
 def verify_config(config: ModelConfig,
-                  max_states: Optional[int] = None) -> VerificationResult:
+                  max_states: Optional[int] = None,
+                  engine: str = "auto") -> VerificationResult:
     """Model-check the Section 5.1 property on an explicit configuration."""
     system = TTAStartupModel(config)
-    checker = InvariantChecker(system, max_states=max_states)
+    checker = InvariantChecker(system, max_states=max_states, engine=engine)
     check = checker.check(no_clique_freeze(config))
     return VerificationResult(authority=config.authority, config=config,
                               check=check)
@@ -78,19 +79,34 @@ def verify_config(config: ModelConfig,
 def verify_authority(authority: CouplerAuthority,
                      slots: int = 4,
                      out_of_slot_budget: Optional[int] = 1,
-                     max_states: Optional[int] = None) -> VerificationResult:
+                     max_states: Optional[int] = None,
+                     engine: str = "auto") -> VerificationResult:
     """Model-check the property for one coupler authority level."""
     config = scenario_for_authority(authority, slots=slots,
                                     out_of_slot_budget=out_of_slot_budget)
-    return verify_config(config, max_states=max_states)
+    return verify_config(config, max_states=max_states, engine=engine)
 
 
 def verify_all_authorities(slots: int = 4,
-                           out_of_slot_budget: Optional[int] = 1
+                           out_of_slot_budget: Optional[int] = 1,
+                           engine: str = "auto",
+                           jobs: Optional[int] = None
                            ) -> Dict[CouplerAuthority, VerificationResult]:
-    """EXP-V1: the Section 5.2 verification matrix over all four levels."""
+    """EXP-V1: the Section 5.2 verification matrix over all four levels.
+
+    The four checks are independent; ``jobs`` fans them out over a
+    process pool (see :mod:`repro.modelcheck.parallel`) with verdicts and
+    counterexamples identical to the serial loop.
+    """
+    if jobs is not None and jobs != 1:
+        from repro.modelcheck.parallel import verify_authorities_parallel
+
+        return verify_authorities_parallel(
+            slots=slots, out_of_slot_budget=out_of_slot_budget,
+            engine=engine, jobs=jobs)
     return {authority: verify_authority(authority, slots=slots,
-                                        out_of_slot_budget=out_of_slot_budget)
+                                        out_of_slot_budget=out_of_slot_budget,
+                                        engine=engine)
             for authority in all_authorities()}
 
 

@@ -192,14 +192,23 @@ def guardian_vs_coupler_blocking(blocked_node: str = "B",
 def run_campaign(faults: Optional[List[FaultDescriptor]] = None,
                  topologies: Optional[List[str]] = None,
                  authority: CouplerAuthority = CouplerAuthority.SMALL_SHIFTING,
-                 rounds: float = 40.0, seed: int = 0) -> CampaignResult:
-    """Run every fault on every topology."""
+                 rounds: float = 40.0, seed: int = 0,
+                 jobs: Optional[int] = None) -> CampaignResult:
+    """Run every fault on every topology.
+
+    Each injection builds its own cluster from its own seed, so the cells
+    are independent; ``jobs`` fans them out over a process pool with
+    outcomes (and their order) identical to the serial nested loop.
+    """
     faults = faults if faults is not None else list(DEFAULT_FAULTS)
     topologies = topologies if topologies is not None else ["bus", "star"]
-    result = CampaignResult()
-    for fault in faults:
-        for topology in topologies:
-            result.outcomes.append(
-                run_injection(fault, topology, authority=authority,
-                              rounds=rounds, seed=seed))
-    return result
+    tasks = [(fault, topology, authority, rounds, seed)
+             for fault in faults for topology in topologies]
+    if jobs is not None and jobs != 1:
+        from repro.modelcheck.parallel import run_injections_parallel
+
+        return CampaignResult(outcomes=run_injections_parallel(tasks, jobs=jobs))
+    return CampaignResult(outcomes=[
+        run_injection(fault, topology, authority=authority,
+                      rounds=rounds, seed=seed)
+        for fault, topology, authority, rounds, seed in tasks])

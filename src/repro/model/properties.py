@@ -43,6 +43,11 @@ def no_clique_freeze(config: ModelConfig) -> Callable[[StateView], bool]:
     def invariant(view: StateView) -> bool:
         return all(view[name] != ST_FREEZE_CLIQUE for name in state_vars)
 
+    # Declarative form consumed by the packed-state engine: the invariant
+    # holds iff no listed variable carries its listed value, which
+    # compile_packed_invariant turns into digit tests on the integer code.
+    invariant.forbidden_assignments = [(name, ST_FREEZE_CLIQUE)
+                                       for name in state_vars]
     return invariant
 
 

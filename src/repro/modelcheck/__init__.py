@@ -10,19 +10,42 @@ violation found is at minimum depth).
 * :mod:`repro.modelcheck.state` -- variable declarations and immutable
   state representation,
 * :mod:`repro.modelcheck.model` -- the transition-system interface,
+* :mod:`repro.modelcheck.encode` -- packed integer state encoding (the
+  fast path of the checker's hot loop),
 * :mod:`repro.modelcheck.checker` -- BFS reachability and invariant
-  checking with counterexample extraction,
+  checking with counterexample extraction (tuple and packed engines),
+* :mod:`repro.modelcheck.parallel` -- process-pool fan-out of independent
+  checks, walks, campaigns, and sweeps,
 * :mod:`repro.modelcheck.trace` -- counterexample rendering.
 """
 
-from repro.modelcheck.checker import CheckResult, InvariantChecker, check_invariant
+from repro.modelcheck.checker import (
+    CheckResult,
+    DeadlockSearchResult,
+    InvariantChecker,
+    check_invariant,
+)
+from repro.modelcheck.encode import (
+    PackedSystemAdapter,
+    StateCodec,
+    compile_packed_invariant,
+)
 from repro.modelcheck.model import Transition, TransitionSystem
+from repro.modelcheck.parallel import (
+    ParallelVerifier,
+    monte_carlo_parallel,
+    verify_authorities_parallel,
+)
 from repro.modelcheck.state import StateSpace, StateView, Variable
 from repro.modelcheck.trace import Trace, TraceStep, render_trace
 
 __all__ = [
     "CheckResult",
+    "DeadlockSearchResult",
     "InvariantChecker",
+    "PackedSystemAdapter",
+    "ParallelVerifier",
+    "StateCodec",
     "StateSpace",
     "StateView",
     "Trace",
@@ -31,5 +54,8 @@ __all__ = [
     "TransitionSystem",
     "Variable",
     "check_invariant",
+    "compile_packed_invariant",
+    "monte_carlo_parallel",
     "render_trace",
+    "verify_authorities_parallel",
 ]

@@ -6,6 +6,18 @@ Because BFS visits states in order of distance from the initial states, the
 first state violating the invariant yields a counterexample of *minimum
 length* -- the same guarantee the paper relies on from SMV ("SMV produces
 the shortest possible trace").
+
+Two engines share the same search semantics:
+
+* the **tuple engine** walks :meth:`successors` transitions directly and
+  records labels as it goes (one shared BFS core also drives
+  :func:`find_deadlocks`);
+* the **packed engine** walks integer state codes (see
+  :mod:`repro.modelcheck.encode`), hashing machine ints instead of nested
+  tuples and decoding states only when a counterexample is rebuilt.  It is
+  selected automatically for systems with a native packed path (the TTA
+  startup model) and enumerates successors in the same order as the tuple
+  engine, so both return identical verdicts, counts, and traces.
 """
 
 from __future__ import annotations
@@ -13,14 +25,21 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.modelcheck.model import Transition, TransitionSystem
+from repro.modelcheck.encode import (
+    PackedSystemAdapter,
+    compile_packed_invariant,
+)
+from repro.modelcheck.model import TransitionSystem
 from repro.modelcheck.state import StateView
 from repro.modelcheck.trace import Trace, TraceStep
 
 #: Invariant signature: predicate over a named state view; True = OK.
 Invariant = Callable[[StateView], bool]
+
+#: Engine names accepted by :class:`InvariantChecker`.
+ENGINES = ("auto", "packed", "tuple")
 
 
 @dataclass
@@ -35,6 +54,8 @@ class CheckResult:
     counterexample: Optional[Trace] = None
     #: True when the search hit a limit before exhausting the state space.
     truncated: bool = False
+    #: Which search engine produced the result ("tuple" or "packed").
+    engine: str = "tuple"
 
     @property
     def verdict(self) -> str:
@@ -43,6 +64,13 @@ class CheckResult:
         if self.holds and self.truncated:
             return "NO VIOLATION FOUND (search truncated)"
         return "VIOLATED"
+
+    @property
+    def states_per_second(self) -> float:
+        """Exploration rate (diagnostics/benchmarks)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.states_explored / self.elapsed_seconds
 
     def summary(self) -> str:
         lines = [
@@ -57,96 +85,336 @@ class CheckResult:
         return "\n".join(lines)
 
 
+@dataclass
+class _SearchState:
+    """Outcome of one shared BFS run (tuple engine)."""
+
+    #: parent[state] = (predecessor state or None, transition label).
+    parent: Dict[tuple, Any] = field(default_factory=dict)
+    depth_of: Dict[tuple, int] = field(default_factory=dict)
+    violating: Optional[tuple] = None
+    truncated: bool = False
+    transitions: int = 0
+    max_depth_seen: int = 0
+    states_added: int = 0
+    deadlocked: List[tuple] = field(default_factory=list)
+
+
+def _tuple_bfs(system: TransitionSystem,
+               invariant: Optional[Invariant] = None,
+               collect_deadlocks: bool = False,
+               max_states: Optional[int] = None,
+               max_depth: Optional[int] = None,
+               progress: Optional[Callable[[int, int], None]] = None,
+               progress_interval: int = 50_000) -> _SearchState:
+    """The one BFS core behind invariant checking and deadlock scanning.
+
+    Stops early (``violating`` set) as soon as ``invariant`` fails on a
+    newly discovered state; collects successor-free states when
+    ``collect_deadlocks`` is set; flags ``truncated`` whenever a limit
+    prevented the search from being exhaustive.
+    """
+    space = system.space
+    search = _SearchState()
+    parent = search.parent
+    depth_of = search.depth_of
+    frontier: deque = deque()
+
+    def add(state: tuple, entry: Tuple[Optional[tuple], Dict[str, Any]],
+            depth: int) -> bool:
+        """Record a newly discovered state; False ends the search."""
+        parent[state] = entry
+        depth_of[state] = depth
+        search.states_added += 1
+        if depth > search.max_depth_seen:
+            search.max_depth_seen = depth
+        # A monotonic counter (not len(parent) racing past the interval on
+        # multi-state seeding) guarantees one firing per interval crossed.
+        if progress is not None and search.states_added % progress_interval == 0:
+            progress(search.states_added, depth)
+        if invariant is not None and not invariant(space.view(state)):
+            search.violating = state
+            return False
+        frontier.append(state)
+        return True
+
+    for state in system.initial_states():
+        if state in parent:
+            continue
+        if not add(state, (None, {}), 0):
+            return search
+
+    while frontier:
+        state = frontier.popleft()
+        depth = depth_of[state]
+        if max_depth is not None and depth >= max_depth:
+            search.truncated = True
+            continue
+        successor_count = 0
+        for transition in system.successors(state):
+            search.transitions += 1
+            successor_count += 1
+            target = transition.target
+            if target in parent:
+                continue
+            if max_states is not None and len(parent) >= max_states:
+                search.truncated = True
+                continue
+            if not add(target, (state, transition.label), depth + 1):
+                return search
+        if collect_deadlocks and successor_count == 0:
+            search.deadlocked.append(state)
+    return search
+
+
+def _rebuild_trace(space, parent: Dict[tuple, Any], violating: tuple) -> Trace:
+    chain: List[TraceStep] = []
+    state: Optional[tuple] = violating
+    while state is not None:
+        predecessor, label = parent[state]
+        chain.append(TraceStep(state=state, label=label))
+        state = predecessor
+    chain.reverse()
+    return Trace(space=space, steps=chain)
+
+
 class InvariantChecker:
-    """Reusable checker with limits and progress hooks."""
+    """Reusable checker with limits, progress hooks, and engine selection.
+
+    ``engine`` is one of:
+
+    * ``"auto"`` (default) -- the packed engine when the system provides a
+      native packed path (``packed_successors`` + ``codec``), the tuple
+      engine otherwise;
+    * ``"packed"`` -- force packed search; systems without a native path
+      are wrapped in :class:`~repro.modelcheck.encode.PackedSystemAdapter`
+      (every variable must declare a domain);
+    * ``"tuple"`` -- force the classic tuple search.
+    """
 
     def __init__(self, system: TransitionSystem,
                  max_states: Optional[int] = None,
                  max_depth: Optional[int] = None,
                  progress: Optional[Callable[[int, int], None]] = None,
-                 progress_interval: int = 50_000) -> None:
+                 progress_interval: int = 50_000,
+                 engine: str = "auto") -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; pick one of {ENGINES}")
         self.system = system
         self.max_states = max_states
         self.max_depth = max_depth
         self.progress = progress
         self.progress_interval = progress_interval
+        self.engine = engine
+
+    # -- engine selection ---------------------------------------------------------
+
+    def _packed_system(self) -> Optional[Any]:
+        """The packed interface to search, or None for the tuple engine."""
+        if self.engine == "tuple":
+            return None
+        has_native = (hasattr(self.system, "packed_successors")
+                      and hasattr(self.system, "codec"))
+        if has_native:
+            return self.system
+        if self.engine == "packed":
+            return PackedSystemAdapter(self.system)
+        return None
+
+    # -- public API ---------------------------------------------------------------
 
     def check(self, invariant: Invariant) -> CheckResult:
         """BFS over reachable states, checking ``invariant`` at each."""
-        space = self.system.space
+        packed = self._packed_system()
+        if packed is not None:
+            return self._check_packed(packed, invariant)
+        return self._check_tuple(invariant)
+
+    # -- tuple engine -------------------------------------------------------------
+
+    def _check_tuple(self, invariant: Invariant) -> CheckResult:
         started = time.perf_counter()
+        search = _tuple_bfs(self.system, invariant=invariant,
+                            max_states=self.max_states,
+                            max_depth=self.max_depth,
+                            progress=self.progress,
+                            progress_interval=self.progress_interval)
+        trace = None
+        if search.violating is not None:
+            trace = _rebuild_trace(self.system.space, search.parent,
+                                   search.violating)
+        return CheckResult(holds=search.violating is None,
+                           states_explored=len(search.parent),
+                           transitions_explored=search.transitions,
+                           depth_reached=search.max_depth_seen,
+                           elapsed_seconds=time.perf_counter() - started,
+                           counterexample=trace,
+                           truncated=search.truncated,
+                           engine="tuple")
 
-        # parent[state] = (predecessor state or None, transition label).
-        parent: Dict[tuple, Any] = {}
-        depth_of: Dict[tuple, int] = {}
-        frontier = deque()
-        transitions_explored = 0
+    # -- packed engine ------------------------------------------------------------
+
+    def _check_packed(self, packed: Any, invariant: Invariant) -> CheckResult:
+        """Level-order BFS over integer state codes.
+
+        The hot loop touches only ints: parent links are code -> code, the
+        invariant is compiled to digit tests where possible, and labels are
+        re-derived from the tuple-level transition relation only for the
+        (short) counterexample chain.
+        """
+        started = time.perf_counter()
+        codec = packed.codec
+        packed_invariant = compile_packed_invariant(invariant, codec)
+        successors_of = packed.packed_successors
+        max_states = self.max_states
+        max_depth = self.max_depth
+        progress = self.progress
+        progress_interval = self.progress_interval
+
+        #: parent[code] = predecessor code, or None for initial states.
+        parent: Dict[int, Optional[int]] = {}
+        transitions = 0
         max_depth_seen = 0
+        states_added = 0
         truncated = False
+        violating: Optional[int] = None
 
-        def make_result(holds: bool, violating: Optional[tuple]) -> CheckResult:
-            elapsed = time.perf_counter() - started
+        def make_result() -> CheckResult:
             trace = None
             if violating is not None:
-                trace = self._rebuild_trace(parent, violating)
-            return CheckResult(holds=holds,
+                trace = self._rebuild_packed_trace(packed, parent, violating)
+            return CheckResult(holds=violating is None,
                                states_explored=len(parent),
-                               transitions_explored=transitions_explored,
+                               transitions_explored=transitions,
                                depth_reached=max_depth_seen,
-                               elapsed_seconds=elapsed,
+                               elapsed_seconds=time.perf_counter() - started,
                                counterexample=trace,
-                               truncated=truncated)
+                               truncated=truncated,
+                               engine="packed")
 
-        for state in self.system.initial_states():
-            if state in parent:
+        current: List[int] = []
+        for code in packed.packed_initial_states():
+            if code in parent:
                 continue
-            parent[state] = (None, {})
-            depth_of[state] = 0
-            if not invariant(space.view(state)):
-                return make_result(holds=False, violating=state)
-            frontier.append(state)
+            parent[code] = None
+            states_added += 1
+            if progress is not None and states_added % progress_interval == 0:
+                progress(states_added, 0)
+            if not packed_invariant(code):
+                violating = code
+                return make_result()
+            current.append(code)
 
-        while frontier:
-            state = frontier.popleft()
-            depth = depth_of[state]
-            if self.max_depth is not None and depth >= self.max_depth:
+        depth = 0
+        while current:
+            if max_depth is not None and depth >= max_depth:
                 truncated = True
-                continue
-            for transition in self.system.successors(state):
-                transitions_explored += 1
-                target = transition.target
-                if target in parent:
-                    continue
-                if self.max_states is not None and len(parent) >= self.max_states:
-                    truncated = True
-                    continue
-                parent[target] = (state, transition.label)
-                depth_of[target] = depth + 1
-                max_depth_seen = max(max_depth_seen, depth + 1)
-                if self.progress is not None and len(parent) % self.progress_interval == 0:
-                    self.progress(len(parent), depth + 1)
-                if not invariant(space.view(target)):
-                    return make_result(holds=False, violating=target)
-                frontier.append(target)
+                break
+            next_level: List[int] = []
+            for code in current:
+                for target in successors_of(code):
+                    transitions += 1
+                    if target in parent:
+                        continue
+                    if max_states is not None and len(parent) >= max_states:
+                        truncated = True
+                        continue
+                    parent[target] = code
+                    states_added += 1
+                    if (progress is not None
+                            and states_added % progress_interval == 0):
+                        progress(states_added, depth + 1)
+                    if not packed_invariant(target):
+                        violating = target
+                        max_depth_seen = depth + 1
+                        return make_result()
+                    next_level.append(target)
+            if next_level:
+                max_depth_seen = depth + 1
+            current = next_level
+            depth += 1
 
-        return make_result(holds=True, violating=None)
+        return make_result()
 
-    def _rebuild_trace(self, parent: Dict[tuple, Any], violating: tuple) -> Trace:
-        chain: List[TraceStep] = []
-        state = violating
-        while state is not None:
-            predecessor, label = parent[state]
-            chain.append(TraceStep(state=state, label=label))
-            state = predecessor
-        chain.reverse()
-        return Trace(space=self.system.space, steps=chain)
+    def _rebuild_packed_trace(self, packed: Any,
+                              parent: Dict[int, Optional[int]],
+                              violating: int) -> Trace:
+        """Decode the parent chain and recover labels from the tuple path.
+
+        Only the counterexample chain (tens of states) is ever decoded; the
+        label of each edge is the one the tuple engine would have recorded,
+        because both engines enumerate successors in the same order and
+        keep the first transition reaching each target.
+        """
+        codec = packed.codec
+        base_system = getattr(packed, "system", packed)
+        codes: List[int] = []
+        cursor: Optional[int] = violating
+        while cursor is not None:
+            codes.append(cursor)
+            cursor = parent[cursor]
+        codes.reverse()
+        states = [codec.unpack(code) for code in codes]
+
+        steps: List[TraceStep] = [TraceStep(state=states[0], label={})]
+        for position in range(1, len(states)):
+            previous = states[position - 1]
+            target_code = codes[position]
+            label: Dict[str, Any] = {}
+            for transition in base_system.successors(previous):
+                if codec.pack(transition.target) == target_code:
+                    label = transition.label
+                    break
+            steps.append(TraceStep(state=states[position], label=label))
+        return Trace(space=packed.space, steps=steps)
+
+
+@dataclass
+class DeadlockSearchResult:
+    """Outcome of a deadlock scan: the traces plus search metadata.
+
+    Behaves as a sequence of the deadlock traces (``len``, indexing,
+    iteration, equality with plain lists), so exhaustive-scan callers can
+    keep treating it as the list it used to be -- while bounded scans are
+    now distinguishable via :attr:`truncated`.
+    """
+
+    traces: List[Trace] = field(default_factory=list)
+    #: True when ``max_states`` stopped the scan before exhausting the
+    #: reachable space -- absence of deadlocks is then NOT conclusive.
+    truncated: bool = False
+    states_explored: int = 0
+
+    @property
+    def exhaustive(self) -> bool:
+        return not self.truncated
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self):
+        return iter(self.traces)
+
+    def __getitem__(self, index):
+        return self.traces[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DeadlockSearchResult):
+            return (self.traces == other.traces
+                    and self.truncated == other.truncated
+                    and self.states_explored == other.states_explored)
+        if isinstance(other, list):
+            return self.traces == other
+        return NotImplemented
 
 
 def check_invariant(system: TransitionSystem, invariant: Invariant,
                     max_states: Optional[int] = None,
-                    max_depth: Optional[int] = None) -> CheckResult:
+                    max_depth: Optional[int] = None,
+                    engine: str = "auto") -> CheckResult:
     """One-shot convenience wrapper over :class:`InvariantChecker`."""
-    checker = InvariantChecker(system, max_states=max_states, max_depth=max_depth)
+    checker = InvariantChecker(system, max_states=max_states,
+                               max_depth=max_depth, engine=engine)
     return checker.check(invariant)
 
 
@@ -159,55 +427,26 @@ def find_trace_to(system: TransitionSystem, target: Invariant,
     when no reachable state satisfies the predicate (within the limits).
     """
     result = check_invariant(system, lambda view: not target(view),
-                             max_states=max_states, max_depth=max_depth)
+                             max_states=max_states, max_depth=max_depth,
+                             engine="tuple")
     return result.counterexample
 
 
 def find_deadlocks(system: TransitionSystem,
-                   max_states: Optional[int] = None) -> List[Trace]:
+                   max_states: Optional[int] = None) -> DeadlockSearchResult:
     """Shortest traces to reachable states with no outgoing transitions.
 
     A synchronous protocol model should be deadlock-free (every state has
     at least the all-stutter successor); a deadlock indicates a modeling
     error, so this is the standard model-hygiene check SMV users run
     alongside their properties.
+
+    Shares the BFS core with :class:`InvariantChecker`; a scan stopped by
+    ``max_states`` reports :attr:`DeadlockSearchResult.truncated` so a
+    bounded "no deadlocks" is not mistaken for an exhaustive one.
     """
-    space = system.space
-    parent: Dict[tuple, Any] = {}
-    depth_of: Dict[tuple, int] = {}
-    frontier = deque()
-    deadlocked: List[tuple] = []
-
-    for state in system.initial_states():
-        if state not in parent:
-            parent[state] = (None, {})
-            depth_of[state] = 0
-            frontier.append(state)
-
-    while frontier:
-        state = frontier.popleft()
-        successor_count = 0
-        for transition in system.successors(state):
-            successor_count += 1
-            target = transition.target
-            if target in parent:
-                continue
-            if max_states is not None and len(parent) >= max_states:
-                continue
-            parent[target] = (state, transition.label)
-            depth_of[target] = depth_of[state] + 1
-            frontier.append(target)
-        if successor_count == 0:
-            deadlocked.append(state)
-
-    traces = []
-    for state in deadlocked:
-        chain: List[TraceStep] = []
-        cursor: Optional[tuple] = state
-        while cursor is not None:
-            predecessor, label = parent[cursor]
-            chain.append(TraceStep(state=cursor, label=label))
-            cursor = predecessor
-        chain.reverse()
-        traces.append(Trace(space=space, steps=chain))
-    return traces
+    search = _tuple_bfs(system, collect_deadlocks=True, max_states=max_states)
+    traces = [_rebuild_trace(system.space, search.parent, state)
+              for state in search.deadlocked]
+    return DeadlockSearchResult(traces=traces, truncated=search.truncated,
+                                states_explored=len(search.parent))

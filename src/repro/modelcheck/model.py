@@ -68,21 +68,29 @@ class ExplicitTransitionSystem:
 
 def count_reachable(system: TransitionSystem,
                     max_states: int = 1_000_000) -> int:
-    """Size of the reachable state space (diagnostics/benchmarks)."""
+    """Size of the reachable state space (diagnostics/benchmarks).
+
+    Raises :class:`RuntimeError` as soon as a state *beyond* the limit
+    would be enqueued (checked before insertion, like the checker's
+    bounded search -- the limit can never be silently overshot).
+    """
     from collections import deque
 
     seen = set()
     frontier = deque()
+
+    def add(state: tuple) -> None:
+        if len(seen) >= max_states:
+            raise RuntimeError(f"more than {max_states} reachable states")
+        seen.add(state)
+        frontier.append(state)
+
     for state in system.initial_states():
         if state not in seen:
-            seen.add(state)
-            frontier.append(state)
+            add(state)
     while frontier:
-        if len(seen) > max_states:
-            raise RuntimeError(f"more than {max_states} reachable states")
         state = frontier.popleft()
         for transition in system.successors(state):
             if transition.target not in seen:
-                seen.add(transition.target)
-                frontier.append(transition.target)
+                add(transition.target)
     return len(seen)

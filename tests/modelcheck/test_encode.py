@@ -1,0 +1,180 @@
+"""Tests for the packed-state codec (pack/unpack bijection, invariant
+compilation, and the generic packed adapter)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.scenarios import scenario_for_authority
+from repro.model.system_model import TTAStartupModel
+from repro.modelcheck.encode import (PackedSystemAdapter, StateCodec,
+                                     compile_packed_invariant)
+from repro.modelcheck.model import ExplicitTransitionSystem
+from repro.modelcheck.state import StateSpace, Variable
+
+
+def small_space():
+    return StateSpace([
+        Variable("mode", domain=("idle", "busy", "done")),
+        Variable("count", domain=(0, 1, 2, 3)),
+        Variable("flag", domain=(False, True)),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Round-trip properties
+# ---------------------------------------------------------------------------
+
+@given(mode=st.sampled_from(("idle", "busy", "done")),
+       count=st.sampled_from((0, 1, 2, 3)),
+       flag=st.booleans())
+def test_pack_unpack_round_trip(mode, count, flag):
+    codec = StateCodec(small_space())
+    state = (mode, count, flag)
+    assert codec.unpack(codec.pack(state)) == state
+
+
+@given(st.data())
+@settings(max_examples=50)
+def test_round_trip_on_random_spaces(data):
+    """pack/unpack is a bijection on arbitrarily shaped domains."""
+    variable_count = data.draw(st.integers(min_value=1, max_value=5))
+    variables = []
+    for position in range(variable_count):
+        size = data.draw(st.integers(min_value=1, max_value=6))
+        domain = tuple(f"v{position}_{index}" for index in range(size))
+        variables.append(Variable(f"x{position}", domain=domain))
+    codec = StateCodec(StateSpace(variables))
+    state = tuple(data.draw(st.sampled_from(variable.domain))
+                  for variable in variables)
+    code = codec.pack(state)
+    assert 0 <= code < codec.size
+    assert codec.unpack(code) == state
+    # And the codes themselves are distinct: re-pack after decode.
+    assert codec.pack(codec.unpack(code)) == code
+
+
+def test_all_codes_enumerate_all_states():
+    codec = StateCodec(small_space())
+    assert codec.size == 3 * 4 * 2
+    states = {codec.unpack(code) for code in range(codec.size)}
+    assert len(states) == codec.size
+
+
+def test_paper_model_codec_round_trip():
+    """Every initial state and one BFS level of the real TTA model survive
+    the round trip through the model's own codec."""
+    from repro.core.authority import CouplerAuthority
+
+    system = TTAStartupModel(scenario_for_authority(CouplerAuthority.PASSIVE))
+    codec = system.codec
+    for state in system.initial_states():
+        assert codec.unpack(codec.pack(state)) == state
+        for transition in system.successors(state):
+            packed = codec.pack(transition.target)
+            assert codec.unpack(packed) == transition.target
+
+
+# ---------------------------------------------------------------------------
+# Single-digit access and error cases
+# ---------------------------------------------------------------------------
+
+def test_extract_reads_single_variables():
+    codec = StateCodec(small_space())
+    code = codec.pack(("busy", 2, True))
+    assert codec.extract(code, "mode") == "busy"
+    assert codec.extract(code, "count") == 2
+    assert codec.extract(code, "flag") is True
+
+
+def test_view_decodes_named_access():
+    codec = StateCodec(small_space())
+    view = codec.view(codec.pack(("done", 3, False)))
+    assert view.mode == "done"
+    assert view["count"] == 3
+
+
+def test_missing_domain_rejected():
+    space = StateSpace([Variable("open_ended")])
+    with pytest.raises(ValueError, match="declares no domain"):
+        StateCodec(space)
+
+
+def test_duplicate_domain_values_rejected():
+    space = StateSpace([Variable("x", domain=(1, 2, 1))])
+    with pytest.raises(ValueError, match="duplicate domain values"):
+        StateCodec(space)
+
+
+def test_pack_rejects_out_of_domain_value():
+    codec = StateCodec(small_space())
+    with pytest.raises(ValueError, match="not in domain"):
+        codec.pack(("idle", 99, False))
+
+
+def test_pack_rejects_wrong_arity():
+    codec = StateCodec(small_space())
+    with pytest.raises(ValueError, match="entries"):
+        codec.pack(("idle", 0))
+
+
+def test_unpack_rejects_out_of_range_code():
+    codec = StateCodec(small_space())
+    with pytest.raises(ValueError, match="outside"):
+        codec.unpack(codec.size)
+    with pytest.raises(ValueError, match="outside"):
+        codec.unpack(-1)
+
+
+# ---------------------------------------------------------------------------
+# Invariant compilation
+# ---------------------------------------------------------------------------
+
+def test_compiled_forbidden_assignments_match_predicate():
+    codec = StateCodec(small_space())
+
+    def invariant(view):
+        return view.mode != "done" and view.count != 3
+
+    invariant.forbidden_assignments = [("mode", "done"), ("count", 3)]
+    packed_invariant = compile_packed_invariant(invariant, codec)
+    for code in range(codec.size):
+        assert packed_invariant(code) == invariant(codec.view(code))
+
+
+def test_fallback_decodes_for_opaque_invariants():
+    codec = StateCodec(small_space())
+
+    def invariant(view):  # no forbidden_assignments attribute
+        return (view.count + (1 if view.flag else 0)) % 2 == 0
+
+    packed_invariant = compile_packed_invariant(invariant, codec)
+    for code in range(codec.size):
+        assert packed_invariant(code) == invariant(codec.view(code))
+
+
+def test_value_digit_rejects_unknown_value():
+    codec = StateCodec(small_space())
+    with pytest.raises(ValueError, match="not in domain"):
+        codec.value_digit("mode", "sleeping")
+
+
+# ---------------------------------------------------------------------------
+# Generic packed adapter
+# ---------------------------------------------------------------------------
+
+def test_adapter_preserves_successor_sets():
+    space = StateSpace([Variable("n", domain=tuple(range(6)))])
+    transitions = {
+        (0,): [((1,), {}), ((2,), {}), ((1,), {"dup": True})],
+        (1,): [((3,), {})],
+        (2,): [((3,), {})],
+        (3,): [],
+    }
+    system = ExplicitTransitionSystem(space, [(0,)], transitions)
+    adapter = PackedSystemAdapter(system)
+    unpack = adapter.codec.unpack
+    assert [unpack(code) for code in adapter.packed_initial_states()] == [(0,)]
+    # Duplicate targets collapse, first-occurrence order is kept.
+    assert [unpack(code) for code in adapter.packed_successors(
+        adapter.codec.pack((0,)))] == [(1,), (2,)]
