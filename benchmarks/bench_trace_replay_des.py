@@ -2,30 +2,20 @@
 
 The model checker (EXP-V1/T1) proves the failure *possible*; this
 benchmark shows it *happening* on the bit-and-microsecond discrete-event
-simulation: a full-shifting star coupler with the out-of-slot fault
-replays the cold-starter's frame one slot late, the listeners integrate on
-the replay with a stale position, and the clique-avoidance test freezes
-fault-free nodes -- the same causal chain as the paper's trace 1.
+simulation, through the :mod:`repro.conformance` subsystem: the tuned DES
+realization of the paper's trace 1 is run, its typed event stream is
+abstracted to the model's slot-granularity vocabulary, and slot-level
+agreement with the model counterexample is checked quantity by quantity.
 """
 
 from _report import write_report
 
 from repro.analysis.tables import format_table
 from repro.cluster import Cluster, ClusterSpec
+from repro.conformance import TRACE1_REPLAY, check_conformance
 from repro.core.authority import CouplerAuthority
-from repro.network.star_coupler import CouplerFault
+from repro.core.verification import verify_config
 from repro.ttp.constants import ControllerStateName
-
-
-def run_des_replay():
-    spec = ClusterSpec(topology="star",
-                       authority=CouplerAuthority.FULL_SHIFTING,
-                       coupler_faults=[CouplerFault.OUT_OF_SLOT,
-                                       CouplerFault.NONE])
-    cluster = Cluster(spec)
-    cluster.power_on()
-    cluster.run(rounds=30)
-    return cluster
 
 
 def run_des_healthy():
@@ -38,7 +28,7 @@ def run_des_healthy():
 
 
 def test_exp_s3_out_of_slot_on_des(benchmark):
-    faulty = benchmark.pedantic(run_des_replay, rounds=1, iterations=1)
+    faulty = benchmark.pedantic(TRACE1_REPLAY.run, rounds=1, iterations=1)
     healthy = run_des_healthy()
 
     # Control: the same authority level without the fault starts cleanly.
@@ -46,15 +36,19 @@ def test_exp_s3_out_of_slot_on_des(benchmark):
     assert all(state is ControllerStateName.ACTIVE
                for state in healthy.states().values())
 
-    # The faulty coupler replayed frames and fault-free nodes clique-froze.
-    assert faulty.topology.couplers[0].stats.replayed > 0
+    # The model counterexample and the DES run agree at slot granularity.
+    result = verify_config(TRACE1_REPLAY.model_config())
+    assert result.counterexample is not None
+    report = check_conformance(result.counterexample, faulty.monitor.records,
+                               node_names=list(faulty.controllers),
+                               scenario=TRACE1_REPLAY.name)
+    assert report.conforms, report.summary()
+
+    # The faulty coupler spent its one-replay budget and fault-free nodes
+    # clique-froze after integrating via the replayed cold-start frame.
+    assert faulty.topology.couplers[0].stats.replayed == 1
     frozen = faulty.clique_frozen_nodes()
     assert frozen, "expected clique-avoidance freezes of healthy nodes"
-
-    # The frozen nodes had integrated via the (replayed) cold-start path.
-    integrations = faulty.monitor.select(kind="integrated")
-    assert any(record.details["via"] == "cold_start"
-               for record in integrations)
 
     rows = [("replays by faulty coupler",
              faulty.topology.couplers[0].stats.replayed),
@@ -62,6 +56,9 @@ def test_exp_s3_out_of_slot_on_des(benchmark):
             ("healthy-run victims (control)", "-"),
             ("model-checker verdict (EXP-V1)", "VIOLATED"),
             ("DES outcome", "VIOLATED (same mechanism)")]
+    rows.extend((f"agreement: {check.name}",
+                 f"model={check.model_value} des={check.des_value}")
+                for check in report.checks)
     timeline = "\n".join(
         "  " + record.describe() for record in faulty.monitor.records
         if record.kind in ("state", "integrated", "out_of_slot_replay",

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cluster import Cluster, ClusterSpec
-from repro.ttp.constants import ControllerStateName
+from repro.obs.monitors import StartupMonitor
 
 
 @dataclass(frozen=True)
@@ -41,25 +41,17 @@ def measure_startup(topology: str = "star", stagger: float = 37.0,
     """Run one startup and report when the cluster became fully active."""
     spec = spec or ClusterSpec(topology=topology)
     cluster = Cluster(spec)
+    # Online: the monitor tracks per-node first activations as the stream
+    # is emitted; no post-hoc trace query (works on a bounded-buffer bus).
+    startup = StartupMonitor.for_cluster(cluster)
     cluster.power_on(stagger=stagger)
     cluster.run(rounds=max_rounds)
 
-    activations = [record.time for record in cluster.monitor.select(kind="state")
-                   if record.details.get("state") == "active"]
-    completed = all(state is ControllerStateName.ACTIVE
-                    for state in cluster.states().values())
-    if not completed or not activations:
+    finished = startup.all_active_time()
+    if finished is None:
         return StartupMeasurement(topology=topology, stagger=stagger,
                                   completed=False, all_active_time=None,
                                   all_active_rounds=None)
-    # First time at which every node had (ever) activated; with no
-    # failures that is the last first-activation.
-    first_activation = {}
-    for record in cluster.monitor.select(kind="state"):
-        if record.details.get("state") != "active":
-            continue
-        first_activation.setdefault(record.source, record.time)
-    finished = max(first_activation.values())
     round_duration = cluster.medl.round_duration()
     return StartupMeasurement(topology=topology, stagger=stagger,
                               completed=True, all_active_time=finished,

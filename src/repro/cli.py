@@ -6,6 +6,8 @@
 ``repro figure3``     -- the Figure 3 series (EXP-F3)
 ``repro campaign``    -- DES fault-injection campaign (EXP-S2)
 ``repro leaky``       -- leaky-bucket buffer validation (EXP-S1)
+``repro events``      -- run a named scenario, emit its JSONL event stream
+``repro conform``     -- replay a counterexample on the DES (EXP-S3)
 """
 
 from __future__ import annotations
@@ -27,6 +29,13 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -193,6 +202,58 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _events_cluster(scenario: str, capacity: Optional[int]):
+    """Build the named scenario's cluster (powered off)."""
+    from repro.conformance import SCENARIOS
+
+    if scenario == "startup":
+        from repro.cluster import Cluster, ClusterSpec
+
+        return Cluster(ClusterSpec(topology="star",
+                                   monitor_capacity=capacity))
+    return SCENARIOS[scenario].build_cluster(monitor_capacity=capacity)
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    cluster = _events_cluster(args.scenario, args.capacity)
+    cluster.power_on()
+    cluster.run(rounds=args.rounds)
+    if args.jsonl:
+        written = cluster.monitor.export_jsonl(args.jsonl)
+        print(f"{written} events ({len(cluster.monitor.kind_counts)} kinds, "
+              f"{cluster.monitor.dropped_count} dropped) -> {args.jsonl}")
+    else:
+        cluster.monitor.export_jsonl(sys.stdout)
+    return 0
+
+
+def _cmd_conform(args: argparse.Namespace) -> int:
+    from repro.conformance import SCENARIOS, check_conformance
+
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    all_conform = True
+    for name in names:
+        scenario = SCENARIOS[name]
+        result = verify_config(scenario.model_config(), engine=args.engine)
+        if result.counterexample is None:
+            print(f"{name}: model produced no counterexample to replay")
+            all_conform = False
+            continue
+        cluster = scenario.run()
+        report = check_conformance(result.counterexample,
+                                   cluster.monitor.records,
+                                   node_names=list(cluster.controllers),
+                                   scenario=name)
+        print(report.summary())
+        all_conform = all_conform and report.conforms
+        if args.jsonl:
+            target = (args.jsonl if len(names) == 1
+                      else f"{args.jsonl}.{name}.jsonl")
+            written = cluster.monitor.export_jsonl(target)
+            print(f"  ({written} DES events -> {target})")
+    return 0 if all_conform else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -256,6 +317,36 @@ def build_parser() -> argparse.ArgumentParser:
     clocksync.add_argument("--ppm", type=float, default=100.0)
     clocksync.add_argument("--rounds", type=float, default=400.0)
     clocksync.set_defaults(func=_cmd_clocksync)
+
+    events = subparsers.add_parser(
+        "events", help="run a named scenario and emit its typed event "
+                       "stream as JSON Lines")
+    events.add_argument("scenario", choices=["startup", "trace1", "trace2"],
+                        help="startup: healthy star startup; trace1/trace2: "
+                             "the EXP-S3 counterexample replays")
+    events.add_argument("--rounds", type=_positive_float, default=30.0,
+                        help="TDMA rounds to simulate (default: 30)")
+    events.add_argument("--capacity", type=_positive_int, default=None,
+                        help="bound the event bus to a ring buffer of N "
+                             "events (default: unbounded)")
+    events.add_argument("--jsonl", default=None,
+                        help="write the stream to this file "
+                             "(default: stdout)")
+    events.set_defaults(func=_cmd_events)
+
+    conform = subparsers.add_parser(
+        "conform", help="EXP-S3: replay a counterexample on the DES and "
+                        "report slot-level agreement")
+    conform.add_argument("scenario", choices=["trace1", "trace2", "all"],
+                         help="which paper counterexample to replay")
+    conform.add_argument("--engine", choices=("auto", "packed", "tuple"),
+                         default="auto",
+                         help="state representation for the BFS core "
+                              "(default: auto = packed when available)")
+    conform.add_argument("--jsonl", default=None,
+                         help="also export the DES event stream to this "
+                              "file (per-scenario suffix with 'all')")
+    conform.set_defaults(func=_cmd_conform)
 
     report = subparsers.add_parser(
         "report", help="run every core experiment and print the combined "

@@ -47,6 +47,12 @@ class ClusterSpec:
     #: Star-coupler fault per channel (star topology only).
     coupler_faults: List[CouplerFault] = field(
         default_factory=lambda: [CouplerFault.NONE, CouplerFault.NONE])
+    #: Delay before a full-shifting coupler replays its stored frame
+    #: (None = the coupler default of one slot); star topology only.
+    coupler_replay_delay: Optional[float] = None
+    #: Out-of-slot replay budget (None = unlimited); the paper's trace
+    #: analysis allows the faulty coupler a single replay error.
+    coupler_replay_limit: Optional[int] = None
     #: Local-guardian fault per node (bus topology only).
     guardian_faults: Dict[str, GuardianFault] = field(default_factory=dict)
     #: Passive channel faults (the TTP/C fault hypothesis: channels may
@@ -58,6 +64,13 @@ class ClusterSpec:
     #: deferred switches to the others.
     modes: Optional[List[Medl]] = None
     seed: int = 0
+    #: Bound the event bus to a ring buffer of this many events (None =
+    #: unbounded) so multi-thousand-round campaigns stop growing memory.
+    monitor_capacity: Optional[int] = None
+    #: Fault descriptors wired in by :func:`repro.faults.injector.apply_fault`
+    #: (:class:`repro.faults.types.FaultDescriptor` instances); the built
+    #: cluster announces each as a ``fault_injected`` event at time zero.
+    injected_faults: List = field(default_factory=list)
 
 
 class Cluster:
@@ -66,7 +79,7 @@ class Cluster:
     def __init__(self, spec: ClusterSpec) -> None:
         self.spec = spec
         self.sim = Simulator()
-        self.monitor = TraceMonitor()
+        self.monitor = TraceMonitor(capacity=spec.monitor_capacity)
         if spec.modes:
             from repro.ttp.modes import ModeSet
 
@@ -86,6 +99,8 @@ class Cluster:
                 self.sim, self.medl, authority=spec.authority,
                 monitor=self.monitor,
                 coupler_faults=list(spec.coupler_faults),
+                replay_delay=spec.coupler_replay_delay,
+                replay_limit=spec.coupler_replay_limit,
                 drop_probability=spec.channel_drop_probability,
                 corrupt_probability=spec.channel_corrupt_probability,
                 rng=rng)
@@ -111,6 +126,14 @@ class Cluster:
                                        config=config, tolerance=tolerance,
                                        modes=self.mode_set)
             self.controllers[name] = controller
+
+        from repro.obs import events as obs_events
+
+        for descriptor in spec.injected_faults:
+            self.monitor.emit(obs_events.FaultInjected(
+                time=self.sim.now, source="injector",
+                fault_type=descriptor.fault_type.value,
+                target=descriptor.target))
 
     def power_on(self, stagger: float = 37.0) -> None:
         """Power on every node, staggered unless a per-node delay is given.

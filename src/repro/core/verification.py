@@ -110,6 +110,17 @@ def verify_all_authorities(slots: int = 4,
             for authority in all_authorities()}
 
 
+def cross_validate(scenario: str = "trace1", engine: str = "auto"):
+    """EXP-S3: replay a paper counterexample on the DES cluster and check
+    slot-level agreement (see :mod:`repro.conformance`).
+
+    Returns a :class:`repro.conformance.ConformanceReport`.
+    """
+    from repro.conformance import conform_scenario
+
+    return conform_scenario(scenario, engine=engine)
+
+
 def expected_verdicts() -> Dict[CouplerAuthority, bool]:
     """The paper's reported outcomes (True = property holds)."""
     return {

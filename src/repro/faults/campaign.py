@@ -22,6 +22,7 @@ from repro.core.authority import CouplerAuthority
 from repro.faults.injector import apply_fault
 from repro.faults.types import FaultDescriptor, FaultType
 from repro.network.signal import ReceiverTolerance
+from repro.obs.monitors import VictimMonitor
 
 
 @dataclass
@@ -113,19 +114,33 @@ def _base_spec(topology: str, authority: CouplerAuthority,
     return spec
 
 
+def injection_cluster(fault: FaultDescriptor, topology: str,
+                      authority: CouplerAuthority = CouplerAuthority.SMALL_SHIFTING,
+                      seed: int = 0) -> Cluster:
+    """A fresh, powered-off cluster with the fault wired in -- the exact
+    cluster :func:`run_injection` uses, exposed so equivalence tests can
+    attach their own monitors before running it."""
+    spec = _base_spec(topology, authority, fault, seed)
+    spec = apply_fault(spec, fault)
+    return Cluster(spec)
+
+
 def run_injection(fault: FaultDescriptor, topology: str,
                   authority: CouplerAuthority = CouplerAuthority.SMALL_SHIFTING,
                   rounds: float = 40.0, seed: int = 0) -> InjectionOutcome:
-    """Inject one fault into a fresh cluster and report the outcome."""
-    spec = _base_spec(topology, authority, fault, seed)
-    spec = apply_fault(spec, fault)
-    cluster = Cluster(spec)
+    """Inject one fault into a fresh cluster and report the outcome.
+
+    The victim verdict is evaluated online, in a single pass over the
+    event stream, by a subscribed :class:`VictimMonitor`.
+    """
+    cluster = injection_cluster(fault, topology, authority=authority, seed=seed)
+    victims = VictimMonitor.for_cluster(cluster)
     cluster.power_on()
     cluster.run(rounds=rounds)
     return InjectionOutcome(
         fault=fault,
         topology=topology,
-        victims=cluster.healthy_victims(),
+        victims=victims.victims(),
         integrated=cluster.integrated_nodes(),
         states={name: state.value for name, state in cluster.states().items()})
 
@@ -157,6 +172,7 @@ def guardian_vs_coupler_blocking(blocked_node: str = "B",
     bus_spec = apply_fault(bus_spec, FaultDescriptor(
         FaultType.GUARDIAN_BLOCK_ALL, target=blocked_node))
     bus = Cluster(bus_spec)
+    bus_victims = VictimMonitor.for_cluster(bus)
     bus.power_on()
     bus.run(rounds=rounds)
 
@@ -164,6 +180,7 @@ def guardian_vs_coupler_blocking(blocked_node: str = "B",
     star_spec = apply_fault(star_spec, FaultDescriptor(
         FaultType.COUPLER_SILENCE, target="0"))
     star = Cluster(star_spec)
+    star_victims = VictimMonitor.for_cluster(star)
     star.power_on()
     star.run(rounds=rounds)
 
@@ -178,11 +195,11 @@ def guardian_vs_coupler_blocking(blocked_node: str = "B",
                     if bus.medl.slot_of(name) not in witness.view.membership_set()]
 
     return BlockingAsymmetryResult(
-        bus_victims=bus.healthy_victims(),
+        bus_victims=bus_victims.victims(),
         bus_excluded=excluded,
         bus_active=[name for name, controller in bus.controllers.items()
                     if controller.state.value == "active"],
-        star_victims=star.healthy_victims(),
+        star_victims=star_victims.victims(),
         star_active=[name for name, controller in star.controllers.items()
                      if controller.state.value == "active"],
         star_channel0_delivered=star.topology.channels[0].delivered_count,

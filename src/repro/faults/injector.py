@@ -39,6 +39,9 @@ _COUPLER_FAULT = {
 def apply_fault(spec: ClusterSpec, fault: FaultDescriptor) -> ClusterSpec:
     """A deep copy of ``spec`` with the fault wired in."""
     spec = copy.deepcopy(spec)
+    # Record the descriptor so the built cluster announces the injection
+    # on the event bus (kind ``fault_injected``).
+    spec.injected_faults.append(fault)
 
     if fault.fault_type in _NODE_BEHAVIOUR:
         if fault.target not in spec.node_names:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.network.signal import SignalShape
+from repro.obs import events as obs_events
 from repro.sim.engine import Simulator
 from repro.sim.monitor import TraceMonitor
 from repro.ttp.frames import Frame
@@ -96,9 +97,10 @@ class Channel:
                 self._collided.add(id(transmission))
         self._active.append(transmission)
         if self.monitor is not None:
-            self.monitor.record(self.sim.now, f"channel:{self.name}", "tx_start",
-                                sender=transmission.source,
-                                frame_kind=transmission.frame.kind.value)
+            self.monitor.emit(obs_events.TxStart(
+                time=self.sim.now, source=f"channel:{self.name}",
+                sender=transmission.source,
+                frame_kind=transmission.frame.kind.value))
         self.sim.schedule(transmission.duration,
                           lambda: self._complete(transmission))
 
@@ -111,8 +113,9 @@ class Channel:
         if self._chance(self.drop_probability):
             self.dropped_count += 1
             if self.monitor is not None:
-                self.monitor.record(self.sim.now, f"channel:{self.name}",
-                                    "tx_dropped", sender=transmission.source)
+                self.monitor.emit(obs_events.TxDropped(
+                    time=self.sim.now, source=f"channel:{self.name}",
+                    sender=transmission.source))
             return
         corrupted = collided or self._chance(self.corrupt_probability)
         if corrupted:
@@ -120,10 +123,11 @@ class Channel:
 
         self.delivered_count += 1
         if self.monitor is not None:
-            self.monitor.record(self.sim.now, f"channel:{self.name}", "tx_complete",
-                                sender=transmission.source,
-                                frame_kind=transmission.frame.kind.value,
-                                corrupted=corrupted)
+            self.monitor.emit(obs_events.TxComplete(
+                time=self.sim.now, source=f"channel:{self.name}",
+                sender=transmission.source,
+                frame_kind=transmission.frame.kind.value,
+                corrupted=corrupted))
         for subscriber in list(self._subscribers):
             subscriber(transmission, corrupted)
 

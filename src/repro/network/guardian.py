@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.network.channel import Channel, Transmission
+from repro.obs import events as obs_events
 from repro.sim.engine import Simulator
 from repro.sim.monitor import TraceMonitor
 from repro.ttp.medl import Medl
@@ -88,20 +89,21 @@ class LocalBusGuardian:
         """Gate one transmission from the node; returns True if forwarded."""
         if self.fault is GuardianFault.BLOCK_ALL:
             self.stats.blocked_by_fault += 1
-            self._record("blocked_by_fault", sender=transmission.source)
+            self._emit(obs_events.BlockedByFault, sender=transmission.source)
             return False
         if self.fault is not GuardianFault.PASS_ALL and not self.window_open(self.sim.now):
             self.stats.blocked_out_of_window += 1
-            self._record("blocked_out_of_window", sender=transmission.source)
+            self._emit(obs_events.BlockedOutOfWindow, sender=transmission.source)
             return False
         self.stats.forwarded += 1
         self.channel.transmit(transmission)
         return True
 
-    def _record(self, kind: str, **details) -> None:
+    def _emit(self, event_cls, **details) -> None:
         if self.monitor is not None:
-            self.monitor.record(self.sim.now, f"guardian:{self.node_name}",
-                                kind, **details)
+            self.monitor.emit(event_cls(time=self.sim.now,
+                                        source=f"guardian:{self.node_name}",
+                                        **details))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"LocalBusGuardian({self.node_name!r}, fault={self.fault.value})"

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 from repro.core.authority import CouplerAuthority, features_of
 from repro.network.channel import Channel, Transmission
 from repro.network.signal import SignalShape, reshape
+from repro.obs import events as obs_events
 from repro.sim.engine import Simulator
 from repro.sim.monitor import TraceMonitor
 from repro.ttp.constants import LINE_ENCODING_BITS, FrameKind
@@ -246,17 +247,17 @@ class StarCoupler:
         # Fault behaviour first: a silent coupler forwards nothing at all.
         if self.fault is CouplerFault.SILENCE:
             self.stats.silenced += 1
-            self._record("uplink_silenced", sender=transmission.source)
+            self._emit(obs_events.UplinkSilenced, sender=transmission.source)
             return
 
         decision = self._policy_decision(transmission)
         if decision == "block_window":
             self.stats.blocked_out_of_window += 1
-            self._record("blocked_out_of_window", sender=transmission.source)
+            self._emit(obs_events.BlockedOutOfWindow, sender=transmission.source)
             return
         if decision == "block_semantic":
             self.stats.blocked_semantic += 1
-            self._record("blocked_semantic", sender=transmission.source)
+            self._emit(obs_events.BlockedSemantic, sender=transmission.source)
             return
 
         # A verified cold-start frame (port check passed) is trustworthy:
@@ -278,6 +279,8 @@ class StarCoupler:
         # Store-and-replay capability (and its abuse under the fault).
         if self.features.can_shift_full:
             self._buffered = outgoing
+            self._emit(obs_events.BufferOccupancy, sender=outgoing.source,
+                       bits=outgoing.frame.size_bits)
             if self.fault is CouplerFault.OUT_OF_SLOT and not self._replay_pending:
                 self._schedule_replay()
 
@@ -389,8 +392,8 @@ class StarCoupler:
             return
         original = self._buffered
         self.stats.replayed += 1
-        self._record("out_of_slot_replay", sender=original.source,
-                     frame_kind=original.frame.kind.value)
+        self._emit(obs_events.OutOfSlotReplay, sender=original.source,
+                   frame_kind=original.frame.kind.value)
         replayed = replace(original, start_time=self.sim.now)
         self.channel.transmit(replayed)
 
@@ -398,9 +401,10 @@ class StarCoupler:
         onward = replace(transmission, start_time=self.sim.now)
         self.channel.transmit(onward)
 
-    def _record(self, kind: str, **details) -> None:
+    def _emit(self, event_cls, **details) -> None:
         if self.monitor is not None:
-            self.monitor.record(self.sim.now, f"coupler:{self.name}", kind, **details)
+            self.monitor.emit(event_cls(time=self.sim.now,
+                                        source=f"coupler:{self.name}", **details))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"StarCoupler({self.name!r}, {self.authority.value}, "

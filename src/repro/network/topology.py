@@ -124,6 +124,8 @@ class StarTopology(_TopologyBase):
                  authority: CouplerAuthority = CouplerAuthority.SMALL_SHIFTING,
                  monitor: Optional[TraceMonitor] = None,
                  coupler_faults: Optional[List[CouplerFault]] = None,
+                 replay_delay: Optional[float] = None,
+                 replay_limit: Optional[int] = None,
                  drop_probability: float = 0.0,
                  corrupt_probability: float = 0.0,
                  rng=None) -> None:
@@ -140,7 +142,8 @@ class StarTopology(_TopologyBase):
         self.couplers: List[StarCoupler] = [
             StarCoupler(self.sim, name=f"coupler{index}", authority=authority,
                         medl=medl, channel=channel, monitor=monitor,
-                        fault=coupler_faults[index])
+                        fault=coupler_faults[index],
+                        replay_delay=replay_delay, replay_limit=replay_limit)
             for index, channel in enumerate(self.channels)]
 
     def send(self, source: str, frame: Frame, duration: float,

@@ -1,0 +1,421 @@
+"""The closed event taxonomy of the simulation stack.
+
+Every observable action of the simulator is one of the dataclasses below,
+carrying the simulated ``time``, the emitting ``source`` (``node:A``,
+``coupler:coupler0``, ``guardian:B``, ``channel:ch0``, ``injector``), and
+typed detail fields.  The string ``kind`` of each event is a class
+attribute declared *here and only here*: no emitter anywhere else in the
+package constructs raw event-kind strings, so the taxonomy below is the
+complete vocabulary a consumer (online monitor, conformance checker,
+JSONL export) ever has to understand.
+
+Event kinds
+-----------
+
+===================== ==================== ===================================
+kind                  emitter              meaning
+===================== ==================== ===================================
+state                 controller           protocol state entered
+integrated            controller           joined the cluster (via which frame)
+activated             controller           acquired sending rights (grid anchor)
+freeze                controller           entered freeze, with the reason
+cold_start_grid       controller           proposed a TDMA grid as cold-starter
+clique_test           controller           clique-avoidance verdict this round
+ack_failure           controller           explicit acknowledgment send fault
+slot_failed           controller           judged a slot failed (diagnostics)
+send                  controller           scheduled frame transmitted
+mode_request          controller           host requested a deferred mode change
+dmc_latched           controller           latched a mode change from the bus
+mode_change           controller           cluster switched operating modes
+babble                controller           babbling-idiot fault traffic
+masquerade_send       controller           forged cold-start frame sent
+fault_activated       controller           injected node fault became active
+tx_start              channel              transmission started on a medium
+tx_complete           channel              transmission completed (corrupted?)
+tx_dropped            channel              passive channel fault dropped a frame
+blocked_by_fault      guardian             block-all guardian fault blocked a send
+blocked_out_of_window guardian, coupler    transmit window closed
+blocked_semantic      coupler              semantic analysis rejected a frame
+uplink_silenced       coupler              silent-coupler fault ate a frame
+out_of_slot_replay    coupler              buffered frame replayed out of slot
+buffer_occupancy      coupler              whole frame stored (full-shifting)
+fault_injected        injector             fault descriptor wired into the spec
+===================== ==================== ===================================
+
+Unknown kinds (hand-built records, forward-compatible imports) fall back to
+:class:`GenericEvent`, which carries its kind and details per instance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, List, Optional, Type
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base of every typed event: when it happened and who emitted it."""
+
+    kind: ClassVar[str] = "event"
+
+    time: float
+    source: str
+
+    @property
+    def details(self) -> Dict[str, Any]:
+        """The event's detail fields as a plain dict (time/source excluded)."""
+        return {entry.name: getattr(self, entry.name)
+                for entry in fields(self) if entry.name not in ("time", "source")}
+
+    def describe(self) -> str:
+        """Single-line human-readable rendering."""
+        detail_text = " ".join(f"{key}={value}"
+                               for key, value in sorted(self.details.items()))
+        suffix = f" {detail_text}" if detail_text else ""
+        return f"[t={self.time:.6f}] {self.source}: {self.kind}{suffix}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping; inverse of :func:`event_from_dict`."""
+        return {"time": self.time, "source": self.source, "kind": self.kind,
+                "details": self.details}
+
+
+class GenericEvent(Event):
+    """An event outside the closed taxonomy (legacy or imported records).
+
+    Kept constructor-compatible with the pre-spine ``TraceRecord``:
+    ``GenericEvent(time, source, kind, details)``.  Not a dataclass so that
+    ``kind`` and ``details`` can be per-instance attributes.
+    """
+
+    __slots__ = ("time", "source", "_kind", "_details")
+
+    def __init__(self, time: float, source: str, kind: str,
+                 details: Optional[Dict[str, Any]] = None) -> None:
+        object.__setattr__(self, "time", time)
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "_kind", kind)
+        object.__setattr__(self, "_details", dict(details or {}))
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self._kind
+
+    @property
+    def details(self) -> Dict[str, Any]:
+        return dict(self._details)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GenericEvent):
+            return NotImplemented
+        return (self.time, self.source, self._kind, self._details) == (
+            other.time, other.source, other._kind, other._details)
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.source, self._kind,
+                     tuple(sorted(self._details.items()))))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"GenericEvent(time={self.time!r}, source={self.source!r}, "
+                f"kind={self._kind!r}, details={self._details!r})")
+
+
+#: kind string -> event class, populated by ``_register``.
+EVENT_TYPES: Dict[str, Type[Event]] = {}
+
+
+def _register(cls: Type[Event]) -> Type[Event]:
+    if cls.kind in EVENT_TYPES:
+        raise ValueError(f"duplicate event kind {cls.kind!r}")
+    EVENT_TYPES[cls.kind] = cls
+    return cls
+
+
+# -- controller events -------------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class StateChange(Event):
+    """The controller entered a protocol state (paper Section 4.3 names)."""
+
+    kind: ClassVar[str] = "state"
+    state: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class Integrated(Event):
+    """The node joined the cluster, via a cold-start or C-state frame."""
+
+    kind: ClassVar[str] = "integrated"
+    via: str = ""
+    slot: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class Activated(Event):
+    """The node acquired sending rights; ``round_start`` anchors its grid."""
+
+    kind: ClassVar[str] = "activated"
+    round_start: float = 0.0
+
+
+@_register
+@dataclass(frozen=True)
+class Freeze(Event):
+    """The controller entered the freeze state."""
+
+    kind: ClassVar[str] = "freeze"
+    reason: str = ""
+    was_integrated: bool = False
+
+
+@_register
+@dataclass(frozen=True)
+class ColdStartGrid(Event):
+    """A cold-starter proposed a TDMA grid starting at ``round_start``."""
+
+    kind: ClassVar[str] = "cold_start_grid"
+    round_start: float = 0.0
+
+
+@_register
+@dataclass(frozen=True)
+class CliqueTest(Event):
+    """Outcome of the once-per-round clique-avoidance test."""
+
+    kind: ClassVar[str] = "clique_test"
+    verdict: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class AckFailure(Event):
+    """Two successors denied our membership: explicit-ack send fault."""
+
+    kind: ClassVar[str] = "ack_failure"
+    slot: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class SlotFailed(Event):
+    """A judged slot failed; diagnostic snapshot for campaign forensics."""
+
+    kind: ClassVar[str] = "slot_failed"
+    slot: int = 0
+    expected_time: int = 0
+    expected_pos: int = 0
+    frame_time: Optional[int] = None
+    frame_pos: Optional[int] = None
+    frame_members: Optional[List[int]] = None
+    my_members: Optional[List[int]] = None
+
+
+@_register
+@dataclass(frozen=True)
+class FrameSent(Event):
+    """A scheduled frame left the controller."""
+
+    kind: ClassVar[str] = "send"
+    frame_kind: str = ""
+    slot: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class ModeRequest(Event):
+    """Host requested a deferred mode change."""
+
+    kind: ClassVar[str] = "mode_request"
+    mode: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class DmcLatched(Event):
+    """A mode-change request heard on the bus was latched."""
+
+    kind: ClassVar[str] = "dmc_latched"
+    mode: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class ModeChange(Event):
+    """The cluster switched operating modes at a round boundary."""
+
+    kind: ClassVar[str] = "mode_change"
+    mode: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class Babble(Event):
+    """Babbling-idiot fault traffic outside the node's own slot."""
+
+    kind: ClassVar[str] = "babble"
+    slot: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class MasqueradeSend(Event):
+    """A forged cold-start frame claiming another node's slot."""
+
+    kind: ClassVar[str] = "masquerade_send"
+    claimed: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class FaultActivated(Event):
+    """An injected node fault shaped wire traffic for the first time."""
+
+    kind: ClassVar[str] = "fault_activated"
+    fault: str = ""
+
+
+# -- channel events ----------------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class TxStart(Event):
+    """A transmission started driving a medium."""
+
+    kind: ClassVar[str] = "tx_start"
+    sender: str = ""
+    frame_kind: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class TxComplete(Event):
+    """A transmission completed and was delivered to the receivers."""
+
+    kind: ClassVar[str] = "tx_complete"
+    sender: str = ""
+    frame_kind: str = ""
+    corrupted: bool = False
+
+
+@_register
+@dataclass(frozen=True)
+class TxDropped(Event):
+    """A passive channel fault dropped a completed transmission."""
+
+    kind: ClassVar[str] = "tx_dropped"
+    sender: str = ""
+
+
+# -- guardian / coupler events -----------------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class BlockedByFault(Event):
+    """A block-all guardian fault stopped its node's transmission."""
+
+    kind: ClassVar[str] = "blocked_by_fault"
+    sender: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class BlockedOutOfWindow(Event):
+    """A transmission arrived outside the sender's transmit window."""
+
+    kind: ClassVar[str] = "blocked_out_of_window"
+    sender: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class BlockedSemantic(Event):
+    """Semantic analysis (port or C-state check) rejected a frame."""
+
+    kind: ClassVar[str] = "blocked_semantic"
+    sender: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class UplinkSilenced(Event):
+    """A silent-coupler fault swallowed an uplink transmission."""
+
+    kind: ClassVar[str] = "uplink_silenced"
+    sender: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class OutOfSlotReplay(Event):
+    """A full-shifting coupler replayed its buffered frame out of slot."""
+
+    kind: ClassVar[str] = "out_of_slot_replay"
+    sender: str = ""
+    frame_kind: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class BufferOccupancy(Event):
+    """A full-shifting coupler stored a whole frame in its buffer."""
+
+    kind: ClassVar[str] = "buffer_occupancy"
+    sender: str = ""
+    bits: int = 0
+
+
+# -- fault-injection events --------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class FaultInjected(Event):
+    """A fault descriptor was wired into the cluster under simulation."""
+
+    kind: ClassVar[str] = "fault_injected"
+    fault_type: str = ""
+    target: str = ""
+
+
+def make_event(time: float, source: str, kind: str,
+               **details: Any) -> Event:
+    """Build the typed event for ``kind``, or a :class:`GenericEvent`.
+
+    The legacy ``TraceMonitor.record(time, source, kind, **details)`` shim
+    funnels through here, so hand-written records with taxonomy kinds come
+    out as their typed classes, and anything else stays representable.
+    """
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        return GenericEvent(time, source, kind, details)
+    known = {entry.name for entry in fields(cls)}
+    if set(details) - known:
+        return GenericEvent(time, source, kind, details)
+    return cls(time=time, source=source, **details)
+
+
+def event_from_dict(payload: Dict[str, Any]) -> Event:
+    """Rebuild an event from :meth:`Event.to_dict` output (JSONL import)."""
+    missing = {"time", "source", "kind"} - set(payload)
+    if missing:
+        raise ValueError(f"event payload missing {sorted(missing)}: {payload!r}")
+    return make_event(payload["time"], payload["source"], payload["kind"],
+                      **dict(payload.get("details") or {}))
+
+
+def taxonomy_rows() -> List[tuple]:
+    """(kind, event class name, detail fields) rows for docs and tests."""
+    rows = []
+    for kind in sorted(EVENT_TYPES):
+        cls = EVENT_TYPES[kind]
+        detail_names = [entry.name for entry in dataclasses.fields(cls)
+                        if entry.name not in ("time", "source")]
+        rows.append((kind, cls.__name__, ", ".join(detail_names)))
+    return rows

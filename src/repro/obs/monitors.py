@@ -1,0 +1,245 @@
+"""Online property monitors over the live event stream.
+
+Each monitor is a :class:`repro.sim.monitor.TraceMonitor` subscriber that
+evaluates an experiment verdict *incrementally*, in a single pass over the
+events as they are emitted -- the runtime-monitoring counterpart of the
+post-hoc trace queries the campaigns used to run.  Because the verdicts
+are derived from the same event stream, an online monitor produces exactly
+the answer the corresponding post-hoc query would (guarded by the
+equivalence tests in ``tests/obs/``), but without retaining the trace:
+every monitor works unchanged against a bounded ring-buffer bus.
+
+* :class:`VictimMonitor` -- the fault-injection campaign's "victim"
+  metric (EXP-S2/EXP-S4): which fault-free nodes were harmed.
+* :class:`StartupMonitor` -- the startup-latency measurement (EXP-S6):
+  when did the whole cluster become active.
+* :class:`NoCliqueFreezeMonitor` -- the paper's Section 5.1 property
+  evaluated on the DES: no fault-free node is ever forced into the
+  freeze state by the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.obs.events import Event
+from repro.sim.monitor import TraceMonitor
+
+#: Freeze reasons imposed by the protocol (mirrors
+#: ``repro.ttp.controller.PROTOCOL_FORCED_FREEZES`` without importing the
+#: controller: monitors must be usable on imported JSONL streams too).
+PROTOCOL_FORCED_REASONS = frozenset({"clique_error", "ack_failure"})
+
+
+def _node_of(source: str) -> Optional[str]:
+    """Node name of a ``node:X`` source, else ``None``."""
+    prefix, _, name = source.partition(":")
+    return name if prefix == "node" else None
+
+
+class OnlineMonitor:
+    """Base: a subscriber that can attach to / detach from an event bus."""
+
+    def __init__(self) -> None:
+        self._bus: Optional[TraceMonitor] = None
+
+    def attach(self, bus: TraceMonitor) -> "OnlineMonitor":
+        """Subscribe to ``bus``; returns ``self`` for chaining."""
+        self._bus = bus
+        bus.subscribe(self.on_event)
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the attached bus (no-op if never attached)."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self.on_event)
+            self._bus = None
+
+    def on_event(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def replay(self, events: Sequence[Event]) -> "OnlineMonitor":
+        """Feed a recorded stream (e.g. a JSONL import) through the
+        monitor; returns ``self``."""
+        for event in events:
+            self.on_event(event)
+        return self
+
+
+class VictimMonitor(OnlineMonitor):
+    """Online campaign metric: fault-free nodes harmed by the injection.
+
+    A healthy node is a victim when it is frozen by the protocol
+    (clique-avoidance or acknowledgment failure), never activated, or
+    anchored to a TDMA grid other than a legitimate one -- the same
+    definition as :meth:`repro.cluster.Cluster.healthy_victims`, derived
+    incrementally from ``state``/``freeze``/``activated``/
+    ``cold_start_grid`` events instead of final controller state.
+    """
+
+    def __init__(self, node_names: Sequence[str], healthy_nodes: Set[str],
+                 round_duration: float, grid_tolerance: float = 1.0) -> None:
+        super().__init__()
+        self.node_names = list(node_names)
+        self.healthy_nodes = set(healthy_nodes)
+        self.round_duration = round_duration
+        self.grid_tolerance = grid_tolerance
+        self._state: Dict[str, str] = {}
+        self._freeze_reason: Dict[str, str] = {}
+        self._ever_activated: Set[str] = set()
+        self._anchor: Dict[str, float] = {}
+        self._legit_phases: List[float] = []
+
+    @classmethod
+    def for_cluster(cls, cluster,
+                    grid_tolerance: float = 1.0) -> "VictimMonitor":
+        """A monitor wired to a built (not yet run) cluster."""
+        from repro.ttp.controller import NodeFaultBehavior
+
+        healthy = {name for name, controller in cluster.controllers.items()
+                   if controller.config.fault is NodeFaultBehavior.HEALTHY}
+        instance = cls(node_names=list(cluster.controllers),
+                       healthy_nodes=healthy,
+                       round_duration=cluster.medl.round_duration(),
+                       grid_tolerance=grid_tolerance)
+        instance.attach(cluster.monitor)
+        return instance
+
+    def on_event(self, event: Event) -> None:
+        node = _node_of(event.source)
+        if node is None:
+            return
+        kind = event.kind
+        if kind == "state":
+            self._state[node] = event.details["state"]
+        elif kind == "freeze":
+            self._state[node] = "freeze"
+            self._freeze_reason[node] = event.details["reason"]
+        elif kind == "activated":
+            self._ever_activated.add(node)
+            self._anchor[node] = event.details["round_start"]
+        elif kind == "cold_start_grid" and node in self.healthy_nodes:
+            self._legit_phases.append(
+                event.details["round_start"] % self.round_duration)
+
+    def victims(self) -> List[str]:
+        """Fault-free nodes harmed so far (campaign order)."""
+        duration = self.round_duration
+        victims = []
+        for name in self.node_names:
+            if name not in self.healthy_nodes:
+                continue
+            protocol_frozen = (
+                self._state.get(name) == "freeze"
+                and self._freeze_reason.get(name) in PROTOCOL_FORCED_REASONS)
+            wrong_grid = False
+            if self._legit_phases and name in self._anchor:
+                phase = self._anchor[name] % duration
+                distance = min(
+                    min((phase - legit) % duration, (legit - phase) % duration)
+                    for legit in self._legit_phases)
+                wrong_grid = distance > self.grid_tolerance
+            if protocol_frozen or wrong_grid or name not in self._ever_activated:
+                victims.append(name)
+        return victims
+
+
+class StartupMonitor(OnlineMonitor):
+    """Online startup-latency measurement: first time every node is active.
+
+    Tracks each node's current protocol state and first activation time;
+    :meth:`all_active_time` reproduces the post-hoc query of
+    :func:`repro.analysis.startup_latency.measure_startup`.
+    """
+
+    def __init__(self, node_names: Sequence[str]) -> None:
+        super().__init__()
+        self.node_names = list(node_names)
+        self._state: Dict[str, str] = {}
+        self._first_active: Dict[str, float] = {}
+
+    @classmethod
+    def for_cluster(cls, cluster) -> "StartupMonitor":
+        """A monitor wired to a built (not yet run) cluster."""
+        instance = cls(node_names=list(cluster.controllers))
+        instance.attach(cluster.monitor)
+        return instance
+
+    def on_event(self, event: Event) -> None:
+        node = _node_of(event.source)
+        if node is None:
+            return
+        if event.kind == "state":
+            state = event.details["state"]
+            self._state[node] = state
+            if state == "active":
+                self._first_active.setdefault(node, event.time)
+        elif event.kind == "freeze":
+            self._state[node] = "freeze"
+
+    @property
+    def completed(self) -> bool:
+        """Whether every watched node is active right now."""
+        return all(self._state.get(name) == "active"
+                   for name in self.node_names)
+
+    def all_active_time(self) -> Optional[float]:
+        """When the last node first became active (None while any node
+        has yet to activate or has since left the active state)."""
+        if not self.completed or not self._first_active:
+            return None
+        return max(self._first_active.values())
+
+
+@dataclass(frozen=True)
+class PropertyViolation:
+    """One observed violation of the Section 5.1 property."""
+
+    time: float
+    node: str
+    reason: str
+
+
+class NoCliqueFreezeMonitor(OnlineMonitor):
+    """The paper's Section 5.1 property, evaluated online on the DES.
+
+    The model checker's invariant (:func:`repro.model.properties.
+    no_clique_freeze`) forbids any node from reaching the protocol-forced
+    freeze state.  On the simulation the same property reads: no *watched*
+    (fault-free) node ever emits a ``freeze`` event whose reason is
+    protocol-forced.  Faulty nodes are excluded exactly as the model
+    excludes them ("the nodes are modeled not to fail").
+    """
+
+    def __init__(self, watched_nodes: Sequence[str]) -> None:
+        super().__init__()
+        self.watched_nodes = set(watched_nodes)
+        self.violations: List[PropertyViolation] = []
+
+    @classmethod
+    def for_cluster(cls, cluster) -> "NoCliqueFreezeMonitor":
+        """Watch every fault-free node of a built (not yet run) cluster."""
+        from repro.ttp.controller import NodeFaultBehavior
+
+        watched = [name for name, controller in cluster.controllers.items()
+                   if controller.config.fault is NodeFaultBehavior.HEALTHY]
+        instance = cls(watched_nodes=watched)
+        instance.attach(cluster.monitor)
+        return instance
+
+    def on_event(self, event: Event) -> None:
+        if event.kind != "freeze":
+            return
+        node = _node_of(event.source)
+        if node is None or node not in self.watched_nodes:
+            return
+        reason = event.details["reason"]
+        if reason in PROTOCOL_FORCED_REASONS:
+            self.violations.append(
+                PropertyViolation(time=event.time, node=node, reason=reason))
+
+    @property
+    def holds(self) -> bool:
+        """Whether the property has held over the stream so far."""
+        return not self.violations

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.network.channel import Transmission
 from repro.network.signal import ReceiverTolerance, SignalShape
+from repro.obs import events as ev
 from repro.sim.clock import ClockConfig, DriftingClock
 from repro.sim.engine import Event, Simulator
 from repro.sim.monitor import TraceMonitor
@@ -166,6 +167,7 @@ class TTPController:
         self.startup = StartupRules(slot_count=medl.slot_count, node_slot=self.own_slot)
         self.ever_integrated = False
         self.tick_count = 0
+        self._fault_announced = False
         self._init_slots_left = 0
         self._mailbox: List[Tuple[int, Transmission, bool, float]] = []
         self._tick_event: Optional[Event] = None
@@ -214,7 +216,7 @@ class TTPController:
                              f"(have 0..{self.modes.mode_count - 1})")
         self.pending_mode = None if mode == self.current_mode else mode
         self._dmc_announced = False
-        self._record("mode_request", mode=mode)
+        self._emit(ev.ModeRequest, mode=mode)
 
     @property
     def integrated(self) -> bool:
@@ -323,7 +325,7 @@ class TTPController:
             return
         self.state = ControllerStateName.INIT
         self._init_slots_left = self.config.init_delay_slots
-        self._record("state", state=self.state.value)
+        self._emit(ev.StateChange, state=self.state.value)
         self._schedule_tick()
 
     def _enter_listen(self) -> None:
@@ -332,7 +334,7 @@ class TTPController:
         self.ack.disarm()
         self.synchronizer.reset()
         self._sync_adjustment = 0.0
-        self._record("state", state=self.state.value)
+        self._emit(ev.StateChange, state=self.state.value)
 
     def _enter_cold_start(self) -> None:
         self.state = ControllerStateName.COLD_START
@@ -343,10 +345,10 @@ class TTPController:
         self.view.members = {self.own_slot}
         self.view.reset_round()
         self._judged_since_test = 0
-        self._record("state", state=self.state.value)
-        self._record("cold_start_grid",
-                     round_start=self.sim.now
-                     - self.medl.slot_start_offset(self.own_slot))
+        self._emit(ev.StateChange, state=self.state.value)
+        self._emit(ev.ColdStartGrid,
+                   round_start=self.sim.now
+                   - self.medl.slot_start_offset(self.own_slot))
         self._send_cold_start()
 
     def _integrate(self, new_slot: int, global_time: int,
@@ -362,14 +364,14 @@ class TTPController:
         self.ever_integrated = True
         self.ack.disarm()
         self.pending_mode = None
-        self._record("integrated", via=via, slot=new_slot)
-        self._record("state", state=self.state.value)
+        self._emit(ev.Integrated, via=via, slot=new_slot)
+        self._emit(ev.StateChange, state=self.state.value)
 
     def _freeze(self, reason: FreezeReason) -> None:
         self.state = ControllerStateName.FREEZE
         self.freeze_reason = reason
-        self._record("freeze", reason=reason.value,
-                     was_integrated=self.ever_integrated)
+        self._emit(ev.Freeze, reason=reason.value,
+                   was_integrated=self.ever_integrated)
         if self._tick_event is not None:
             self._tick_event.cancel()
             self._tick_event = None
@@ -576,8 +578,8 @@ class TTPController:
                 # expected vs what the (first) frame claimed.
                 frame = next((observation.frame for observation in obs_list
                               if observation.frame is not None), None)
-                self._record(
-                    "slot_failed", slot=self.slot,
+                self._emit(
+                    ev.SlotFailed, slot=self.slot,
                     expected_time=self.cstate.global_time,
                     expected_pos=self.cstate.medl_position,
                     frame_time=None if frame is None else frame.cstate.global_time,
@@ -605,7 +607,7 @@ class TTPController:
                 continue
             outcome = self.ack.observe_successor(frame.cstate.membership)
             if outcome is AckOutcome.SEND_FAULT:
-                self._record("ack_failure", slot=self.slot)
+                self._emit(ev.AckFailure, slot=self.slot)
                 self._freeze(FreezeReason.ACK_FAILURE)
             return
 
@@ -624,7 +626,7 @@ class TTPController:
                 if self.modes.valid_mode(requested):
                     if requested != self.pending_mode:
                         self.pending_mode = requested
-                        self._record("dmc_latched", mode=requested)
+                        self._emit(ev.DmcLatched, mode=requested)
                     # Heard from the bus: it is circulating.
                     self._dmc_announced = True
             return
@@ -669,7 +671,7 @@ class TTPController:
             self.current_mode = self.pending_mode
             self.pending_mode = None
             self._dmc_announced = False
-            self._record("mode_change", mode=self.current_mode)
+            self._emit(ev.ModeChange, mode=self.current_mode)
         # Membership snapshot and pending DMC travel in the C-state.
         self.cstate = CState(global_time=self.cstate.global_time,
                              medl_position=self.cstate.medl_position,
@@ -682,7 +684,7 @@ class TTPController:
             verdict = clique_avoidance_test(self.view.counters, integrated=False)
             self.view.reset_round()
             self._judged_since_test = 0
-            self._record("clique_test", verdict=verdict.value)
+            self._emit(ev.CliqueTest, verdict=verdict.value)
             if verdict is CliqueVerdict.RESEND_COLD_START:
                 self._send_cold_start()
             elif verdict is CliqueVerdict.MAJORITY:
@@ -701,7 +703,7 @@ class TTPController:
             verdict = clique_avoidance_test(self.view.counters, integrated=True)
             self.view.reset_round()
             self._judged_since_test = 0
-            self._record("clique_test", verdict=verdict.value)
+            self._emit(ev.CliqueTest, verdict=verdict.value)
             if verdict is CliqueVerdict.MINORITY_FREEZE:
                 self._freeze(FreezeReason.CLIQUE_ERROR)
                 return
@@ -711,7 +713,7 @@ class TTPController:
         if self.state is ControllerStateName.ACTIVE:
             if self._judged_since_test > 0:
                 verdict = clique_avoidance_test(self.view.counters, integrated=True)
-                self._record("clique_test", verdict=verdict.value)
+                self._emit(ev.CliqueTest, verdict=verdict.value)
                 if verdict is CliqueVerdict.MINORITY_FREEZE:
                     self._freeze(FreezeReason.CLIQUE_ERROR)
                     return
@@ -725,8 +727,9 @@ class TTPController:
         self.ever_integrated = True
         self.view.reset_round()
         self._judged_since_test = 0
-        self._record("state", state=self.state.value)
+        self._emit(ev.StateChange, state=self.state.value)
         round_start = self.sim.now - self.medl.slot_start_offset(self.own_slot)
+        self._emit(ev.Activated, round_start=round_start)
         # The latest grid joined (a reintegrated node may have switched).
         self.round_anchor = round_start
         # (Re-)announce on every activation so the node's local guardians
@@ -805,7 +808,8 @@ class TTPController:
                 f" units but the slot is {self.config.slot_duration:g}: enlarge"
                 " the MEDL slot duration or shrink the payload")
         duration = self._frame_duration_ref(frame)
-        self._record("send", frame_kind=frame.kind.value, slot=self.slot)
+        self._announce_fault_if_active()
+        self._emit(ev.FrameSent, frame_kind=frame.kind.value, slot=self.slot)
         self.topology.send(self.name, frame, duration, self._signal_shape())
 
     # -- node fault traffic ------------------------------------------------------------------------------
@@ -817,7 +821,7 @@ class TTPController:
             # contain with their transmit windows.
             if self.state is ControllerStateName.ACTIVE and self.slot != self.own_slot:
                 frame = NFrame(sender_slot=self.own_slot, cstate=self.cstate)
-                self._record("babble", slot=self.slot)
+                self._emit(ev.Babble, slot=self.slot)
                 self._transmit(frame)
         elif self.config.fault is NodeFaultBehavior.MASQUERADE_COLD_START:
             if (self.state is ControllerStateName.LISTEN
@@ -826,15 +830,25 @@ class TTPController:
                     sender_slot=self.config.masquerade_as,
                     cstate=CState(global_time=self.cstate.global_time,
                                   medl_position=self.config.masquerade_as))
-                self._record("masquerade_send", claimed=self.config.masquerade_as)
+                self._announce_fault_if_active()
+                self._emit(ev.MasqueradeSend, claimed=self.config.masquerade_as)
                 duration = self._frame_duration_ref(bogus)
                 self.topology.send(self.name, bogus, duration, self._signal_shape())
 
     # -- bookkeeping ----------------------------------------------------------------------------------------
 
-    def _record(self, kind: str, **details) -> None:
+    def _emit(self, event_cls, **details) -> None:
         if self.monitor is not None:
-            self.monitor.record(self.sim.now, f"node:{self.name}", kind, **details)
+            self.monitor.emit(event_cls(time=self.sim.now,
+                                        source=f"node:{self.name}", **details))
+
+    def _announce_fault_if_active(self) -> None:
+        """Emit the fault-activation event the first time the injected
+        fault actually shapes wire traffic."""
+        if self._fault_announced or not self._fault_active():
+            return
+        self._fault_announced = True
+        self._emit(ev.FaultActivated, fault=self.config.fault.value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"TTPController({self.name!r}, {self.state.value}, "

@@ -1,0 +1,147 @@
+"""Tests for the closed event taxonomy and its JSONL round trip."""
+
+import io
+import json
+import typing
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs.events import (EVENT_TYPES, Event, Freeze, FrameSent,
+                              GenericEvent, event_from_dict, make_event,
+                              taxonomy_rows)
+from repro.sim.monitor import TraceMonitor
+
+
+def test_taxonomy_is_closed_and_documented():
+    rows = taxonomy_rows()
+    assert len(rows) == len(EVENT_TYPES)
+    assert [kind for kind, _, _ in rows] == sorted(EVENT_TYPES)
+    # Every registered class is an Event subclass with a distinct kind.
+    for kind, cls in EVENT_TYPES.items():
+        assert issubclass(cls, Event)
+        assert cls.kind == kind
+
+
+def test_taxonomy_covers_every_emitting_layer():
+    sample = {"state", "freeze", "integrated", "send",  # controller
+              "tx_start", "tx_complete", "tx_dropped",  # channel
+              "blocked_by_fault",                       # guardian
+              "out_of_slot_replay", "uplink_silenced",  # coupler
+              "fault_injected"}                         # injector
+    assert sample <= set(EVENT_TYPES)
+
+
+def test_details_exclude_time_and_source():
+    event = Freeze(time=1.0, source="node:A", reason="clique_error",
+                   was_integrated=True)
+    assert event.details == {"reason": "clique_error", "was_integrated": True}
+
+
+def test_make_event_builds_typed_class():
+    event = make_event(3.0, "node:A", "send", frame_kind="cold_start")
+    assert isinstance(event, FrameSent)
+    assert event.frame_kind == "cold_start"
+    assert event.slot == 0  # defaulted detail field
+
+
+def test_make_event_unknown_kind_falls_back_to_generic():
+    event = make_event(1.0, "x", "made_up_kind", foo=1)
+    assert isinstance(event, GenericEvent)
+    assert event.kind == "made_up_kind"
+    assert event.details == {"foo": 1}
+
+
+def test_make_event_extra_details_fall_back_to_generic():
+    event = make_event(1.0, "node:A", "send", frame_kind="c_state",
+                       surprise="extra")
+    assert isinstance(event, GenericEvent)
+    assert event.details == {"frame_kind": "c_state", "surprise": "extra"}
+
+
+def test_generic_event_equality_and_hash():
+    first = GenericEvent(1.0, "a", "k", {"x": 1})
+    second = GenericEvent(1.0, "a", "k", {"x": 1})
+    assert first == second
+    assert hash(first) == hash(second)
+    assert first != GenericEvent(1.0, "a", "k", {"x": 2})
+
+
+def test_event_from_dict_rejects_missing_keys():
+    with pytest.raises(ValueError):
+        event_from_dict({"time": 1.0, "source": "a"})
+
+
+def test_describe_sorts_detail_fields():
+    event = make_event(0.5, "node:B", "integrated", via="c_state", slot=2)
+    assert event.describe() == "[t=0.500000] node:B: integrated slot=2 via=c_state"
+
+
+# -- property-based JSONL round trip ------------------------------------------
+
+_SCALARS = {
+    float: st.floats(allow_nan=False, allow_infinity=False),
+    str: st.text(max_size=20),
+    int: st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+    bool: st.booleans(),
+}
+
+
+def _strategy_for(hint):
+    if hint in _SCALARS:
+        return _SCALARS[hint]
+    origin = typing.get_origin(hint)
+    if origin is typing.Union:
+        choices = [st.none() if arg is type(None) else _strategy_for(arg)
+                   for arg in typing.get_args(hint)]
+        return st.one_of(choices)
+    if origin is list:
+        return st.lists(_strategy_for(typing.get_args(hint)[0]), max_size=4)
+    raise AssertionError(f"unhandled detail field type {hint!r}")
+
+
+def _typed_event_strategy():
+    def build(cls):
+        hints = typing.get_type_hints(cls)
+        detail_names = [name for name in hints
+                        if name not in ("kind", "time", "source")]
+        return st.builds(cls, time=_SCALARS[float], source=_SCALARS[str],
+                         **{name: _strategy_for(hints[name])
+                            for name in detail_names})
+
+    return st.one_of([build(cls) for _, cls in sorted(EVENT_TYPES.items())])
+
+
+@given(_typed_event_strategy())
+def test_typed_event_jsonl_round_trip(event):
+    payload = json.loads(json.dumps(event.to_dict()))
+    rebuilt = event_from_dict(payload)
+    assert type(rebuilt) is type(event)
+    assert rebuilt == event
+
+
+@given(time=_SCALARS[float], source=_SCALARS[str],
+       kind=st.text(min_size=1, max_size=20).filter(
+           lambda value: value not in EVENT_TYPES),
+       details=st.dictionaries(st.text(max_size=10),
+                               st.one_of(_SCALARS[int], _SCALARS[str],
+                                         _SCALARS[bool], st.none()),
+                               max_size=4))
+def test_generic_event_jsonl_round_trip(time, source, kind, details):
+    event = GenericEvent(time, source, kind, details)
+    payload = json.loads(json.dumps(event.to_dict()))
+    rebuilt = event_from_dict(payload)
+    assert isinstance(rebuilt, GenericEvent)
+    assert rebuilt.to_dict() == event.to_dict()
+
+
+@given(st.lists(_typed_event_strategy(), max_size=12))
+def test_monitor_stream_jsonl_round_trip(events):
+    monitor = TraceMonitor()
+    for event in events:
+        monitor.emit(event)
+    buffer = io.StringIO()
+    assert monitor.export_jsonl(buffer) == len(events)
+    buffer.seek(0)
+    rebuilt = TraceMonitor.read_jsonl(buffer)
+    assert rebuilt == events

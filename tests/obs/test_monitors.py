@@ -1,0 +1,147 @@
+"""Equivalence tests: online monitors == the post-hoc trace queries.
+
+The campaign and analysis layers now evaluate their verdicts online, in a
+single pass over the live event stream.  These tests pin the refactor as
+behaviour-neutral: across every EXP-S2 cell and the EXP-S4 asymmetry
+scenarios, the online :class:`VictimMonitor` answers exactly what the
+post-hoc :meth:`repro.cluster.Cluster.healthy_victims` query answers, and
+the online verdicts survive both a bounded ring-buffer bus and a JSONL
+export/import round trip.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.faults.campaign import DEFAULT_FAULTS, injection_cluster
+from repro.faults.injector import apply_fault
+from repro.faults.types import FaultDescriptor, FaultType
+from repro.obs.monitors import (NoCliqueFreezeMonitor, StartupMonitor,
+                                VictimMonitor)
+from repro.sim.monitor import TraceMonitor
+
+
+def run_cell(fault, topology, rounds=40.0):
+    """One EXP-S2 campaign cell with an attached online victim monitor."""
+    cluster = injection_cluster(fault, topology)
+    online = VictimMonitor.for_cluster(cluster)
+    cluster.power_on()
+    cluster.run(rounds=rounds)
+    return cluster, online
+
+
+@pytest.mark.parametrize("topology", ["bus", "star"])
+@pytest.mark.parametrize("fault", DEFAULT_FAULTS,
+                         ids=[fault.fault_type.value for fault in DEFAULT_FAULTS])
+def test_exp_s2_online_equals_post_hoc(fault, topology):
+    cluster, online = run_cell(fault, topology)
+    assert online.victims() == cluster.healthy_victims()
+
+
+def _blocking_cluster(topology):
+    """The EXP-S4 clusters of ``guardian_vs_coupler_blocking``."""
+    if topology == "bus":
+        spec = apply_fault(ClusterSpec(topology="bus"), FaultDescriptor(
+            FaultType.GUARDIAN_BLOCK_ALL, target="B"))
+    else:
+        spec = apply_fault(ClusterSpec(topology="star"), FaultDescriptor(
+            FaultType.COUPLER_SILENCE, target="0"))
+    return Cluster(spec)
+
+
+@pytest.mark.parametrize("topology", ["bus", "star"])
+def test_exp_s4_online_equals_post_hoc(topology):
+    cluster = _blocking_cluster(topology)
+    online = VictimMonitor.for_cluster(cluster)
+    cluster.power_on()
+    cluster.run(rounds=40.0)
+    assert online.victims() == cluster.healthy_victims()
+
+
+def test_online_verdict_survives_ring_buffer():
+    """The post-hoc query needs the whole trace retained; the online
+    monitor does not -- a tightly bounded bus yields the same victims."""
+    fault = DEFAULT_FAULTS[1]  # masquerade: a non-empty bus victim list
+    cluster = injection_cluster(fault, "bus")
+    unbounded = VictimMonitor.for_cluster(cluster)
+    cluster.power_on()
+    cluster.run(rounds=40.0)
+    reference = unbounded.victims()
+    assert reference  # the cell propagates: a real verdict is compared
+
+    spec = apply_fault(ClusterSpec(topology="bus", monitor_capacity=32), fault)
+    spec.power_on_delays = dict(cluster.spec.power_on_delays)
+    bounded_cluster = Cluster(spec)
+    bounded = VictimMonitor.for_cluster(bounded_cluster)
+    bounded_cluster.power_on()
+    bounded_cluster.run(rounds=40.0)
+    assert bounded_cluster.monitor.dropped_count > 0
+    assert bounded.victims() == reference
+
+
+def test_victims_from_jsonl_replay(tmp_path):
+    cluster, online = run_cell(DEFAULT_FAULTS[1], "bus")
+    path = str(tmp_path / "events.jsonl")
+    cluster.monitor.export_jsonl(path)
+
+    replayed = VictimMonitor(node_names=online.node_names,
+                             healthy_nodes=online.healthy_nodes,
+                             round_duration=online.round_duration)
+    replayed.replay(TraceMonitor.read_jsonl(path))
+    assert replayed.victims() == online.victims()
+
+
+def test_detach_stops_updates():
+    cluster = Cluster(ClusterSpec(topology="star"))
+    online = VictimMonitor.for_cluster(cluster)
+    online.detach()
+    assert cluster.monitor.listener_count == 0
+    cluster.power_on()
+    cluster.run(rounds=10.0)
+    # Detached before any event: nobody ever activated from its view.
+    assert online.victims() == list(cluster.controllers)
+
+
+def test_startup_monitor_matches_post_hoc_query():
+    cluster = Cluster(ClusterSpec(topology="star"))
+    startup = StartupMonitor.for_cluster(cluster)
+    cluster.power_on()
+    cluster.run(rounds=10.0)
+
+    assert startup.completed
+    # Post-hoc: the latest first-activation among the per-node streams.
+    first_active = {}
+    for record in cluster.monitor.select(kind="state"):
+        if record.details["state"] == "active":
+            node = record.source.split(":", 1)[1]
+            first_active.setdefault(node, record.time)
+    assert set(first_active) == set(cluster.controllers)
+    assert startup.all_active_time() == max(first_active.values())
+
+
+def test_startup_monitor_incomplete_before_running():
+    cluster = Cluster(ClusterSpec(topology="star"))
+    startup = StartupMonitor.for_cluster(cluster)
+    assert not startup.completed
+    assert startup.all_active_time() is None
+
+
+def test_property_monitor_holds_on_healthy_cluster():
+    cluster = Cluster(ClusterSpec(topology="star"))
+    prop = NoCliqueFreezeMonitor.for_cluster(cluster)
+    cluster.power_on()
+    cluster.run(rounds=10.0)
+    assert prop.holds
+    assert prop.violations == []
+
+
+def test_property_monitor_catches_trace1_violation():
+    from repro.conformance import TRACE1_REPLAY
+
+    cluster = TRACE1_REPLAY.build_cluster()
+    prop = NoCliqueFreezeMonitor.for_cluster(cluster)
+    cluster.power_on()
+    cluster.run(rounds=TRACE1_REPLAY.rounds)
+    assert not prop.holds
+    assert {violation.reason for violation in prop.violations} == {"clique_error"}
+    assert {violation.node for violation in prop.violations} \
+        <= set(cluster.controllers)

@@ -1,6 +1,11 @@
-"""Tests for the trace monitor."""
+"""Tests for the event bus (trace monitor)."""
 
-from repro.sim.monitor import TraceMonitor, TraceRecord
+import io
+
+import pytest
+
+from repro.obs.events import FrameSent, StateChange
+from repro.sim.monitor import MAX_LISTENER_ERRORS, TraceMonitor, TraceRecord
 
 
 def make_monitor():
@@ -37,7 +42,10 @@ def test_select_combined_filters():
     monitor = make_monitor()
     records = monitor.select(source="node:A", kind="send")
     assert len(records) == 1
-    assert records[0].details == {"frame_kind": "cold_start"}
+    # The legacy record() shim promotes taxonomy kinds to their typed
+    # classes, so defaulted detail fields (here: slot) appear too.
+    assert isinstance(records[0], FrameSent)
+    assert records[0].details == {"frame_kind": "cold_start", "slot": 0}
 
 
 def test_first_and_count():
@@ -97,3 +105,126 @@ def test_records_property_is_copy():
     snapshot = monitor.records
     snapshot.clear()
     assert len(monitor) == 4
+
+
+def test_emit_typed_event():
+    monitor = TraceMonitor()
+    monitor.emit(StateChange(time=1.0, source="node:A", state="listen"))
+    assert monitor.first("state").details == {"state": "listen"}
+
+
+def test_unsubscribe_stops_delivery():
+    monitor = TraceMonitor()
+    seen = []
+    listener = monitor.subscribe(seen.append)
+    monitor.record(1.0, "a", "b")
+    monitor.unsubscribe(listener)
+    monitor.record(2.0, "a", "c")
+    assert len(seen) == 1
+    assert monitor.listener_count == 0
+
+
+def test_unsubscribe_unknown_listener_is_ignored():
+    monitor = TraceMonitor()
+    monitor.unsubscribe(lambda event: None)
+    assert monitor.listener_count == 0
+
+
+def test_raising_listener_is_isolated():
+    monitor = TraceMonitor()
+
+    def bad(event):
+        raise RuntimeError("boom")
+
+    seen = []
+    monitor.subscribe(bad)
+    monitor.subscribe(seen.append)
+    monitor.record(1.0, "a", "b")
+    # The other listener still ran, the event was stored, and the error
+    # was kept for inspection.
+    assert len(seen) == 1
+    assert len(monitor) == 1
+    assert len(monitor.listener_errors) == 1
+    assert isinstance(monitor.listener_errors[0].error, RuntimeError)
+
+
+def test_listener_error_log_is_bounded():
+    monitor = TraceMonitor()
+
+    def bad(event):
+        raise ValueError(str(event.time))
+
+    monitor.subscribe(bad)
+    for step in range(MAX_LISTENER_ERRORS + 7):
+        monitor.record(float(step), "a", "b")
+    assert len(monitor.listener_errors) == MAX_LISTENER_ERRORS
+    # Oldest errors were discarded: the first retained one is not t=0.
+    assert str(monitor.listener_errors[0].error) == "7.0"
+
+
+def test_ring_buffer_evicts_oldest():
+    monitor = TraceMonitor(capacity=3)
+    for step in range(5):
+        monitor.record(float(step), "a", "b")
+    assert len(monitor) == 3
+    assert [record.time for record in monitor] == [2.0, 3.0, 4.0]
+    assert monitor.dropped_count == 2
+
+
+def test_ring_buffer_counters_survive_eviction():
+    monitor = TraceMonitor(capacity=2)
+    for step in range(5):
+        monitor.record(float(step), "a", "tick")
+    assert monitor.count("tick") == 2  # retained
+    assert monitor.kind_count("tick") == 5  # ever emitted
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        TraceMonitor(capacity=0)
+
+
+def test_kind_counts_copy():
+    monitor = make_monitor()
+    counts = monitor.kind_counts
+    assert counts == {"state": 2, "send": 1, "replay": 1}
+    counts["state"] = 99
+    assert monitor.kind_count("state") == 2
+
+
+def test_clear_resets_counters_and_drops():
+    monitor = TraceMonitor(capacity=1)
+    monitor.record(1.0, "a", "b")
+    monitor.record(2.0, "a", "b")
+    assert monitor.dropped_count == 1
+    monitor.clear()
+    assert monitor.dropped_count == 0
+    assert monitor.kind_counts == {}
+
+
+def test_jsonl_round_trip_through_stream():
+    monitor = make_monitor()
+    buffer = io.StringIO()
+    assert monitor.export_jsonl(buffer) == 4
+    buffer.seek(0)
+    events = TraceMonitor.read_jsonl(buffer)
+    assert [event.to_dict() for event in events] == [
+        record.to_dict() for record in monitor]
+
+
+def test_from_jsonl_rebuilds_queryable_monitor(tmp_path):
+    monitor = make_monitor()
+    path = str(tmp_path / "events.jsonl")
+    monitor.export_jsonl(path)
+    imported = TraceMonitor.from_jsonl(path)
+    assert len(imported) == 4
+    assert imported.count("state") == 2
+    assert imported.sources() == monitor.sources()
+
+
+def test_read_jsonl_skips_blank_lines():
+    lines = ['{"time": 1.0, "source": "a", "kind": "b", "details": {}}',
+             "", "   "]
+    events = TraceMonitor.read_jsonl(lines)
+    assert len(events) == 1
+    assert events[0].kind == "b"

@@ -110,6 +110,67 @@ def test_report_command(capsys, tmp_path):
     assert "EXP-V1" in target.read_text()
 
 
+def test_events_command_streams_jsonl(capsys):
+    import json
+
+    code, out = run_cli(capsys, "events", "startup", "--rounds", "3")
+    assert code == 0
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert lines
+    first = json.loads(lines[0])
+    assert {"time", "source", "kind", "details"} <= set(first)
+
+
+def test_events_command_writes_file(capsys, tmp_path):
+    target = tmp_path / "events.jsonl"
+    code, out = run_cli(capsys, "events", "startup", "--rounds", "3",
+                        "--jsonl", str(target))
+    assert code == 0
+    assert "events" in out and str(target) in out
+    from repro.sim.monitor import TraceMonitor
+
+    events = TraceMonitor.read_jsonl(str(target))
+    assert events
+    assert any(event.kind == "state" for event in events)
+
+
+def test_events_command_capacity_bounds_stream(capsys):
+    code, out = run_cli(capsys, "events", "trace1", "--capacity", "50")
+    assert code == 0
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert len(lines) == 50
+
+
+def test_events_command_rejects_bad_values():
+    with pytest.raises(SystemExit):
+        main(["events", "startup", "--rounds", "0"])
+    with pytest.raises(SystemExit):
+        main(["events", "startup", "--capacity", "0"])
+    with pytest.raises(SystemExit):
+        main(["events", "nonsense"])
+
+
+def test_conform_command(capsys, tmp_path):
+    target = tmp_path / "conform.jsonl"
+    code, out = run_cli(capsys, "conform", "trace1", "--jsonl", str(target))
+    assert code == 0
+    assert "trace1: CONFORMS" in out
+    assert "DIFF" not in out
+    assert target.exists()
+
+
+def test_conform_command_all_scenarios(capsys):
+    code, out = run_cli(capsys, "conform", "all")
+    assert code == 0
+    assert "trace1: CONFORMS" in out
+    assert "trace2: CONFORMS" in out
+
+
+def test_conform_command_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["conform", "nonsense"])
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["nonsense"])
