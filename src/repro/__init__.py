@@ -29,8 +29,8 @@ Subpackages:
 * :mod:`repro.cluster` -- one-call assembly of simulated TTA clusters.
 """
 
-__version__ = "1.0.0"
-
 from repro.core.authority import CouplerAuthority
+
+__version__ = "1.0.0"
 
 __all__ = ["CouplerAuthority", "__version__"]

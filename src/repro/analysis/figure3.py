@@ -14,7 +14,7 @@ the fast rate approaches the line-encoding time at the slow rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 from repro.core.buffer_analysis import clock_ratio_limit
 from repro.ttp.constants import LINE_ENCODING_BITS, N_FRAME_BITS, X_FRAME_BITS

@@ -13,7 +13,6 @@ from typing import List
 from repro.analysis.examples import worked_examples
 from repro.analysis.figure3 import figure3_reference_points
 from repro.analysis.tables import format_table
-from repro.core.authority import CouplerAuthority
 from repro.core.buffer_analysis import minimum_buffer_bits
 from repro.core.verification import expected_verdicts, verify_all_authorities, verify_config
 from repro.model.scenarios import trace1_scenario, trace2_scenario

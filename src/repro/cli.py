@@ -8,6 +8,7 @@
 ``repro leaky``       -- leaky-bucket buffer validation (EXP-S1)
 ``repro events``      -- run a named scenario, emit its JSONL event stream
 ``repro conform``     -- replay a counterexample on the DES (EXP-S3)
+``repro lint``        -- domain-aware static analysis (DET/EVT/SIM/MDL)
 """
 
 from __future__ import annotations
@@ -227,6 +228,42 @@ def _cmd_events(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.staticcheck import Baseline, run_lint, to_json, to_sarif, to_text
+
+    paths = args.paths or ["src"]
+    selectors = None
+    if args.rules:
+        selectors = [part.strip() for chunk in args.rules
+                     for part in chunk.split(",") if part.strip()]
+    baseline = Baseline.from_file(args.baseline_file)
+    report = run_lint(paths, root=".", selectors=selectors,
+                      baseline=baseline, check_models=not args.no_models,
+                      model_slots=args.slots)
+
+    if args.baseline:
+        Baseline(report.findings).write(args.baseline_file)
+        print(f"baseline written: {len(report.findings)} finding(s) "
+              f"-> {args.baseline_file}")
+        return 0
+
+    rendered = {"text": to_text, "json": to_json,
+                "sarif": to_sarif}[args.format](report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(to_text(report))
+        print(f"({args.format} report written to {args.output})")
+    else:
+        print(rendered)
+    full_run = not (args.rules or args.no_models or args.paths)
+    if (full_run and report.stale_baseline
+            and args.format == "text" and not args.output):
+        print(f"note: {len(report.stale_baseline)} stale baseline entr(y/ies) "
+              f"no longer match; refresh with --baseline")
+    return report.exit_code
+
+
 def _cmd_conform(args: argparse.Namespace) -> int:
     from repro.conformance import SCENARIOS, check_conformance
 
@@ -347,6 +384,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also export the DES event stream to this "
                               "file (per-scenario suffix with 'all')")
     conform.set_defaults(func=_cmd_conform)
+
+    lint = subparsers.add_parser(
+        "lint", help="domain-aware static analysis: determinism (DET), "
+                     "event taxonomy (EVT), simulator processes (SIM), "
+                     "transition-system hygiene (MDL)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to check (default: src)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
+                      help="report format on stdout (default: text)")
+    lint.add_argument("--rules", action="append", default=None,
+                      help="restrict to rule packs or ids, comma-separated "
+                           "(e.g. DET,EVT002,MDL); repeatable")
+    lint.add_argument("--baseline", action="store_true",
+                      help="write all current findings to the baseline file "
+                           "and exit 0 (accept them)")
+    lint.add_argument("--baseline-file", default="staticcheck-baseline.json",
+                      dest="baseline_file",
+                      help="baseline location "
+                           "(default: staticcheck-baseline.json)")
+    lint.add_argument("--output", default=None,
+                      help="also write the formatted report to this file "
+                           "(stdout keeps the text summary)")
+    lint.add_argument("--slots", type=_positive_int, default=3,
+                      help="model size for the MDL transition-system rules "
+                           "(default: 3)")
+    lint.add_argument("--no-models", action="store_true", dest="no_models",
+                      help="skip the MDL reachability rules (AST packs only)")
+    lint.set_defaults(func=_cmd_lint)
 
     report = subparsers.add_parser(
         "report", help="run every core experiment and print the combined "

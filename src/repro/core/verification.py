@@ -14,11 +14,10 @@ The public entry points of the model-checking half of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.authority import CouplerAuthority, all_authorities
 from repro.model.config import ModelConfig
-from repro.model.node_model import ST_FREEZE_CLIQUE
 from repro.model.properties import clique_frozen_nodes, no_clique_freeze
 from repro.model.scenarios import scenario_for_authority
 from repro.model.system_model import TTAStartupModel

@@ -13,8 +13,7 @@ Sites and types mirror the paper's discussion:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 
 class FaultSite(enum.Enum):

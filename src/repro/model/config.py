@@ -12,7 +12,7 @@ steer the model checker toward particular counterexamples:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.authority import CouplerAuthority, features_of

@@ -18,7 +18,7 @@ as the paper's ``buffered_frame``/``buffered_id`` variables.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.model.config import (
     FAULT_BAD_FRAME,

@@ -23,9 +23,7 @@ from repro.model.config import ModelConfig
 from repro.model.node_model import (
     INTEGRATED_STATES,
     ST_ACTIVE,
-    ST_COLD_START,
     ST_FREEZE_CLIQUE,
-    ST_PASSIVE,
 )
 from repro.modelcheck.state import StateView
 

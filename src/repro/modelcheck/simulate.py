@@ -14,8 +14,8 @@ HOLDS); they can only refute it, with a witness trace.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.modelcheck.checker import Invariant
 from repro.modelcheck.model import TransitionSystem
@@ -68,24 +68,28 @@ def random_walk(system: TransitionSystem, invariant: Invariant,
     space = system.space
     initial_states = list(system.initial_states())
     state = rng.choice(initial_states)
-    steps: List[TraceStep] = [TraceStep(state=state, label={})]
+    steps: Optional[List[TraceStep]] = (
+        [TraceStep(state=state, label={})] if keep_trace else None)
 
     if not invariant(space.view(state)):
         trace = Trace(space=space, steps=steps) if keep_trace else None
         return WalkResult(violated=True, steps_taken=0, trace=trace)
 
+    steps_taken = 0
     for depth in range(max_depth):
         transitions = list(system.successors(state))
         if not transitions:
             break
         transition = rng.choice(transitions)
         state = transition.target
+        steps_taken = depth + 1
         if keep_trace:
             steps.append(TraceStep(state=state, label=transition.label))
         if not invariant(space.view(state)):
             trace = Trace(space=space, steps=steps) if keep_trace else None
-            return WalkResult(violated=True, steps_taken=depth + 1, trace=trace)
-    return WalkResult(violated=False, steps_taken=len(steps) - 1, trace=None)
+            return WalkResult(violated=True, steps_taken=steps_taken,
+                              trace=trace)
+    return WalkResult(violated=False, steps_taken=steps_taken, trace=None)
 
 
 def monte_carlo_check(system: TransitionSystem, invariant: Invariant,

@@ -16,7 +16,7 @@ forwarded frame to nominal shape, which removes the disagreement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
 #: Nominal (fully in-spec) values.

@@ -23,16 +23,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.authority import CouplerAuthority, features_of
 from repro.network.channel import Channel, Transmission
-from repro.network.signal import SignalShape, reshape
+from repro.network.signal import reshape
 from repro.obs import events as obs_events
 from repro.sim.engine import Simulator
 from repro.sim.monitor import TraceMonitor
-from repro.ttp.constants import LINE_ENCODING_BITS, FrameKind
-from repro.ttp.frames import ColdStartFrame, Frame
+from repro.ttp.constants import LINE_ENCODING_BITS
+from repro.ttp.frames import ColdStartFrame
 from repro.ttp.medl import Medl
 
 

@@ -49,6 +49,7 @@ Unknown kinds (hand-built records, forward-compatible imports) fall back to
 from __future__ import annotations
 
 import dataclasses
+from collections import Counter
 from dataclasses import dataclass, fields
 from typing import Any, ClassVar, Dict, List, Optional, Type
 
@@ -384,6 +385,22 @@ class FaultInjected(Event):
     target: str = ""
 
 
+#: Per-source tally of GenericEvent fallbacks: how often :func:`make_event`
+#: could not produce a typed event, keyed by the emitting source.  The EVT
+#: rule pack proves first-party emitters cannot reach this path; the counter
+#: is the run-time complement, so tests can assert it stays zero.
+_FALLBACKS: Counter = Counter()
+
+
+def fallback_counts() -> Dict[str, int]:
+    """GenericEvent fallbacks per source since the last reset."""
+    return dict(_FALLBACKS)
+
+
+def reset_fallback_counts() -> None:
+    _FALLBACKS.clear()
+
+
 def make_event(time: float, source: str, kind: str,
                **details: Any) -> Event:
     """Build the typed event for ``kind``, or a :class:`GenericEvent`.
@@ -391,12 +408,16 @@ def make_event(time: float, source: str, kind: str,
     The legacy ``TraceMonitor.record(time, source, kind, **details)`` shim
     funnels through here, so hand-written records with taxonomy kinds come
     out as their typed classes, and anything else stays representable.
+    Every fall-back to :class:`GenericEvent` is tallied per source in
+    :func:`fallback_counts`.
     """
     cls = EVENT_TYPES.get(kind)
     if cls is None:
+        _FALLBACKS[source] += 1
         return GenericEvent(time, source, kind, details)
     known = {entry.name for entry in fields(cls)}
     if set(details) - known:
+        _FALLBACKS[source] += 1
         return GenericEvent(time, source, kind, details)
     return cls(time=time, source=source, **details)
 

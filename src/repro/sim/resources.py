@@ -16,7 +16,7 @@ bring.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, Optional
 
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.process import Signal

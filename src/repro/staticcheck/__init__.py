@@ -1,0 +1,48 @@
+"""Domain-aware static analysis for the reproduction (``repro lint``).
+
+The two headline results of the reproduction -- the Section 5
+model-checking verdicts and the Section 6 buffer constraints -- are only
+trustworthy while the model and the DES stay *deterministic* and their
+event vocabularies stay *closed*.  Those invariants used to be
+conventions; this package turns them into machine-checked rules:
+
+* **DET** (:mod:`repro.staticcheck.rules_det`) -- determinism sanitizer:
+  no wall-clock reads, no direct ``random`` use outside ``sim/rng.py``,
+  no set iteration in hot paths, no ``id()``-based ordering, no float
+  equality in clock-sync code.
+* **EVT** (:mod:`repro.staticcheck.rules_evt`) -- event-taxonomy checker:
+  every emit site names a dataclass kind declared in ``obs/events.py``
+  with matching detail fields; monitors consume declared kinds only.
+* **SIM** (:mod:`repro.staticcheck.rules_sim`) -- engine-process checker:
+  functions registered as simulator processes are generators and never
+  block the event loop.
+* **MDL** (:mod:`repro.staticcheck.rules_mdl`) -- transition-system
+  linter: per coupler authority, dead fault transitions, never-fired
+  guards, never-written state variables, and unreachable enum values,
+  found by packed-state reachability over the real TTA startup model.
+
+Findings can be suppressed inline (``# repro: ignore[RULE]``) or accepted
+into a committed JSON baseline; ``repro lint`` fails CI on anything new.
+"""
+
+from repro.staticcheck.baseline import Baseline
+from repro.staticcheck.emitters import to_json, to_sarif, to_text
+from repro.staticcheck.findings import SEVERITIES, Finding
+from repro.staticcheck.framework import AstRule, ModuleUnit, all_rules, select_rules
+from repro.staticcheck.runner import LintReport, lint_model_config, run_lint
+
+__all__ = [
+    "AstRule",
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "ModuleUnit",
+    "SEVERITIES",
+    "all_rules",
+    "lint_model_config",
+    "run_lint",
+    "select_rules",
+    "to_json",
+    "to_sarif",
+    "to_text",
+]

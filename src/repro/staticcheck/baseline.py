@@ -1,0 +1,97 @@
+"""Committed-baseline support: accepted findings that do not fail CI.
+
+The baseline is a JSON document committed at the repo root
+(``staticcheck-baseline.json``).  It records findings that are
+*understood and accepted* -- most prominently the MDL004 entries that
+encode the paper's own verdict (``freeze_clique`` unreachable below
+full-shifting authority).  ``repro lint`` subtracts the baseline from
+the current findings and fails only on what is genuinely new.
+
+Matching is by :attr:`Finding.fingerprint` -- ``(rule, path, item)`` --
+so accepted findings survive line-number churn, and it is *multiset*
+matching: two identical violations need two baseline entries, so fixing
+one of a pair still shrinks the accepted debt.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.staticcheck.findings import Finding, sort_findings
+
+#: Schema version of the baseline document.
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """A multiset of accepted findings."""
+
+    def __init__(self, findings: Iterable[Finding] = ()) -> None:
+        self.findings: List[Finding] = list(findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    # -- persistence ---------------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "Baseline":
+        """Load a baseline document; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {version!r}; "
+                f"this linter reads version {BASELINE_VERSION}")
+        return cls(Finding.from_dict(entry)
+                   for entry in payload.get("findings", []))
+
+    def to_payload(self) -> dict:
+        return {
+            "version": BASELINE_VERSION,
+            "findings": [finding.to_dict()
+                         for finding in sort_findings(self.findings)],
+        }
+
+    def write(self, path: Union[str, Path]) -> None:
+        text = json.dumps(self.to_payload(), indent=2, sort_keys=False)
+        Path(path).write_text(text + "\n", encoding="utf-8")
+
+    # -- matching ------------------------------------------------------------
+
+    def partition(self, findings: Sequence[Finding]
+                  ) -> Tuple[List[Finding], List[Finding]]:
+        """Split current findings into ``(new, baselined)``.
+
+        Multiset semantics: each baseline entry absorbs at most one
+        current finding with the same fingerprint.
+        """
+        budget = Counter(finding.fingerprint for finding in self.findings)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def stale_entries(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Baseline entries no current finding matches (fixed debt)."""
+        current = Counter(finding.fingerprint for finding in findings)
+        stale: List[Finding] = []
+        for entry in self.findings:
+            key = entry.fingerprint
+            if current.get(key, 0) > 0:
+                current[key] -= 1
+            else:
+                stale.append(entry)
+        return stale

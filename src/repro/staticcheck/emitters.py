@@ -1,0 +1,124 @@
+"""Output formats for lint reports: text, JSON, and SARIF 2.1.0.
+
+The SARIF document targets the subset GitHub code scanning ingests: one
+``run`` with a ``tool.driver`` carrying the full rule table, and one
+``result`` per finding with a physical location and a partial
+fingerprint (the baseline fingerprint, so external viewers dedup the
+same way ``repro lint`` does).  Model findings use their synthetic
+``model:<scenario>`` path as the artifact URI; SARIF only requires a
+string, and keeping the token makes the verdict greppable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.staticcheck.findings import Finding, RuleInfo, sort_findings
+
+#: Tool identity stamped into JSON / SARIF output.
+TOOL_NAME = "repro-lint"
+TOOL_VERSION = "1.0.0"
+
+#: Finding severity -> SARIF result level.
+_SARIF_LEVELS = {"info": "note", "warning": "warning", "error": "error"}
+
+
+def to_text(report) -> str:
+    """Human-readable listing: new findings first, then a summary line."""
+    lines: List[str] = []
+    for finding in sort_findings(report.new_findings):
+        lines.append(finding.describe())
+    if report.baselined_findings:
+        lines.append(f"{len(report.baselined_findings)} baselined finding(s) "
+                     f"suppressed (see staticcheck-baseline.json)")
+    lines.append(
+        f"repro lint: {len(report.new_findings)} new finding(s), "
+        f"{len(report.baselined_findings)} baselined, "
+        f"{report.files_checked} file(s), "
+        f"{report.models_checked} model scenario(s) checked")
+    return "\n".join(lines)
+
+
+def to_json(report) -> str:
+    """Machine-readable report (new and baselined findings, rule table)."""
+    payload = {
+        "tool": {"name": TOOL_NAME, "version": TOOL_VERSION},
+        "files_checked": report.files_checked,
+        "models_checked": report.models_checked,
+        "new": [finding.to_dict()
+                for finding in sort_findings(report.new_findings)],
+        "baselined": [finding.to_dict()
+                      for finding in sort_findings(report.baselined_findings)],
+        "rules": [{"id": info.rule, "description": info.description,
+                   "severity": info.severity, "pack": info.pack}
+                  for info in report.rule_infos],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _sarif_rule(info: RuleInfo) -> Dict:
+    return {
+        "id": info.rule,
+        "name": info.rule,
+        "shortDescription": {"text": info.description},
+        "defaultConfiguration": {
+            "level": _SARIF_LEVELS.get(info.severity, "error")},
+        "properties": {"pack": info.pack},
+    }
+
+
+def _sarif_result(finding: Finding, rule_index: Dict[str, int],
+                  baselined: bool) -> Dict:
+    region: Dict = {}
+    if finding.line > 0:
+        region = {"startLine": finding.line,
+                  "startColumn": finding.column + 1}
+    result = {
+        "ruleId": finding.rule,
+        "level": _SARIF_LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                **({"region": region} if region else {}),
+            },
+        }],
+        "partialFingerprints": {
+            "reproLint/v1": "|".join(finding.fingerprint),
+        },
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if baselined:
+        result["baselineState"] = "unchanged"
+    return result
+
+
+def to_sarif(report) -> str:
+    """SARIF 2.1.0 document over all findings (new and baselined)."""
+    rules = [_sarif_rule(info) for info in report.rule_infos]
+    rule_index = {info.rule: position
+                  for position, info in enumerate(report.rule_infos)}
+    results = (
+        [_sarif_result(finding, rule_index, baselined=False)
+         for finding in sort_findings(report.new_findings)]
+        + [_sarif_result(finding, rule_index, baselined=True)
+           for finding in sort_findings(report.baselined_findings)])
+    document = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "version": TOOL_VERSION,
+                    "informationUri": "https://example.invalid/repro-lint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2)

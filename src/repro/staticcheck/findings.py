@@ -1,0 +1,93 @@
+"""The ``Finding`` record every rule emits, and its baseline identity.
+
+A finding pins a rule violation to a location: a repo-relative file path
+and line for AST rules, or a synthetic ``model:<authority>`` path for the
+semantic transition-system rules (which have no source line).  The
+``item`` field is the *stable* subject of the finding -- the offending
+source line for AST rules, a ``var=value`` / ``guard:<name>`` /
+``fault:<mode>`` token for model rules -- and is what the committed
+baseline matches on, so findings survive unrelated line-number churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+#: Severity vocabulary, in increasing order of seriousness.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    #: Rule identifier, e.g. ``DET001``.
+    rule: str
+    #: Repo-relative posix path, or ``model:<name>`` for semantic rules.
+    path: str
+    #: 1-based line number; 0 for findings without a source location.
+    line: int
+    #: 0-based column; 0 when unknown.
+    column: int
+    #: Human-readable description of this specific violation.
+    message: str
+    #: ``info`` / ``warning`` / ``error``.
+    severity: str = "error"
+    #: Stable subject used for baseline matching (see module docstring).
+    item: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity {self.severity!r} not in {SEVERITIES}")
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-independent identity used by the baseline."""
+        return (self.rule, self.path, self.item or self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping (inverse of :meth:`from_dict`)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "severity": self.severity,
+            "item": self.item,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        return cls(rule=payload["rule"], path=payload["path"],
+                   line=int(payload.get("line", 0)),
+                   column=int(payload.get("column", 0)),
+                   message=payload.get("message", ""),
+                   severity=payload.get("severity", "error"),
+                   item=payload.get("item", ""))
+
+    def describe(self) -> str:
+        """Single-line ``path:line: RULE message`` rendering."""
+        location = self.path if self.line == 0 else f"{self.path}:{self.line}"
+        return f"{location}: {self.rule} [{self.severity}] {self.message}"
+
+
+@dataclass
+class RuleInfo:
+    """Static metadata of one rule (for ``--rules`` listings and SARIF)."""
+
+    rule: str
+    description: str
+    severity: str = "error"
+    pack: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.pack:
+            self.pack = "".join(ch for ch in self.rule if ch.isalpha())
+
+
+def sort_findings(findings) -> list:
+    """Stable presentation order: path, line, rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))

@@ -1,0 +1,134 @@
+"""Lint driver: discover files, run rule packs, apply the baseline.
+
+:func:`run_lint` is the one entry point behind both the ``repro lint``
+CLI and the test suite.  It walks the requested paths, runs the selected
+AST packs (DET/EVT/SIM) per file, runs the MDL transition-system linter
+over the per-authority scenario matrix, and partitions everything
+against the committed baseline.  The exit contract is the CI gate:
+``exit_code`` is 0 iff there are no *new* findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.staticcheck.baseline import Baseline
+from repro.staticcheck.findings import Finding, RuleInfo, sort_findings
+from repro.staticcheck.framework import (
+    ModuleUnit,
+    run_ast_rules,
+    select_rules,
+)
+from repro.staticcheck.rules_mdl import (
+    DEFAULT_SLOTS,
+    MDL_RULE_INFO,
+    model_findings,
+    run_model_rules,
+)
+
+#: Directory names never descended into during file discovery.
+SKIP_DIRS = frozenset({".git", "__pycache__", ".ruff_cache", "build", "dist",
+                       ".pytest_cache", ".hypothesis"})
+
+#: Public alias: lint one in-memory model configuration (fixture tests).
+lint_model_config = model_findings
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    new_findings: List[Finding] = field(default_factory=list)
+    baselined_findings: List[Finding] = field(default_factory=list)
+    rule_infos: List[RuleInfo] = field(default_factory=list)
+    files_checked: int = 0
+    models_checked: int = 0
+    #: Baseline entries nothing matched any more (fixed accepted debt).
+    stale_baseline: List[Finding] = field(default_factory=list)
+
+    @property
+    def findings(self) -> List[Finding]:
+        """All current findings, new and baselined, in display order."""
+        return sort_findings([*self.new_findings, *self.baselined_findings])
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new_findings else 0
+
+
+def discover_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Python files under ``paths`` (files pass through, dirs are walked)."""
+    found: List[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_file():
+            found.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in SKIP_DIRS for part in candidate.parts):
+                continue
+            found.append(candidate)
+    return found
+
+
+def _mdl_selected(selectors: Optional[Sequence[str]]) -> List[str]:
+    """MDL rule ids selected by ``selectors`` (all when unselective)."""
+    all_ids = sorted(MDL_RULE_INFO)
+    if not selectors:
+        return all_ids
+    wanted = [selector.strip().upper() for selector in selectors]
+    return [rule_id for rule_id in all_ids
+            if any(rule_id == item or rule_id.startswith(item)
+                   for item in wanted)]
+
+
+def _rule_table(ast_rules, mdl_ids: Sequence[str]) -> List[RuleInfo]:
+    infos = [rule.info for rule in ast_rules]
+    for rule_id in mdl_ids:
+        severity = "error" if rule_id in ("MDL001", "MDL002") else "warning"
+        infos.append(RuleInfo(rule=rule_id,
+                              description=MDL_RULE_INFO[rule_id],
+                              severity=severity))
+    return infos
+
+
+def run_lint(paths: Sequence[Union[str, Path]],
+             root: Union[str, Path] = ".",
+             selectors: Optional[Sequence[str]] = None,
+             baseline: Optional[Baseline] = None,
+             check_models: bool = True,
+             model_slots: int = DEFAULT_SLOTS) -> LintReport:
+    """Run the selected rule packs and partition against the baseline.
+
+    ``paths`` are files or directories to walk for the AST packs;
+    ``root`` anchors the repo-relative paths findings report.  The MDL
+    pack runs once per call (it reads models, not files) unless
+    ``check_models`` is false or the selectors exclude it.
+    """
+    root = Path(root)
+    ast_rules = select_rules(selectors)
+    mdl_ids = _mdl_selected(selectors) if check_models else []
+
+    units: List[ModuleUnit] = []
+    for path in discover_files(paths):
+        units.append(ModuleUnit.load(path, root))
+    findings = run_ast_rules(ast_rules, units)
+
+    models_checked = 0
+    if mdl_ids:
+        model_results = [finding for finding in run_model_rules(model_slots)
+                         if finding.rule in mdl_ids]
+        findings.extend(model_results)
+        models_checked = 4  # one scenario per coupler authority
+
+    baseline = baseline or Baseline()
+    new, baselined = baseline.partition(findings)
+    return LintReport(
+        new_findings=sort_findings(new),
+        baselined_findings=sort_findings(baselined),
+        rule_infos=_rule_table(ast_rules, mdl_ids),
+        files_checked=len(units),
+        models_checked=models_checked,
+        stale_baseline=baseline.stale_entries(findings))

@@ -31,18 +31,8 @@ relies on, from the bit level up:
 """
 
 from repro.ttp.acknowledgment import AckOutcome, AcknowledgmentState
-from repro.ttp.cni import CniMessage, CommunicationNetworkInterface
-from repro.ttp.controller import (
-    ControllerConfig,
-    FreezeReason,
-    NodeFaultBehavior,
-    TTPController,
-)
-from repro.ttp.decode import DecodedFrame, DecodeError, decode_frame
-from repro.ttp.host import FreshnessWatchdog, HostRuntime, HostTask, PeriodicPublisher
-from repro.ttp.modes import ModeSet, validate_mode_compatible
-
 from repro.ttp.clique import CliqueCounters, CliqueVerdict, clique_avoidance_test
+from repro.ttp.cni import CniMessage, CommunicationNetworkInterface
 from repro.ttp.constants import (
     COLD_START_FRAME_BITS,
     CRC_BITS,
@@ -53,8 +43,15 @@ from repro.ttp.constants import (
     ControllerStateName,
     FrameKind,
 )
-from repro.ttp.cstate import CState
+from repro.ttp.controller import (
+    ControllerConfig,
+    FreezeReason,
+    NodeFaultBehavior,
+    TTPController,
+)
 from repro.ttp.crc import crc16, crc24
+from repro.ttp.cstate import CState
+from repro.ttp.decode import DecodedFrame, DecodeError, decode_frame
 from repro.ttp.frames import (
     ColdStartFrame,
     Frame,
@@ -63,8 +60,10 @@ from repro.ttp.frames import (
     NFrame,
     XFrame,
 )
+from repro.ttp.host import FreshnessWatchdog, HostRuntime, HostTask, PeriodicPublisher
 from repro.ttp.medl import Medl, SlotDescriptor
 from repro.ttp.membership import MembershipView
+from repro.ttp.modes import ModeSet, validate_mode_compatible
 from repro.ttp.startup import StartupRules, listen_timeout_slots
 
 __all__ = [

@@ -17,8 +17,8 @@ within two slots instead of lingering.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import FrozenSet, Optional
+from dataclasses import dataclass
+from typing import FrozenSet
 
 
 class AckOutcome(enum.Enum):

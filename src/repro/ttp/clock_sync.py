@@ -12,7 +12,7 @@ ensemble (paper Section 2.1; Lamport et al. [6] for the fault bound).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 
 def fault_tolerant_average(deviations: List[float], discard: int = 1) -> float:

@@ -13,8 +13,8 @@ one, and reading does not consume -- the temporal firewall idea of the TTA.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.ttp.constants import X_DATA_BITS
 

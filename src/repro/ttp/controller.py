@@ -27,7 +27,7 @@ signals.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.network.channel import Transmission
@@ -544,7 +544,7 @@ class TTPController:
                 return observation.frame
         return None
 
-    # -- integrated operation ----------------------------------------------------------------------
+    # -- integrated operation -----------------------------------------------------------------
 
     def _judge_completed_slot(self, observations: Dict[int, FrameObservation]) -> None:
         """Judge the slot that just elapsed against our C-state."""
@@ -740,7 +740,7 @@ class TTPController:
             announce(self.name, round_start)
         self._send_scheduled_frame()
 
-    # -- sending ------------------------------------------------------------------------------------
+    # -- sending ------------------------------------------------------------------------------
 
     def _send_cold_start(self) -> None:
         frame = ColdStartFrame(sender_slot=self.own_slot, cstate=self.cstate)
@@ -812,7 +812,7 @@ class TTPController:
         self._emit(ev.FrameSent, frame_kind=frame.kind.value, slot=self.slot)
         self.topology.send(self.name, frame, duration, self._signal_shape())
 
-    # -- node fault traffic ------------------------------------------------------------------------------
+    # -- node fault traffic -------------------------------------------------------------------
 
     def _maybe_inject_fault_traffic(self) -> None:
         if self.config.fault is NodeFaultBehavior.BABBLING_IDIOT:
@@ -835,7 +835,7 @@ class TTPController:
                 duration = self._frame_duration_ref(bogus)
                 self.topology.send(self.name, bogus, duration, self._signal_shape())
 
-    # -- bookkeeping ----------------------------------------------------------------------------------------
+    # -- bookkeeping ----------------------------------------------------------------------------
 
     def _emit(self, event_cls, **details) -> None:
         if self.monitor is not None:

@@ -32,7 +32,6 @@ from repro.ttp.constants import (
     X_CRC_PAD_BITS,
     X_CSTATE_BITS,
     X_DATA_BITS,
-    X_FRAME_BITS,
     FrameKind,
 )
 from repro.ttp.crc import crc24, int_to_bits

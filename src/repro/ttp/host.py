@@ -19,8 +19,8 @@ in the guardian: data continuity lives in the hosts, where it is safe.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.ttp.controller import TTPController
 

@@ -9,8 +9,8 @@ MEDL (paper Section 2.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Iterator, List
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ Membership feeds two mechanisms the paper exercises:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import FrozenSet, List
 
 from repro.ttp.clique import CliqueCounters
 from repro.ttp.cstate import CState

@@ -18,7 +18,7 @@ most deployed TTP/C systems.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.ttp.medl import Medl
 

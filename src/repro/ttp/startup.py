@@ -17,7 +17,6 @@ out for direct unit testing:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.ttp.constants import FrameKind
 

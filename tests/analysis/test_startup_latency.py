@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.startup_latency import measure_startup, startup_study
-from repro.cluster import ClusterSpec
 
 
 def test_default_startup_completes_quickly():

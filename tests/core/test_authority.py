@@ -1,6 +1,5 @@
 """Tests for the coupler authority levels (paper Section 4.1)."""
 
-import pytest
 
 from repro.core.authority import (
     CouplerAuthority,

@@ -1,6 +1,5 @@
 """Tests for design-space exploration."""
 
-import pytest
 
 from repro.core.authority import CouplerAuthority
 from repro.core.tradeoffs import (

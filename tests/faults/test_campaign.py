@@ -11,7 +11,6 @@ import pytest
 from repro.core.authority import CouplerAuthority
 from repro.faults.campaign import (
     DEFAULT_FAULTS,
-    CampaignResult,
     InjectionOutcome,
     run_campaign,
     run_injection,

@@ -7,7 +7,6 @@ strict ones).  The central guardian removes both: it boosts the level and
 re-aligns the timing within its small-shift budget.
 """
 
-import pytest
 
 from repro.cluster import Cluster, ClusterSpec
 from repro.faults.injector import apply_fault

@@ -13,7 +13,7 @@ a perfectly well-formed *second* sighting.  Disabling the rule therefore:
 
 import pytest
 
-from repro.core.authority import CouplerAuthority, all_authorities
+from repro.core.authority import CouplerAuthority
 from repro.core.verification import verify_config
 from repro.model.config import ModelConfig
 from repro.model.scenarios import trace1_scenario

@@ -11,7 +11,6 @@ from repro.model.config import (
     ModelConfig,
 )
 from repro.model.coupler_model import (
-    KIND_BAD_FRAME,
     KIND_C_STATE,
     KIND_COLD_START,
     KIND_NONE,

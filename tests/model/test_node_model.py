@@ -1,6 +1,5 @@
 """Tests for the per-node transition constraints (paper Section 4.3)."""
 
-import pytest
 
 from repro.model.config import ModelConfig
 from repro.model.coupler_model import (

@@ -1,6 +1,5 @@
 """Tests for the synchronous composition."""
 
-import pytest
 
 from repro.core.authority import CouplerAuthority
 from repro.model.config import ModelConfig

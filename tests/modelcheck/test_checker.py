@@ -3,7 +3,7 @@
 import pytest
 
 from repro.modelcheck.checker import InvariantChecker, check_invariant
-from repro.modelcheck.model import ExplicitTransitionSystem, Transition, count_reachable
+from repro.modelcheck.model import ExplicitTransitionSystem, count_reachable
 from repro.modelcheck.state import StateSpace, Variable
 
 

@@ -1,0 +1,106 @@
+"""Container semantics of DeadlockSearchResult.
+
+The result doubles as a sequence of its traces so pre-existing callers
+that treated ``find_deadlocks`` output as a plain list keep working,
+while the search metadata (``truncated``, ``states_explored``) rides
+along.  These tests pin that contract down.
+"""
+
+import pytest
+
+from repro.modelcheck.checker import DeadlockSearchResult, find_deadlocks
+from repro.modelcheck.model import ExplicitTransitionSystem
+from repro.modelcheck.state import StateSpace, Variable
+from repro.modelcheck.trace import Trace, TraceStep
+
+
+#: Shared space: StateSpace compares by identity, so traces that should
+#: be equal must be built over the same instance.
+SPACE = StateSpace([Variable("n")])
+
+
+def _trace(values):
+    return Trace(space=SPACE,
+                 steps=[TraceStep(state=(value,), label={})
+                        for value in values])
+
+
+@pytest.fixture
+def result():
+    return DeadlockSearchResult(traces=[_trace([0, 1]), _trace([0, 2])],
+                                truncated=False, states_explored=3)
+
+
+class TestSequenceProtocol:
+    def test_len_counts_traces(self, result):
+        assert len(result) == 2
+
+    def test_empty_result_is_falsy_in_len_terms(self):
+        assert len(DeadlockSearchResult()) == 0
+
+    def test_indexing_returns_traces(self, result):
+        assert result[0] == _trace([0, 1])
+        assert result[-1] == _trace([0, 2])
+
+    def test_slicing_returns_a_trace_list(self, result):
+        assert result[0:1] == [_trace([0, 1])]
+
+    def test_iteration_yields_traces_in_order(self, result):
+        assert list(result) == [_trace([0, 1]), _trace([0, 2])]
+
+    def test_out_of_range_raises_index_error(self, result):
+        with pytest.raises(IndexError):
+            result[5]
+
+
+class TestEquality:
+    def test_equals_plain_list_of_traces(self, result):
+        assert result == [_trace([0, 1]), _trace([0, 2])]
+        assert DeadlockSearchResult() == []
+
+    def test_list_inequality_on_different_traces(self, result):
+        assert result != [_trace([0, 9])]
+
+    def test_result_equality_includes_metadata(self, result):
+        twin = DeadlockSearchResult(traces=list(result.traces),
+                                    truncated=False, states_explored=3)
+        assert result == twin
+        assert result != DeadlockSearchResult(traces=list(result.traces),
+                                              truncated=True,
+                                              states_explored=3)
+        assert result != DeadlockSearchResult(traces=list(result.traces),
+                                              truncated=False,
+                                              states_explored=99)
+
+    def test_unrelated_types_are_not_equal(self, result):
+        assert result != "deadlocks"
+        assert result != 2
+
+
+class TestExhaustiveFlag:
+    def test_exhaustive_is_the_negation_of_truncated(self):
+        assert DeadlockSearchResult(truncated=False).exhaustive
+        assert not DeadlockSearchResult(truncated=True).exhaustive
+
+
+class TestFromSearch:
+    def _system_with_deadlock(self):
+        space = StateSpace([Variable("n")])
+        return ExplicitTransitionSystem(
+            space, [(0,)], {(0,): [((1,), {})], (1,): []})
+
+    def test_find_deadlocks_returns_the_container(self):
+        result = find_deadlocks(self._system_with_deadlock())
+        assert isinstance(result, DeadlockSearchResult)
+        assert result.exhaustive
+        assert result.states_explored == 2
+        assert len(result) == 1
+        assert result == result.traces
+
+    def test_deadlock_free_system_compares_to_empty_list(self):
+        space = StateSpace([Variable("n")])
+        system = ExplicitTransitionSystem(space, [(0,)],
+                                          {(0,): [((0,), {})]})
+        result = find_deadlocks(system)
+        assert result == []
+        assert result.exhaustive

@@ -10,7 +10,6 @@ from functools import partial
 
 import pytest
 
-from repro.core.authority import CouplerAuthority
 from repro.core.verification import verify_all_authorities
 from repro.faults.campaign import run_campaign
 from repro.model.properties import no_clique_freeze

@@ -95,3 +95,42 @@ def test_passive_configuration_clean_in_walks():
     result = monte_carlo_check(system, no_clique_freeze(config),
                                walks=150, max_depth=40, seed=7)
     assert not result.found_violation
+
+
+def test_no_trace_walk_allocates_no_steps_and_counts_correctly():
+    sp = StateSpace([Variable("n")])
+    system = ExplicitTransitionSystem(
+        sp, [(0,)], {(0,): [((1,), {})], (1,): [((2,), {})], (2,): []})
+    result = random_walk(system, lambda view: True, RandomStream(seed=0),
+                         max_depth=50, keep_trace=False)
+    assert result.trace is None
+    assert result.steps_taken == 2  # 0 -> 1 -> 2, then deadlock
+
+
+def test_steps_taken_agrees_across_keep_trace_flag():
+    # Same seed => same path; dropping the trace must not change the count.
+    for seed in range(5):
+        kept = random_walk(branching_system(), lambda view: view.n != 99,
+                           RandomStream(seed=seed), max_depth=8,
+                           keep_trace=True)
+        bare = random_walk(branching_system(), lambda view: view.n != 99,
+                           RandomStream(seed=seed), max_depth=8,
+                           keep_trace=False)
+        assert bare.violated == kept.violated
+        assert bare.steps_taken == kept.steps_taken
+        assert bare.trace is None
+
+
+def test_monte_carlo_reproducible_totals_with_violations():
+    # Violating runs flip keep_trace off after the first witness; the
+    # walk statistics must stay identical run to run regardless.
+    first = monte_carlo_check(branching_system(), lambda view: view.n != 99,
+                              walks=60, max_depth=6, seed=11)
+    second = monte_carlo_check(branching_system(), lambda view: view.n != 99,
+                               walks=60, max_depth=6, seed=11)
+    assert first.found_violation
+    assert (first.violations, first.total_steps,
+            first.shortest_violation_depth) == (
+        second.violations, second.total_steps,
+        second.shortest_violation_depth)
+    assert first.total_steps > 0

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.modelcheck.state import StateSpace, StateView, Variable
+from repro.modelcheck.state import StateSpace, Variable
 
 
 def space():

@@ -8,7 +8,6 @@ a frame on *both* channels genuinely disagrees with the majority and is
 reawaken it and it reintegrates.
 """
 
-import pytest
 
 from repro.cluster import Cluster, ClusterSpec
 from repro.faults.injector import apply_fault

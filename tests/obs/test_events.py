@@ -145,3 +145,55 @@ def test_monitor_stream_jsonl_round_trip(events):
     buffer.seek(0)
     rebuilt = TraceMonitor.read_jsonl(buffer)
     assert rebuilt == events
+
+
+class TestFallbackCounter:
+    """make_event tallies every GenericEvent fallback per source."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_counter(self):
+        from repro.obs.events import reset_fallback_counts
+
+        reset_fallback_counts()
+        yield
+        reset_fallback_counts()
+
+    def test_typed_events_do_not_count(self):
+        from repro.obs.events import fallback_counts
+
+        make_event(1.0, "node:A", "send", frame_kind="cold_start")
+        assert fallback_counts() == {}
+
+    def test_unknown_kind_counts_against_its_source(self):
+        from repro.obs.events import fallback_counts
+
+        make_event(1.0, "rogue", "made_up_kind")
+        make_event(2.0, "rogue", "made_up_kind")
+        make_event(3.0, "other", "also_unknown")
+        assert fallback_counts() == {"rogue": 2, "other": 1}
+
+    def test_mismatched_details_count_too(self):
+        from repro.obs.events import fallback_counts
+
+        make_event(1.0, "node:B", "send", frame_kind="c_state", bogus=1)
+        assert fallback_counts() == {"node:B": 1}
+
+    def test_reset_clears_the_tally(self):
+        from repro.obs.events import fallback_counts, reset_fallback_counts
+
+        make_event(1.0, "rogue", "made_up_kind")
+        reset_fallback_counts()
+        assert fallback_counts() == {}
+
+    def test_first_party_startup_never_falls_back(self):
+        # The DES event spine only emits declared kinds: a full startup
+        # leaves the fallback counter untouched (the runtime complement
+        # of the EVT rule pack).
+        from repro.cluster import Cluster, ClusterSpec
+        from repro.obs.events import fallback_counts
+
+        cluster = Cluster(ClusterSpec(topology="star"))
+        cluster.power_on()
+        cluster.run(rounds=10)
+        assert len(cluster.monitor.records) > 0
+        assert fallback_counts() == {}

@@ -2,8 +2,7 @@
 interleaving of puts and gets."""
 
 from hypothesis import settings
-from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
-from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.sim.engine import Simulator
 from repro.sim.process import Process

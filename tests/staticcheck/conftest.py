@@ -1,0 +1,16 @@
+"""Shared fixture loading for the staticcheck tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck.framework import ModuleUnit
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def load_unit():
+    def _load(rel_path: str) -> ModuleUnit:
+        return ModuleUnit.load(FIXTURES / rel_path, FIXTURES)
+    return _load

@@ -1,0 +1,21 @@
+"""Seeded EVT003 violations: a monitor consuming undeclared event kinds.
+
+The ``monitors`` basename puts this file in EVT003's scope.  Expected
+findings: EVT003 x4 (the declared-kind queries are clean).
+"""
+
+
+def watch(bus):
+    for event in bus.records:
+        if event.kind == "telemetry":  # EVT003: undeclared kind
+            yield event
+        if event.kind in ("state", "made_up"):  # EVT003: one undeclared kind
+            yield event
+
+
+def summarize(bus):
+    bogus = bus.count("nonexistent")  # EVT003: undeclared kind query
+    first = bus.select(kind="bogus_kind")  # EVT003: undeclared kind keyword
+    declared = bus.count("state")  # clean: declared kind
+    activated = bus.first("activated")  # clean: declared kind
+    return bogus, first, declared, activated

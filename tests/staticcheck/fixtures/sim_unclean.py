@@ -1,0 +1,33 @@
+"""Seeded SIM violations (parsed by the linter tests, never run).
+
+Expected findings: SIM001 x2, SIM002 x2.
+"""
+
+import time
+
+from repro.sim.engine import Process, Timeout
+
+
+def eager_worker(node):
+    node.step()  # plain function: runs to completion at registration
+
+
+def patient_worker(node):
+    while True:
+        yield Timeout(1.0)
+        time.sleep(0.1)  # SIM002: blocks every process at one sim instant
+        node.step()
+
+
+def slow_source(node):
+    for _ in range(3):
+        payload = input()  # SIM002: blocking read inside a generator
+        yield Timeout(1.0)
+        node.send(payload)
+
+
+def wire_up(sim, node):
+    sim.process(eager_worker(node))  # SIM001: non-generator process
+    handle = Process(sim, eager_worker(node))  # SIM001: non-generator process
+    sim.process(patient_worker(node))  # registration itself is fine
+    return handle

@@ -1,0 +1,10 @@
+"""Violations neutralized by inline suppressions: expected findings: none."""
+
+import time  # a bare import is not a DET finding
+
+
+def sanctioned_wall_clock():
+    started = time.time()  # repro: ignore[DET001]
+    blanket = time.time()  # repro: ignore
+    both = time.time_ns()  # repro: ignore[DET001,DET002]
+    return started, blanket, both

@@ -1,0 +1,16 @@
+"""Seeded DET005 violations in a clock-named module (parsed, never run).
+
+Expected findings: DET005 x2 (the tolerance comparison is clean).
+"""
+
+EPSILON = 1e-9
+
+
+def rates_agree(local_rate, remote_rate):
+    if local_rate == 1.0001:  # DET005: float equality in clock-sync code
+        return True
+    return remote_rate != 0.9999  # DET005: float inequality on a float
+
+
+def rates_close(local_rate, remote_rate):
+    return abs(local_rate - remote_rate) < EPSILON  # clean: tolerance compare

@@ -1,0 +1,78 @@
+"""Baseline semantics: multiset matching, persistence, staleness."""
+
+import json
+
+import pytest
+
+from repro.staticcheck.baseline import Baseline
+from repro.staticcheck.findings import Finding
+
+
+def _finding(rule="DET001", path="a.py", line=1, item="x = 1"):
+    return Finding(rule=rule, path=path, line=line, column=0,
+                   message=f"{rule} at {path}", item=item)
+
+
+class TestPartition:
+    def test_matched_findings_are_baselined(self):
+        baseline = Baseline([_finding()])
+        new, baselined = baseline.partition([_finding(line=99)])
+        assert new == []
+        assert len(baselined) == 1
+
+    def test_unmatched_findings_are_new(self):
+        baseline = Baseline([_finding(item="x = 1")])
+        new, baselined = baseline.partition([_finding(item="y = 2")])
+        assert len(new) == 1
+        assert baselined == []
+
+    def test_multiset_matching_absorbs_one_each(self):
+        # Two identical violations, one accepted: exactly one stays new.
+        baseline = Baseline([_finding()])
+        new, baselined = baseline.partition(
+            [_finding(line=3), _finding(line=7)])
+        assert len(new) == 1
+        assert len(baselined) == 1
+
+    def test_empty_baseline_passes_everything_through(self):
+        new, baselined = Baseline().partition([_finding()])
+        assert len(new) == 1
+        assert baselined == []
+
+
+class TestStaleness:
+    def test_fixed_debt_is_reported_stale(self):
+        baseline = Baseline([_finding(item="x = 1"), _finding(item="y = 2")])
+        stale = baseline.stale_entries([_finding(item="x = 1")])
+        assert [entry.item for entry in stale] == ["y = 2"]
+
+    def test_fully_matched_baseline_has_no_stale_entries(self):
+        baseline = Baseline([_finding()])
+        assert baseline.stale_entries([_finding(line=42)]) == []
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline([_finding(), _finding(rule="MDL004", path="model:passive",
+                                       line=0, item="a_state=test")]).write(path)
+        loaded = Baseline.from_file(path)
+        assert len(loaded) == 2
+        assert {f.rule for f in loaded.findings} == {"DET001", "MDL004"}
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert len(Baseline.from_file(tmp_path / "absent.json")) == 0
+
+    def test_document_is_versioned_and_sorted(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline([_finding(path="z.py"), _finding(path="a.py")]).write(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert [entry["path"] for entry in payload["findings"]] == [
+            "a.py", "z.py"]
+
+    def test_unknown_version_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError):
+            Baseline.from_file(path)

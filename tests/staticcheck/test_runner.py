@@ -1,0 +1,141 @@
+"""End-to-end: run_lint over the fixtures and the repository, emitters,
+and the ``repro lint`` CLI gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.staticcheck import (
+    Baseline,
+    run_lint,
+    to_json,
+    to_sarif,
+    to_text,
+)
+
+HERE = Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+REPO_ROOT = HERE.parents[1]
+
+#: Every AST rule id the fixture packages must demonstrate.
+AST_RULE_IDS = {"DET001", "DET002", "DET003", "DET004", "DET005",
+                "EVT001", "EVT002", "EVT003", "SIM001", "SIM002"}
+
+
+@pytest.fixture(scope="module")
+def fixture_report():
+    return run_lint([FIXTURES], root=FIXTURES, check_models=False)
+
+
+class TestFixtureGate:
+    def test_fixtures_fail_the_gate(self, fixture_report):
+        assert fixture_report.exit_code != 0
+
+    def test_every_ast_rule_fires_on_the_fixtures(self, fixture_report):
+        fired = {finding.rule for finding in fixture_report.new_findings}
+        assert AST_RULE_IDS <= fired
+
+    def test_paths_are_relative_to_the_lint_root(self, fixture_report):
+        paths = {finding.path for finding in fixture_report.new_findings}
+        assert "sim/det_unclean.py" in paths
+        assert all(not path.startswith("/") for path in paths)
+
+
+class TestRepositoryGate:
+    def test_repository_is_clean_under_the_committed_baseline(self):
+        baseline = Baseline.from_file(REPO_ROOT / "staticcheck-baseline.json")
+        assert len(baseline) > 0
+        report = run_lint([REPO_ROOT / "src"], root=REPO_ROOT,
+                          baseline=baseline)
+        assert report.new_findings == []
+        assert report.exit_code == 0
+        # The accepted debt is all model hygiene, never AST findings.
+        assert {f.rule[:3] for f in report.baselined_findings} == {"MDL"}
+        assert report.stale_baseline == []
+
+    def test_selectors_restrict_the_run(self):
+        report = run_lint([REPO_ROOT / "src"], root=REPO_ROOT,
+                          selectors=["DET"], check_models=False)
+        assert report.models_checked == 0
+        assert {info.pack for info in report.rule_infos} == {"DET"}
+
+
+class TestEmitters:
+    def test_sarif_is_valid_and_structured(self, fixture_report):
+        document = json.loads(to_sarif(fixture_report))
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert AST_RULE_IDS <= rule_ids
+        results = run["results"]
+        assert len(results) == len(fixture_report.findings)
+        for result in results:
+            assert result["ruleId"] in rule_ids
+            assert result["message"]["text"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"]
+            assert result["partialFingerprints"]["reproLint/v1"]
+
+    def test_sarif_marks_baselined_results(self, fixture_report):
+        baseline = Baseline(fixture_report.new_findings)
+        rebaselined = run_lint([FIXTURES], root=FIXTURES,
+                               baseline=baseline, check_models=False)
+        document = json.loads(to_sarif(rebaselined))
+        states = {result.get("baselineState")
+                  for result in document["runs"][0]["results"]}
+        assert states == {"unchanged"}
+
+    def test_json_report_structure(self, fixture_report):
+        payload = json.loads(to_json(fixture_report))
+        assert payload["tool"]["name"] == "repro-lint"
+        assert len(payload["new"]) == len(fixture_report.new_findings)
+        assert payload["baselined"] == []
+        assert {rule["id"] for rule in payload["rules"]} >= AST_RULE_IDS
+
+    def test_text_report_summarizes(self, fixture_report):
+        text = to_text(fixture_report)
+        assert "repro lint:" in text
+        assert f"{len(fixture_report.new_findings)} new finding(s)" in text
+
+
+class TestCli:
+    def test_lint_exits_zero_on_the_repository(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_lint_exits_nonzero_on_the_fixtures(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", str(FIXTURES), "--no-models"]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+
+    def test_sarif_output_file(self, monkeypatch, capsys, tmp_path):
+        monkeypatch.chdir(REPO_ROOT)
+        target = tmp_path / "lint.sarif"
+        code = main(["lint", str(FIXTURES), "--no-models",
+                     "--format", "sarif", "--output", str(target)])
+        assert code == 1
+        document = json.loads(target.read_text())
+        assert document["runs"][0]["results"]
+
+    def test_baseline_snapshot_mode(self, monkeypatch, capsys, tmp_path):
+        monkeypatch.chdir(REPO_ROOT)
+        target = tmp_path / "accepted.json"
+        assert main(["lint", str(FIXTURES), "--no-models",
+                     "--baseline", "--baseline-file", str(target)]) == 0
+        assert len(Baseline.from_file(target)) > 0
+        # With the debt accepted, the same run now passes.
+        assert main(["lint", str(FIXTURES), "--no-models",
+                     "--baseline-file", str(target)]) == 0
+
+    def test_rules_selection(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", str(FIXTURES), "--no-models",
+                     "--rules", "EVT003", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["rule"] for entry in payload["new"]} == {"EVT003"}

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cluster import DEFAULT_NODE_NAMES, Cluster, ClusterSpec
-from repro.core.authority import CouplerAuthority
 from repro.network.topology import BusTopology, StarTopology
 from repro.ttp.constants import ControllerStateName
 

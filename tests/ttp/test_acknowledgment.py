@@ -1,6 +1,5 @@
 """Tests for the explicit acknowledgment (sender self-check)."""
 
-import pytest
 
 from repro.cluster import Cluster, ClusterSpec
 from repro.faults.injector import apply_fault

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import Cluster, ClusterSpec
-from repro.ttp.cni import CniMessage, CommunicationNetworkInterface
+from repro.ttp.cni import CommunicationNetworkInterface
 from repro.ttp.constants import ControllerStateName
 
 

@@ -68,7 +68,6 @@ def test_zero_ppm_cluster_needs_no_correction():
 
 def test_sync_keeps_grids_aligned(synced):
     """After 400 rounds all four slot grids still agree on the phase."""
-    round_duration = synced.medl.round_duration()
     # Every controller is active; their _slot_start_ref values are at most
     # ~1 time unit apart modulo the slot duration.
     refs = [controller._slot_start_ref % 100.0

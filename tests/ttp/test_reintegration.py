@@ -8,7 +8,6 @@ import pytest
 
 from repro.cluster import Cluster, ClusterSpec
 from repro.ttp.constants import ControllerStateName
-from repro.ttp.controller import FreezeReason
 
 
 @pytest.fixture()

@@ -6,11 +6,10 @@ CRC-checks the wire bits -- N-frames validating only through the implicit
 C-state seed, exactly the mechanism the paper describes.
 """
 
-import pytest
 
 from repro.cluster import Cluster, ClusterSpec
-from repro.network.star_coupler import CouplerFault
 from repro.core.authority import CouplerAuthority
+from repro.network.star_coupler import CouplerFault
 from repro.ttp.constants import ControllerStateName
 from repro.ttp.controller import ControllerConfig
 from repro.ttp.medl import Medl, SlotDescriptor
