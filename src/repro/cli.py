@@ -40,9 +40,36 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _resilience_kwargs(args: argparse.Namespace) -> dict:
+    """The TaskRunner pass-through options shared by verify and campaign."""
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint PATH "
+                         "(the file to restore finished tasks from)")
+    return {"retries": args.retries, "task_timeout": args.task_timeout,
+            "checkpoint": args.checkpoint, "resume": args.resume}
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-run a failing task up to N times with "
+                             "deterministic backoff (default: 0)")
+    parser.add_argument("--task-timeout", type=_positive_float, default=None,
+                        dest="task_timeout", metavar="SECONDS",
+                        help="per-task wall-clock budget; a task past it "
+                             "counts as failed and is retried "
+                             "(default: unlimited)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="stream finished tasks to this JSONL file "
+                             "as they complete")
+    parser.add_argument("--resume", action="store_true",
+                        help="restore finished tasks from --checkpoint and "
+                             "run only the rest")
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     results = verify_all_authorities(slots=args.slots, engine=args.engine,
-                                     jobs=args.jobs)
+                                     jobs=args.jobs,
+                                     **_resilience_kwargs(args))
     rows = []
     for authority, result in results.items():
         rows.append((authority.value,
@@ -98,7 +125,8 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.faults.campaign import run_campaign
 
-    result = run_campaign(rounds=args.rounds)
+    result = run_campaign(rounds=args.rounds, jobs=args.jobs,
+                          **_resilience_kwargs(args))
     rows = [(row["fault"], row.get("bus", "?"), row.get("star", "?"))
             for row in result.containment_table()]
     print(format_table(["fault", "bus topology", "star + central guardian"],
@@ -307,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default="auto",
                         help="state representation for the BFS core "
                              "(default: auto = packed when available)")
+    _add_resilience_flags(verify)
     verify.set_defaults(func=_cmd_verify)
 
     trace = subparsers.add_parser("trace", help="EXP-T1/T2 counterexample traces")
@@ -330,6 +359,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = subparsers.add_parser("campaign", help="EXP-S2 fault injection")
     campaign.add_argument("--rounds", type=float, default=40.0)
+    campaign.add_argument("--jobs", type=_positive_int, default=None,
+                          help="fan the fault x topology cells out over N "
+                               "worker processes (default: serial)")
+    _add_resilience_flags(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     leaky = subparsers.add_parser("leaky", help="EXP-S1 leaky-bucket validation")

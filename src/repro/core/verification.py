@@ -89,20 +89,42 @@ def verify_authority(authority: CouplerAuthority,
 def verify_all_authorities(slots: int = 4,
                            out_of_slot_budget: Optional[int] = 1,
                            engine: str = "auto",
-                           jobs: Optional[int] = None
+                           jobs: Optional[int] = None,
+                           retries: int = 0,
+                           task_timeout: Optional[float] = None,
+                           checkpoint: Optional[str] = None,
+                           resume: bool = False,
+                           runner=None
                            ) -> Dict[CouplerAuthority, VerificationResult]:
     """EXP-V1: the Section 5.2 verification matrix over all four levels.
 
     The four checks are independent; ``jobs`` fans them out over a
     process pool (see :mod:`repro.modelcheck.parallel`) with verdicts and
     counterexamples identical to the serial loop.
+
+    The resilience knobs route the matrix through a
+    :class:`repro.exec.TaskRunner`: ``retries`` re-runs failing checks
+    with deterministic backoff, ``task_timeout`` bounds each check's
+    wall-clock, and ``checkpoint``/``resume`` persist finished checks to
+    JSONL so an interrupted matrix restarts where it stopped.  A
+    pre-built ``runner`` (any object with ``map``) takes precedence.
     """
-    if jobs is not None and jobs != 1:
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}; "
+                         f"pass jobs=None (or 1) for the serial path")
+    if runner is None and (retries or task_timeout is not None
+                           or checkpoint is not None or resume):
+        from repro.exec import TaskRunner
+
+        runner = TaskRunner(max_workers=jobs if jobs is not None else 1,
+                            retries=retries, task_timeout=task_timeout,
+                            checkpoint=checkpoint, resume=resume)
+    if runner is not None or (jobs is not None and jobs != 1):
         from repro.modelcheck.parallel import verify_authorities_parallel
 
         return verify_authorities_parallel(
             slots=slots, out_of_slot_budget=out_of_slot_budget,
-            engine=engine, jobs=jobs)
+            engine=engine, jobs=jobs, runner=runner)
     return {authority: verify_authority(authority, slots=slots,
                                         out_of_slot_budget=out_of_slot_budget,
                                         engine=engine)

@@ -58,12 +58,23 @@ class CampaignResult:
         raise KeyError(f"no outcome for {fault_type} on {topology}")
 
     def containment_table(self) -> List[Dict[str, str]]:
-        """Rows of fault type vs. per-topology containment verdicts."""
+        """Rows of fault type vs. per-topology containment verdicts.
+
+        A campaign may inject several distinct faults of the same
+        :class:`FaultType` (different targets or parameters).  Agreeing
+        outcomes share the row; disagreeing ones render as ``"mixed"``
+        rather than silently keeping whichever injection ran last.
+        """
         rows: Dict[str, Dict[str, str]] = {}
         for entry in self.outcomes:
             row = rows.setdefault(entry.fault.fault_type.value,
                                   {"fault": entry.fault.fault_type.value})
-            row[entry.topology] = "contained" if entry.contained else "propagated"
+            verdict = "contained" if entry.contained else "propagated"
+            existing = row.get(entry.topology)
+            if existing is None:
+                row[entry.topology] = verdict
+            elif existing != verdict:
+                row[entry.topology] = "mixed"
         return list(rows.values())
 
 
@@ -210,17 +221,44 @@ def run_campaign(faults: Optional[List[FaultDescriptor]] = None,
                  topologies: Optional[List[str]] = None,
                  authority: CouplerAuthority = CouplerAuthority.SMALL_SHIFTING,
                  rounds: float = 40.0, seed: int = 0,
-                 jobs: Optional[int] = None) -> CampaignResult:
+                 jobs: Optional[int] = None,
+                 retries: int = 0,
+                 task_timeout: Optional[float] = None,
+                 checkpoint: Optional[str] = None,
+                 resume: bool = False,
+                 runner: Optional[object] = None) -> CampaignResult:
     """Run every fault on every topology.
 
     Each injection builds its own cluster from its own seed, so the cells
     are independent; ``jobs`` fans them out over a process pool with
     outcomes (and their order) identical to the serial nested loop.
+
+    The resilience knobs route the campaign through a
+    :class:`repro.exec.TaskRunner`: ``retries`` re-runs failing cells with
+    deterministic backoff, ``task_timeout`` bounds each cell's wall-clock,
+    and ``checkpoint``/``resume`` persist finished cells to JSONL so an
+    interrupted campaign restarts from where it stopped.  A pre-built
+    ``runner`` (any object with a ``map(function, tasks)`` method) takes
+    precedence over the individual knobs.
     """
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}; "
+                         f"pass jobs=None (or 1) for the serial path")
     faults = faults if faults is not None else list(DEFAULT_FAULTS)
     topologies = topologies if topologies is not None else ["bus", "star"]
     tasks = [(fault, topology, authority, rounds, seed)
              for fault in faults for topology in topologies]
+    if runner is None and (retries or task_timeout is not None
+                           or checkpoint is not None or resume):
+        from repro.exec import TaskRunner
+
+        runner = TaskRunner(max_workers=jobs if jobs is not None else 1,
+                            retries=retries, task_timeout=task_timeout,
+                            checkpoint=checkpoint, resume=resume)
+    if runner is not None:
+        from repro.modelcheck.parallel import _injection_worker
+
+        return CampaignResult(outcomes=runner.map(_injection_worker, tasks))
     if jobs is not None and jobs != 1:
         from repro.modelcheck.parallel import run_injections_parallel
 

@@ -25,14 +25,22 @@ or closures crosses the process boundary.
 from __future__ import annotations
 
 import os
+import pickle
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from pickle import PicklingError
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Exception types that indicate the *pool* (not the task) failed: the
 #: work could not be pickled, worker processes could not be spawned, or
-#: the pool broke mid-flight.  Anything else propagates to the caller.
+#: the pool broke mid-flight.  Task bodies run inside
+#: :func:`run_task_enveloped`, which captures their exceptions and ships
+#: them back as data -- so an exception of one of these types escaping
+#: the pool machinery can only come from the infrastructure itself
+#: (pickling raises ``PicklingError``/``TypeError``/``AttributeError``
+#: depending on the payload), never from user task code.
 _POOL_FAILURES: Tuple[type, ...] = (PicklingError, AttributeError, TypeError,
                                     ImportError, OSError)
 try:  # BrokenProcessPool subclasses RuntimeError, not OSError.
@@ -40,6 +48,51 @@ try:  # BrokenProcessPool subclasses RuntimeError, not OSError.
     _POOL_FAILURES = _POOL_FAILURES + (BrokenProcessPool,)
 except ImportError:  # pragma: no cover - always present on CPython >= 3.3
     pass
+
+
+class RemoteTraceback(Exception):
+    """Carries a worker-side traceback as the ``__cause__`` of a re-raised
+    task exception, so the parent-side stack trace shows where the task
+    actually failed inside the worker process."""
+
+    def __str__(self) -> str:
+        return "\n\n--- worker-side traceback ---\n" + self.args[0]
+
+
+def run_task_enveloped(function: Callable[[Any], Any],
+                       task: Any) -> Tuple[str, Any, Optional[str]]:
+    """Run ``function(task)`` and capture the outcome as data.
+
+    Returns ``("ok", value, None)`` on success and
+    ``("error", exception, formatted_traceback)`` on failure.  Runs inside
+    worker processes: because the task exception travels back as a
+    *return value*, anything raised out of the pool machinery itself is
+    unambiguously an infrastructure failure (see ``_POOL_FAILURES``).
+    An unpicklable task exception is replaced by a ``RuntimeError``
+    carrying its repr, so the envelope always crosses the process
+    boundary.
+    """
+    try:
+        return ("ok", function(task), None)
+    except Exception as exc:
+        formatted = traceback.format_exc()
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:
+            exc = RuntimeError(f"unpicklable task exception "
+                               f"{type(exc).__name__}: {exc}")
+        return ("error", exc, formatted)
+
+
+def unwrap_envelope(envelope: Tuple[str, Any, Optional[str]]) -> Any:
+    """Value of an ``("ok", ...)`` envelope; re-raises an ``("error", ...)``
+    one with the worker-side traceback attached as ``__cause__``."""
+    status, value, formatted = envelope
+    if status == "ok":
+        return value
+    if formatted is not None:
+        raise value from RemoteTraceback(formatted)
+    raise value
 
 
 def available_cpus() -> int:
@@ -87,7 +140,12 @@ class ParallelVerifier:
 
         Results are returned in task order.  Falls back to the serial
         comprehension when the effective width is 1 or the pool cannot be
-        used; task-level exceptions always propagate.
+        used -- but *only* for infrastructure failures (unpicklable work,
+        spawn errors, a broken pool).  Task bodies run wrapped in
+        :func:`run_task_enveloped`, so an exception raised *inside a
+        task* -- including ``TypeError``/``AttributeError``/``OSError``,
+        which pool infrastructure can also raise -- propagates to the
+        caller instead of silently re-running the whole list serially.
         """
         task_list = list(tasks)
         self.pool_engaged = False
@@ -99,12 +157,13 @@ class ParallelVerifier:
             return [function(task) for task in task_list]
         try:
             with ProcessPoolExecutor(max_workers=self.effective_workers) as pool:
-                results = list(pool.map(function, task_list))
-            self.pool_engaged = True
-            return results
+                envelopes = list(pool.map(partial(run_task_enveloped, function),
+                                          task_list))
         except _POOL_FAILURES as failure:
             self.fallback_reason = f"{type(failure).__name__}: {failure}"
             return [function(task) for task in task_list]
+        self.pool_engaged = True
+        return [unwrap_envelope(envelope) for envelope in envelopes]
 
 
 # ---------------------------------------------------------------------------
@@ -127,21 +186,26 @@ def verify_authorities_parallel(slots: int = 4,
                                 max_states: Optional[int] = None,
                                 engine: str = "auto",
                                 jobs: Optional[int] = None,
-                                verifier: Optional[ParallelVerifier] = None
+                                verifier: Optional[ParallelVerifier] = None,
+                                runner: Optional[Any] = None
                                 ) -> Dict[Any, Any]:
     """EXP-V1 across all four authority levels, fanned out over ``jobs``.
 
     Returns the same ``{authority: VerificationResult}`` dict (same
     insertion order, same verdicts, same counterexample traces) as the
     serial :func:`repro.core.verification.verify_all_authorities`.
+
+    ``runner`` substitutes any object with a ``map(function, tasks)``
+    method -- typically a :class:`repro.exec.TaskRunner` for retrying /
+    checkpointed matrices -- for the plain pool.
     """
     from repro.core.authority import all_authorities
 
     authorities = list(all_authorities())
     tasks = [(authority.value, slots, out_of_slot_budget, max_states, engine)
              for authority in authorities]
-    verifier = verifier or ParallelVerifier(max_workers=jobs)
-    results = verifier.map(_verify_authority_worker, tasks)
+    mapper = runner or verifier or ParallelVerifier(max_workers=jobs)
+    results = mapper.map(_verify_authority_worker, tasks)
     return dict(zip(authorities, results))
 
 
@@ -160,13 +224,16 @@ def _injection_worker(task: Tuple) -> Any:
 
 def run_injections_parallel(tasks: Sequence[Tuple],
                             jobs: Optional[int] = None,
-                            verifier: Optional[ParallelVerifier] = None
-                            ) -> List[Any]:
+                            verifier: Optional[ParallelVerifier] = None,
+                            runner: Optional[Any] = None) -> List[Any]:
     """Fan a list of ``(fault, topology, authority, rounds, seed)`` tasks
     out over a pool, preserving order (each injection builds its own
-    cluster from its own seed, so outcomes are scheduling-independent)."""
-    verifier = verifier or ParallelVerifier(max_workers=jobs)
-    return verifier.map(_injection_worker, list(tasks))
+    cluster from its own seed, so outcomes are scheduling-independent).
+
+    ``runner`` substitutes a :class:`repro.exec.TaskRunner` (or anything
+    with a ``map`` method) for the plain pool."""
+    mapper = runner or verifier or ParallelVerifier(max_workers=jobs)
+    return mapper.map(_injection_worker, list(tasks))
 
 
 # ---------------------------------------------------------------------------
@@ -213,7 +280,8 @@ def monte_carlo_parallel(make_system: Callable[[], Any],
                          make_invariant: Callable[[], Any],
                          walks: int = 200, max_depth: int = 100,
                          seed: int = 0, jobs: Optional[int] = None,
-                         verifier: Optional[ParallelVerifier] = None) -> Any:
+                         verifier: Optional[ParallelVerifier] = None,
+                         runner: Optional[Any] = None) -> Any:
     """Parallel :func:`repro.modelcheck.simulate.monte_carlo_check`.
 
     ``make_system`` / ``make_invariant`` must be picklable zero-argument
@@ -229,7 +297,7 @@ def monte_carlo_parallel(make_system: Callable[[], Any],
 
     if walks < 1:
         raise ValueError(f"need at least one walk, got {walks}")
-    verifier = verifier or ParallelVerifier(max_workers=jobs)
+    verifier = runner or verifier or ParallelVerifier(max_workers=jobs)
     chunk_count = max(1, min(verifier.effective_workers, walks))
     base, excess = divmod(walks, chunk_count)
     tasks = []

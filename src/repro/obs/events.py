@@ -40,6 +40,10 @@ uplink_silenced       coupler              silent-coupler fault ate a frame
 out_of_slot_replay    coupler              buffered frame replayed out of slot
 buffer_occupancy      coupler              whole frame stored (full-shifting)
 fault_injected        injector             fault descriptor wired into the spec
+task_started          runner               campaign/matrix task attempt began
+task_retried          runner               failed task re-queued (with reason)
+task_failed           runner               task permanently failed (budget spent)
+checkpoint_written    runner               finished task persisted to JSONL
 ===================== ==================== ===================================
 
 Unknown kinds (hand-built records, forward-compatible imports) fall back to
@@ -383,6 +387,60 @@ class FaultInjected(Event):
     kind: ClassVar[str] = "fault_injected"
     fault_type: str = ""
     target: str = ""
+
+
+# -- task-runner events ------------------------------------------------------
+#
+# Emitted by the resilient execution layer (:mod:`repro.exec`), not the
+# simulation: ``time`` is elapsed wall-clock seconds since the runner
+# started (measured with ``time.perf_counter``), and ``source`` is
+# ``runner``.  They ride the same spine so the online monitors that watch
+# cluster health can watch harness health too.
+
+
+@_register
+@dataclass(frozen=True)
+class TaskStarted(Event):
+    """A runner task attempt began (``attempt`` counts from 1)."""
+
+    kind: ClassVar[str] = "task_started"
+    index: int = 0
+    attempt: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class TaskRetried(Event):
+    """A failed task attempt was re-queued; ``reason`` is the failure
+    class (``exception`` | ``timeout`` | ``worker-crash``)."""
+
+    kind: ClassVar[str] = "task_retried"
+    index: int = 0
+    attempt: int = 0
+    reason: str = ""
+    error: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class TaskFailed(Event):
+    """A task exhausted its retry budget and permanently failed."""
+
+    kind: ClassVar[str] = "task_failed"
+    index: int = 0
+    attempts: int = 0
+    reason: str = ""
+    error: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class CheckpointWritten(Event):
+    """A finished task's result was persisted to the JSONL checkpoint."""
+
+    kind: ClassVar[str] = "checkpoint_written"
+    index: int = 0
+    path: str = ""
 
 
 #: Per-source tally of GenericEvent fallbacks: how often :func:`make_event`

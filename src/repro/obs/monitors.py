@@ -243,3 +243,58 @@ class NoCliqueFreezeMonitor(OnlineMonitor):
     def holds(self) -> bool:
         """Whether the property has held over the stream so far."""
         return not self.violations
+
+
+@dataclass(frozen=True)
+class RunnerIncident:
+    """One retry or permanent failure the runner reported."""
+
+    time: float
+    index: int
+    reason: str
+    error: str
+
+
+class RunnerHealthMonitor(OnlineMonitor):
+    """Online health view of a resilient campaign run (:mod:`repro.exec`).
+
+    Subscribes to the runner's ``task_started`` / ``task_retried`` /
+    ``task_failed`` / ``checkpoint_written`` events and keeps the counts a
+    dashboard (or an assertion in CI) wants: how many attempts ran, which
+    tasks needed retries and why, whether anything permanently failed, and
+    how many results reached the checkpoint.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.attempts = 0
+        self.tasks_seen: Set[int] = set()
+        self.retries: List[RunnerIncident] = []
+        self.failures: List[RunnerIncident] = []
+        self.checkpointed = 0
+
+    def on_event(self, event: Event) -> None:
+        if event.kind == "task_started":
+            self.attempts += 1
+            self.tasks_seen.add(event.details["index"])
+        elif event.kind == "task_retried":
+            detail = event.details
+            self.retries.append(RunnerIncident(
+                time=event.time, index=detail["index"],
+                reason=detail["reason"], error=detail["error"]))
+        elif event.kind == "task_failed":
+            detail = event.details
+            self.failures.append(RunnerIncident(
+                time=event.time, index=detail["index"],
+                reason=detail["reason"], error=detail["error"]))
+        elif event.kind == "checkpoint_written":
+            self.checkpointed += 1
+
+    @property
+    def healthy(self) -> bool:
+        """Whether every task (so far) completed without permanent failure."""
+        return not self.failures
+
+    def retried_tasks(self) -> List[int]:
+        """Distinct task indices that needed at least one retry, sorted."""
+        return sorted({incident.index for incident in self.retries})

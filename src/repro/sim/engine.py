@@ -130,8 +130,14 @@ class Simulator:
         """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` events have fired.
 
-        When ``until`` is given, the clock is advanced to exactly ``until``
-        even if the last event fires earlier.  Returns the final time.
+        When ``until`` is given and the run consumed every event due at or
+        before it, the clock is advanced to exactly ``until`` even if the
+        last event fires earlier.  When the loop exits early -- via
+        ``max_events`` or :meth:`stop` -- with such events still queued,
+        the clock stays at the last fired event so that a subsequent
+        :meth:`step`/:meth:`run` resumes with monotonic time instead of
+        jumping past pending work and then moving backwards.  Returns the
+        final time.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run)")
@@ -152,7 +158,9 @@ class Simulator:
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
-            self._now = until
+            next_time = self.peek()
+            if next_time is None or next_time > until:
+                self._now = until
         return self._now
 
     def pending_count(self) -> int:

@@ -11,6 +11,7 @@ import pytest
 from repro.core.authority import CouplerAuthority
 from repro.faults.campaign import (
     DEFAULT_FAULTS,
+    CampaignResult,
     InjectionOutcome,
     run_campaign,
     run_injection,
@@ -82,6 +83,44 @@ def test_containment_table_rows(campaign):
     by_fault = {row["fault"]: row for row in rows}
     assert by_fault["sos_signal"]["bus"] == "propagated"
     assert by_fault["sos_signal"]["star"] == "contained"
+
+
+def _outcome(fault, topology, victims):
+    return InjectionOutcome(fault=fault, topology=topology, victims=victims,
+                            integrated=["A"], states={"A": "active"})
+
+
+def test_containment_table_same_fault_type_disagreement_is_mixed():
+    """Regression: two injections of the same FaultType whose verdicts
+    disagree on a topology used to be last-writer-wins; they must render
+    as "mixed"."""
+    sos_on_a = FaultDescriptor(FaultType.SOS_SIGNAL, target="A")
+    sos_on_b = FaultDescriptor(FaultType.SOS_SIGNAL, target="B")
+    result = CampaignResult(outcomes=[
+        _outcome(sos_on_a, "bus", victims=["C"]),   # propagated
+        _outcome(sos_on_b, "bus", victims=[]),      # contained
+        _outcome(sos_on_a, "star", victims=[]),     # contained
+        _outcome(sos_on_b, "star", victims=[]),     # contained -- agrees
+    ])
+    rows = {row["fault"]: row for row in result.containment_table()}
+    assert rows["sos_signal"]["bus"] == "mixed"
+    # Agreement keeps the shared verdict, regardless of injection count.
+    assert rows["sos_signal"]["star"] == "contained"
+
+
+def test_containment_table_order_of_disagreement_irrelevant():
+    sos_on_a = FaultDescriptor(FaultType.SOS_SIGNAL, target="A")
+    sos_on_b = FaultDescriptor(FaultType.SOS_SIGNAL, target="B")
+    forward = CampaignResult(outcomes=[
+        _outcome(sos_on_a, "bus", victims=["C"]),
+        _outcome(sos_on_b, "bus", victims=[]),
+    ])
+    backward = CampaignResult(outcomes=[
+        _outcome(sos_on_b, "bus", victims=[]),
+        _outcome(sos_on_a, "bus", victims=["C"]),
+    ])
+    assert (forward.containment_table() == backward.containment_table()
+            == [{"fault": "sos_signal", "bus": "mixed"}])
 
 
 def test_outcome_lookup_missing_raises(campaign):

@@ -182,3 +182,81 @@ def test_sweep_jobs_matches_serial():
     # sweep must silently fall back to serial, not crash.
     assert (sweep_2d(multiply, [1, 2], [3, 4], jobs=2)
             == sweep_2d(multiply, [1, 2], [3, 4]))
+
+
+# ---------------------------------------------------------------------------
+# Regression: in-task exceptions must propagate, not trigger serial re-run
+# ---------------------------------------------------------------------------
+#
+# _POOL_FAILURES includes TypeError/AttributeError/OSError because pool
+# *infrastructure* raises them for unpicklable work.  Task bodies can
+# raise the same types; those must reach the caller as task failures.
+# Before the envelope, such a task silently re-ran the whole list
+# serially -- doubling the cost and hiding the bug.
+
+def _raises_type_error(value):
+    raise TypeError(f"task-level TypeError on {value}")
+
+
+def _raises_attribute_error(value):
+    raise AttributeError(f"task-level AttributeError on {value}")
+
+
+def _raises_os_error(value):
+    raise OSError(f"task-level OSError on {value}")
+
+
+@pytest.mark.parametrize("worker, exc_type", [
+    (_raises_type_error, TypeError),
+    (_raises_attribute_error, AttributeError),
+    (_raises_os_error, OSError),
+])
+def test_task_exception_matching_pool_failure_types_propagates(worker,
+                                                               exc_type):
+    verifier = ParallelVerifier(max_workers=2, force_pool=True)
+    with pytest.raises(exc_type, match="task-level"):
+        verifier.map(worker, [1, 2, 3])
+    # The pool genuinely ran -- this was not the serial fallback
+    # re-raising after a silent re-run.
+    assert verifier.pool_engaged
+    assert verifier.fallback_reason is None
+
+
+def test_task_exception_carries_worker_traceback():
+    verifier = ParallelVerifier(max_workers=2, force_pool=True)
+    with pytest.raises(TypeError) as excinfo:
+        verifier.map(_raises_type_error, [7, 8])
+    assert verifier.pool_engaged
+    assert "worker-side traceback" in str(excinfo.value.__cause__)
+    assert "_raises_type_error" in str(excinfo.value.__cause__)
+
+
+def test_serial_path_raises_task_exception_directly():
+    verifier = ParallelVerifier(max_workers=1)
+    with pytest.raises(TypeError, match="task-level"):
+        verifier.map(_raises_type_error, [1])
+
+
+# ---------------------------------------------------------------------------
+# Monte-Carlo witness aggregation across multiple violating chunks
+# ---------------------------------------------------------------------------
+
+def test_monte_carlo_multiple_violating_chunks_aggregate():
+    # seed=0 over 40 walks splits into two 20-walk chunks that BOTH find
+    # violations; the merged result must count all of them and keep the
+    # witness from the lowest-indexed walk, exactly as the serial run.
+    config = unconstrained_full_shifting()
+    serial = monte_carlo_check(TTAStartupModel(config),
+                               no_clique_freeze(config),
+                               walks=40, max_depth=30, seed=0)
+    assert serial.violations > 1  # the seed must exercise aggregation
+    pooled = monte_carlo_parallel(partial(TTAStartupModel, config),
+                                  partial(no_clique_freeze, config),
+                                  walks=40, max_depth=30, seed=0,
+                                  verifier=ParallelVerifier(max_workers=2,
+                                                            force_pool=True))
+    assert pooled.violations == serial.violations
+    assert pooled.total_steps == serial.total_steps
+    assert pooled.shortest_violation_depth == serial.shortest_violation_depth
+    assert ([step.state for step in pooled.first_witness.steps]
+            == [step.state for step in serial.first_witness.steps])

@@ -158,6 +158,48 @@ def test_max_events_limit():
     assert fired == [0, 1, 2]
 
 
+def test_max_events_with_until_keeps_clock_at_last_event():
+    # Regression: run(until=..., max_events=...) used to fast-forward the
+    # clock to `until` even when queued events <= until remained, so a
+    # resumed run would fire them with the clock already *past* their
+    # timestamps -- time went backwards.
+    sim = Simulator()
+    fired = []
+    for index in range(6):
+        sim.schedule(float(index + 1), lambda i=index: fired.append(i))
+    sim.run(until=10.0, max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.now == 3.0  # not fast-forwarded past the pending events
+
+    # Resuming keeps time monotonic: every remaining event fires at its
+    # own timestamp, never behind the clock.
+    observed = []
+    sim.schedule(7.0 - sim.now, lambda: observed.append(sim.now))
+    assert sim.step() is True
+    assert sim.now == 4.0
+    sim.run(until=10.0)
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert observed == [7.0]
+    assert sim.now == 10.0
+
+
+def test_until_past_queue_still_fast_forwards():
+    # The complementary half of the regression fix: when nothing remains
+    # at or before `until`, the clock still advances all the way.
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.schedule(30.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_stop_with_until_does_not_fast_forward():
+    sim = Simulator()
+    sim.schedule(1.0, sim.stop)
+    sim.run(until=50.0)
+    assert sim.now == 1.0
+
+
 def test_pending_count_excludes_cancelled():
     sim = Simulator()
     keep = sim.schedule(1.0, lambda: None)

@@ -72,6 +72,39 @@ def test_campaign_command(capsys):
     assert "contained" in out
 
 
+def test_campaign_resilience_flags_checkpoint_and_resume(capsys, tmp_path):
+    checkpoint = str(tmp_path / "campaign.jsonl")
+    code, first = run_cli(capsys, "campaign", "--rounds", "8",
+                          "--retries", "1", "--checkpoint", checkpoint)
+    assert code == 0
+    assert "sos_signal" in first
+
+    code, resumed = run_cli(capsys, "campaign", "--rounds", "8",
+                            "--retries", "1", "--checkpoint", checkpoint,
+                            "--resume")
+    assert code == 0
+    assert resumed == first
+
+
+def test_verify_resilience_flags(capsys, tmp_path):
+    checkpoint = str(tmp_path / "verify.jsonl")
+    code, out = run_cli(capsys, "verify", "--retries", "1",
+                        "--task-timeout", "600", "--checkpoint", checkpoint)
+    assert code == 0
+    assert out.count("HOLDS") == 3
+    assert out.count("VIOLATED") == 1
+
+
+def test_resume_without_checkpoint_rejected():
+    with pytest.raises(SystemExit, match="--resume requires --checkpoint"):
+        main(["campaign", "--rounds", "8", "--resume"])
+
+
+def test_campaign_rejects_bad_jobs():
+    with pytest.raises(SystemExit):
+        main(["campaign", "--jobs", "0"])
+
+
 def test_statespace_command(capsys):
     code, out = run_cli(capsys, "statespace", "--authority", "passive")
     assert code == 0
