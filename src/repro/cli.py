@@ -69,6 +69,7 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
 def _cmd_verify(args: argparse.Namespace) -> int:
     results = verify_all_authorities(slots=args.slots, engine=args.engine,
                                      jobs=args.jobs,
+                                     symmetry=not args.no_symmetry,
                                      **_resilience_kwargs(args))
     rows = []
     for authority, result in results.items():
@@ -299,7 +300,8 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     all_conform = True
     for name in names:
         scenario = SCENARIOS[name]
-        result = verify_config(scenario.model_config(), engine=args.engine)
+        result = verify_config(scenario.model_config(), engine=args.engine,
+                               symmetry=not args.no_symmetry)
         if result.counterexample is None:
             print(f"{name}: model produced no counterexample to replay")
             all_conform = False
@@ -330,11 +332,19 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--slots", type=int, default=4)
     verify.add_argument("--jobs", type=_positive_int, default=None,
                         help="fan the four checks out over N worker "
-                             "processes (default: serial)")
-    verify.add_argument("--engine", choices=("auto", "packed", "tuple"),
+                             "processes; with --engine vectorized, shard "
+                             "each check's BFS frontier across N workers "
+                             "instead (default: serial)")
+    verify.add_argument("--engine",
+                        choices=("auto", "packed", "tuple", "vectorized"),
                         default="auto",
                         help="state representation for the BFS core "
-                             "(default: auto = packed when available)")
+                             "(default: auto = packed when available; "
+                             "vectorized = batched NumPy frontiers)")
+    verify.add_argument("--no-symmetry", action="store_true",
+                        dest="no_symmetry",
+                        help="disable the vectorized engine's rotational "
+                             "symmetry reduction even where it is sound")
     _add_resilience_flags(verify)
     verify.set_defaults(func=_cmd_verify)
 
@@ -409,10 +419,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "report slot-level agreement")
     conform.add_argument("scenario", choices=["trace1", "trace2", "all"],
                          help="which paper counterexample to replay")
-    conform.add_argument("--engine", choices=("auto", "packed", "tuple"),
+    conform.add_argument("--engine",
+                         choices=("auto", "packed", "tuple", "vectorized"),
                          default="auto",
                          help="state representation for the BFS core "
-                              "(default: auto = packed when available)")
+                              "(default: auto = packed when available; "
+                              "vectorized = batched NumPy frontiers)")
+    conform.add_argument("--no-symmetry", action="store_true",
+                         dest="no_symmetry",
+                         help="disable the vectorized engine's rotational "
+                              "symmetry reduction even where it is sound")
     conform.add_argument("--jsonl", default=None,
                          help="also export the DES event stream to this "
                               "file (per-scenario suffix with 'all')")

@@ -39,7 +39,6 @@ from repro.model.coupler_model import (
     KIND_COLD_START,
     ChannelContent,
 )
-from repro.ttp.startup import listen_timeout_slots
 
 # Node protocol states.  ``freeze_clique`` is the protocol-forced freeze
 # (clique-avoidance error) -- distinguished from the host-level ``freeze``
@@ -133,7 +132,6 @@ def node_step(config: ModelConfig, node_id: int, local: NodeLocal,
               channels: Tuple[ChannelContent, ChannelContent]) -> List[NodeLocal]:
     """All allowed next local states for one node."""
     state = local.state
-    slots = config.slots
 
     if state in (ST_FREEZE, ST_FREEZE_CLIQUE):
         options = [local]
@@ -152,7 +150,7 @@ def node_step(config: ModelConfig, node_id: int, local: NodeLocal,
     if state == ST_INIT:
         stay = local
         to_listen = NodeLocal(ST_LISTEN, 0, False,
-                              listen_timeout_slots(slots, node_id), 0, 0)
+                              config.listen_timeout(node_id), 0, 0)
         options = [stay, to_listen]
         if config.full_host_choices:
             options.append(NodeLocal(ST_FREEZE, 0, False, 0, 0, 0))
@@ -182,7 +180,7 @@ def _listen_step(config: ModelConfig, node_id: int, local: NodeLocal,
     # Timeout bookkeeping: traffic (cold-start or regular frames) resets
     # the timeout; silence and noise count it down.
     if saw_cold_start:
-        timeout = listen_timeout_slots(slots, node_id)
+        timeout = config.listen_timeout(node_id)
     else:
         timeout = max(0, local.timeout - 1)
 
@@ -223,7 +221,7 @@ def _slotted_step(config: ModelConfig, node_id: int, local: NodeLocal,
         if agreed > failed:
             return [NodeLocal(ST_ACTIVE, next_slot, False, 0, 0, 0)]
         return [NodeLocal(ST_LISTEN, 0, False,
-                          listen_timeout_slots(slots, node_id), 0, 0)]
+                          config.listen_timeout(node_id), 0, 0)]
 
     if local.state == ST_ACTIVE:
         if not round_complete:

@@ -1,0 +1,341 @@
+"""Symmetry reduction: rotational node symmetry over packed frontiers.
+
+The TTA startup model treats nodes almost interchangeably: a node's id
+enters its dynamics only through "is this my slot" comparisons, and slot
+ids rotate with the TDMA schedule.  Rotating every node block by ``k``
+positions *and* every slot-valued digit by ``k`` (0 = "no frame" stays
+fixed) is therefore a candidate automorphism of the transition graph --
+states in one orbit reach states in the same orbits.  Exploring only one
+*canonical representative* per orbit (the smallest packed code) shrinks
+the reachable space by up to a factor of ``slots``.
+
+The candidate is only a real automorphism under conditions this module
+*checks* instead of assuming:
+
+* **uniform listen timeouts** -- the paper's per-node unique timeouts
+  (``slots + node_slot``, Section 4.3.2) are deliberately asymmetric;
+  rotation is sound only under the ``uniform_listen_timeout`` ablation
+  (see :class:`repro.model.config.ModelConfig`).  This is checked via
+  the config flag, not re-derived.
+* **rotation-closed initial states** -- the all-frozen start is
+  symmetric; the ``start_running`` start (one designated powered-off
+  node) is not.  Checked by rotating the packed initial set.
+* **rotation-closed invariant** -- the checked property must not name a
+  specific node asymmetrically.  Checked against the invariant's
+  ``forbidden_assignments`` declaration.
+
+When any condition fails, :meth:`RotationGroup.build` returns a
+*trivial* group (identity only) with a human-readable ``reason``; the
+checker then explores the full space.  The escape hatch ``--no-symmetry``
+forces the trivial group regardless.
+
+Representation: the group works on the same split ``(word, tail)`` code
+arrays as :mod:`repro.modelcheck.vector`.  Each rotation ``k`` is two
+lookup tables -- ``local_map`` (size ``block_radix``) remapping one node
+block's local code, and ``tail_map`` (size ``tail_radix``) remapping the
+buffer/budget digits -- plus a cyclic shift of the per-node scale
+vector.  Canonicalizing a frontier is ``slots - 1`` table-gather passes,
+no Python per-state work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.modelcheck.encode import require_numpy
+
+#: Node-block field (by convention ``<prefix>_<field>``) holding a slot id.
+_SLOT_FIELD = "slot"
+#: Tail variable suffix holding a slot id (buffered frame id).
+_BUF_ID_SUFFIX = "_buf_id"
+
+
+class RotationGroup:
+    """The rotational symmetry group of one model, possibly trivial.
+
+    Build via :meth:`build`; never construct directly unless testing.
+    ``rotations`` holds one ``(shift, local_map, tail_map)`` triple per
+    non-identity group element (empty for the trivial group).
+    """
+
+    def __init__(self, model: Any,
+                 rotations: Sequence[Tuple[int, Any, Any]],
+                 reason: str) -> None:
+        np = require_numpy()
+        self.np = np
+        self.model = model
+        self.rotations = list(rotations)
+        #: Why the group is trivial ("" when it is not).
+        self.reason = reason
+        geometry = getattr(model, "packed_geometry", None)
+        if geometry is None:
+            # Trivial groups need no geometry (canonicalize is identity);
+            # non-trivial rotations always come from a packed model.
+            if self.rotations:
+                raise ValueError("a non-trivial rotation group needs a "
+                                 "model with packed_geometry()")
+            block_radix, node_count, tail_scale = 1, 0, 1
+        else:
+            block_radix, node_count, tail_scale = geometry()
+        self.block_radix = block_radix
+        self.node_count = node_count
+        self.tail_scale = tail_scale
+        self._scales = (np.uint64(block_radix)
+                        ** np.arange(node_count, dtype=np.uint64))
+
+    @property
+    def trivial(self) -> bool:
+        """Whether only the identity survived the soundness checks."""
+        return not self.rotations
+
+    # -- construction ------------------------------------------------------------
+
+    @staticmethod
+    def build(model: Any, invariant: Optional[Callable] = None,
+              enabled: bool = True) -> "RotationGroup":
+        """The largest sound rotation group for ``model`` (and, when
+        given, ``invariant``); trivial with a ``reason`` otherwise.
+
+        ``enabled=False`` is the ``--no-symmetry`` escape hatch: always
+        trivial, reason recorded as user-disabled.
+        """
+        np = require_numpy()
+        if not enabled:
+            return RotationGroup(model, [], "disabled (--no-symmetry)")
+        config = getattr(model, "config", None)
+        if config is None:
+            return RotationGroup(
+                model, [], "model declares no config; symmetry undecidable")
+        model.ensure_packed_tables()
+        if not getattr(config, "uniform_listen_timeout", False):
+            return RotationGroup(
+                model, [],
+                "per-node listen timeouts break rotation symmetry "
+                "(enable the uniform_listen_timeout ablation)")
+        if invariant is not None and not _invariant_closed(model, invariant):
+            return RotationGroup(
+                model, [],
+                "invariant is not closed under node rotation")
+        rotations = _build_rotations(np, model)
+        group = RotationGroup(model, rotations, "")
+        if not _initials_closed(np, model, group):
+            return RotationGroup(
+                model, [],
+                "initial-state set is not closed under node rotation "
+                "(e.g. start_running designates one node)")
+        return group
+
+    # -- canonicalization --------------------------------------------------------
+
+    def canonicalize(self, words: Any, tails: Any) -> Tuple[Any, Any]:
+        """Orbit representatives (smallest packed code) of a batch.
+
+        Input and output are aligned split-code arrays; the result order
+        matches the input order (dedup is the caller's job).
+        """
+        if not self.rotations:
+            return words, tails
+        np = self.np
+        planes = self._planes(words)
+        best_words = words
+        best_tails = tails
+        scales = self._scales
+        node_count = self.node_count
+        for shift, local_map, tail_map in self.rotations:
+            rotated_words = np.zeros(len(words), dtype=np.uint64)
+            for node in range(node_count):
+                rotated_words += (local_map[planes[:, node]]
+                                  * scales[(node + shift) % node_count])
+            rotated_tails = tail_map[tails]
+            better = (rotated_tails < best_tails) | (
+                (rotated_tails == best_tails) & (rotated_words < best_words))
+            best_words = np.where(better, rotated_words, best_words)
+            best_tails = np.where(better, rotated_tails, best_tails)
+        return best_words, best_tails
+
+    def canonical_code(self, code: int) -> int:
+        """Scalar wrapper over :meth:`canonicalize` (trace rebuilds)."""
+        if not self.rotations:
+            return code
+        np = self.np
+        tail, word = divmod(code, self.tail_scale)
+        words = np.asarray([word], dtype=np.uint64)
+        tails = np.asarray([tail], dtype=np.int64)
+        best_words, best_tails = self.canonicalize(words, tails)
+        return int(best_words[0]) + int(best_tails[0]) * self.tail_scale
+
+    def orbit_codes(self, code: int) -> List[int]:
+        """Every packed code in the orbit of ``code``, ascending
+        (test/diagnostic use)."""
+        codes = {code}
+        if self.rotations:
+            np = self.np
+            tail, word = divmod(code, self.tail_scale)
+            planes = self._planes(np.asarray([word], dtype=np.uint64))
+            for shift, local_map, tail_map in self.rotations:
+                rotated = 0
+                for node in range(self.node_count):
+                    rotated += (int(local_map[planes[0, node]])
+                                * self.block_radix
+                                ** ((node + shift) % self.node_count))
+                codes.add(rotated + int(tail_map[tail]) * self.tail_scale)
+        return sorted(codes)
+
+    def _planes(self, words: Any) -> Any:
+        """Per-node local codes of each word (``(n, node_count)`` int64)."""
+        np = self.np
+        planes = np.empty((len(words), self.node_count), dtype=np.int64)
+        rest = words
+        radix = np.uint64(self.block_radix)
+        for node in range(self.node_count):
+            rest, digit = np.divmod(rest, radix)
+            planes[:, node] = digit.astype(np.int64)
+        return planes
+
+
+def _slot_remap(np: Any, slots: int, shift: int) -> Any:
+    """Slot-id digit remap of rotation ``shift``: 0 fixed, ids cycled."""
+    remap = np.empty(slots + 1, dtype=np.int64)
+    remap[0] = 0
+    for value in range(1, slots + 1):
+        remap[value] = ((value - 1 + shift) % slots) + 1
+    return remap
+
+
+def _build_rotations(np: Any, model: Any) -> List[Tuple[int, Any, Any]]:
+    """``(shift, local_map, tail_map)`` per non-identity rotation."""
+    codec = model.codec
+    block_radix, node_count, tail_scale = model.packed_geometry()
+    tail_radix = codec.size // tail_scale
+    variables = codec.space.variables
+
+    # Slot digit inside one node block: by layout the block starts at
+    # multiplier 1, so node 0's global digit geometry is the in-block one.
+    slot_name = None
+    for variable in variables:
+        if variable.name.endswith(f"_{_SLOT_FIELD}"):
+            slot_name = variable.name
+            break
+    if slot_name is None:  # pragma: no cover - all models declare slots
+        raise ValueError("model declares no *_slot variable")
+    slot_multiplier, slot_radix = codec.digit_geometry(slot_name)
+    if slot_radix != node_count + 1:
+        raise ValueError(
+            f"slot digit radix {slot_radix} does not match "
+            f"{node_count + 1} (= slots + 1)")
+    for value in range(slot_radix):
+        if codec.value_digit(slot_name, value) != value:
+            raise ValueError("slot domain is not the identity 0..slots")
+
+    # Tail digits holding slot ids: the buffered frame ids (if any).
+    buf_geometry: List[Tuple[int, int]] = []
+    for variable in variables:
+        if variable.name.endswith(_BUF_ID_SUFFIX):
+            multiplier, radix = codec.digit_geometry(variable.name)
+            if multiplier % tail_scale != 0:  # pragma: no cover
+                raise ValueError(
+                    f"{variable.name} is not a tail digit")
+            if radix != node_count + 1:  # pragma: no cover
+                raise ValueError(
+                    f"{variable.name} radix {radix} is not slots + 1")
+            for value in range(radix):
+                if codec.value_digit(variable.name, value) != value:
+                    raise ValueError(
+                        f"{variable.name} domain is not 0..slots")
+            buf_geometry.append((multiplier // tail_scale, radix))
+
+    local_codes = np.arange(block_radix, dtype=np.int64)
+    slot_digits = (local_codes // slot_multiplier) % slot_radix
+    tail_codes = np.arange(tail_radix, dtype=np.int64)
+
+    rotations: List[Tuple[int, Any, Any]] = []
+    for shift in range(1, node_count):
+        remap = _slot_remap(np, node_count, shift)
+        local_map = (local_codes
+                     + (remap[slot_digits] - slot_digits) * slot_multiplier)
+        tail_map = tail_codes.copy()
+        for multiplier, radix in buf_geometry:
+            digits = (tail_map // multiplier) % radix
+            tail_map = tail_map + (remap[digits] - digits) * multiplier
+        rotations.append((shift, local_map.astype(np.uint64), tail_map))
+    return rotations
+
+
+def _initials_closed(np: Any, model: Any, group: RotationGroup) -> bool:
+    """Whether the packed initial-state set is rotation-invariant."""
+    initials = sorted(model.packed_initial_states())
+    reference = set(initials)
+    for code in initials:
+        if any(orbit not in reference for orbit in group.orbit_codes(code)):
+            return False
+    return True
+
+
+def _invariant_closed(model: Any, invariant: Callable) -> bool:
+    """Whether the invariant's declaration is rotation-invariant.
+
+    Only invariants advertising ``forbidden_assignments`` can be
+    certified (the declaration is a finite set of ``(variable, value)``
+    pairs that rotation must permute); anything else is conservatively
+    rejected.
+    """
+    forbidden = getattr(invariant, "forbidden_assignments", None)
+    if not forbidden:
+        return False
+    config = model.config
+    slots = config.slots
+    prefixes = [name.lower() for name in config.node_names]
+    prefix_index = {prefix: index for index, prefix in enumerate(prefixes)}
+    reference = set(forbidden)
+    for shift in range(1, slots):
+        for name, value in forbidden:
+            prefix, _, field = name.partition("_")
+            if prefix in prefix_index:
+                rotated_prefix = prefixes[(prefix_index[prefix] + shift)
+                                          % slots]
+                rotated_name = f"{rotated_prefix}_{field}"
+                rotated_value = value
+                if field == _SLOT_FIELD and isinstance(value, int) and value:
+                    rotated_value = ((value - 1 + shift) % slots) + 1
+                if (rotated_name, rotated_value) not in reference:
+                    return False
+            elif name.endswith(_BUF_ID_SUFFIX) and isinstance(value, int):
+                rotated_value = (((value - 1 + shift) % slots) + 1
+                                 if value else 0)
+                if (name, rotated_value) not in reference:
+                    return False
+            # Node-independent variables (oos_left, buf_kind) are fixed
+            # points; nothing to check.
+    return True
+
+
+def decanonicalize_trace(model: Any, group: RotationGroup,
+                         codes: Sequence[int]) -> List[int]:
+    """Concrete counterexample from a canonical (quotient-space) trace.
+
+    The quotient BFS records orbit representatives; each hop
+    ``c_i -> c_{i+1}`` promises only that *some* concrete successor of
+    *some* orbit member lands in the next orbit.  This walks forward
+    through the concrete graph, at each hop picking the smallest-code
+    successor whose canonical form matches the recorded representative,
+    yielding a genuine run of the unreduced model.
+    """
+    if group.trivial or not codes:
+        return list(codes)
+    canonical = group.canonical_code
+    first_orbit = [code for code in sorted(model.packed_initial_states())
+                   if canonical(code) == codes[0]]
+    if not first_orbit:
+        raise ValueError(
+            "canonical trace does not start at an initial-state orbit")
+    concrete = [first_orbit[0]]
+    for target in codes[1:]:
+        matches = [successor
+                   for successor in sorted(model.packed_successors(concrete[-1]))
+                   if canonical(successor) == target]
+        if not matches:
+            raise ValueError(
+                "canonical trace hop has no concrete counterpart "
+                f"(after {len(concrete)} states)")
+        concrete.append(matches[0])
+    return concrete

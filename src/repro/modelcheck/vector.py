@@ -1,0 +1,672 @@
+"""Vectorized frontier engine: whole-level successor computation.
+
+The scalar packed engine (:meth:`TTAStartupModel.packed_successors`) costs
+one Python call per state; at ~75k states/s the interpreter, not the
+model, is the bottleneck.  This module moves the BFS inner loop into
+NumPy: the frontier is a pair of aligned arrays and one level's worth of
+successors is computed with a fixed number of array operations,
+independent of the frontier size.
+
+Split code representation
+-------------------------
+
+A packed code (:mod:`repro.modelcheck.encode`) can exceed 64 bits (the
+full-shifting configuration needs 72), so the engine splits every code at
+the node/tail boundary of the packed layout::
+
+    code = word + tail * tail_scale
+    word = sum_i local_i * block_radix**i     (node blocks, fits uint64)
+    tail = buffers + out-of-slot budget digits (small int)
+
+``word`` carries all per-node digits and stays below ``2**63`` for any
+model this repo builds (asserted at kernel construction); ``tail`` is a
+small enumeration (<= a few thousand values) kept in ``int64``.
+
+Per-level kernel
+----------------
+
+:meth:`VectorKernel.successors_batch` computes, for a whole frontier:
+
+1. **digit planes** -- per-node local codes via a ``divmod`` chain by
+   ``block_radix`` (one array op per node);
+2. **nominal signatures** -- lazy ``int8`` sent-kind tables map local
+   codes to driven frames, sender counts collapse to a small signature id
+   (silence / collision / single sender x kind);
+3. **context grouping** -- states sharing ``(signature, tail)`` share the
+   same fault-choice contexts; the per-key context lists come from the
+   model's scalar cache (:meth:`fault_contexts`) and are flattened into
+   arrays, then every state is repeated once per applicable context;
+4. **step tables** -- per channel-pair, ``counts``/``offsets`` tables
+   indexed ``[node, local_code]`` point into one flat ``uint64`` array of
+   *unshifted* next-local codes (filled lazily through the same scalar
+   :meth:`node_option_codes` the packed engine uses, so both engines stay
+   bit-for-bit consistent);
+5. **cartesian expansion** -- each (state, context) row yields
+   ``prod(counts)`` successors; a mixed-radix decode of the within-row
+   index selects one option per node and the successor word is the dot
+   product of option codes with the node scales;
+6. **per-parent dedup** -- a lexsort + neighbour mask removes duplicate
+   successors of the same parent, matching the per-state dedup of the
+   scalar path so transition counts agree.
+
+All sorts are plain ``np.lexsort``/``np.sort`` over integer keys -- the
+result order is fully determined by the key values, never by memory
+layout or hash seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.modelcheck.encode import StateCodec, require_numpy
+
+#: Frame kinds a node can drive, as small ids for the sent tables.
+#: (The string values mirror repro.model.coupler_model.KIND_*; they are
+#: redeclared here so the generic modelcheck layer does not import the
+#: model package.)
+KIND_TO_ID = {"none": 0, "c_state": 1, "cold_start": 2}
+ID_TO_KIND = ("none", "c_state", "cold_start")
+
+#: Signature id of the silent slot / of a multi-sender collision.
+SIG_SILENT = 0
+SIG_COLLISION = 1
+
+
+class VectorKernel:
+    """Batched successor computation over one model's packed layout.
+
+    Holds the lazily grown vector-side tables (sent kinds, step tables,
+    flattened fault contexts).  All misses are filled through the model's
+    scalar accessors, so the kernel never re-implements protocol logic.
+    """
+
+    def __init__(self, model) -> None:
+        np = require_numpy()
+        self.np = np
+        self.model = model
+        model.ensure_packed_tables()
+        block_radix, node_count, tail_scale = model.packed_geometry()
+        if block_radix ** node_count > (1 << 63):  # pragma: no cover
+            raise ValueError(
+                "node blocks exceed 63 bits; the vectorized engine cannot "
+                "represent this model's states as uint64 words")
+        self.block_radix = block_radix
+        self.node_count = node_count
+        self.tail_scale = tail_scale
+        self.tail_radix = model.codec.size // tail_scale
+        #: Whether full codes fit uint64 (fused single-key dedup path).
+        self.fused = model.codec.fits_uint64
+        self._tail_scale_u64 = np.uint64(tail_scale)
+        #: Node block scales: block_radix ** i, as uint64 for array math.
+        self.scales = np.array([block_radix ** index
+                                for index in range(node_count)],
+                               dtype=np.uint64)
+        #: Lazy sent-kind tables, -1 = not yet filled.
+        self._sent = np.full((node_count, block_radix), -1, dtype=np.int8)
+        #: Stacked step tables indexed ``[pair_key, node, local]``; counts
+        #: of -1 mark unfilled entries, offsets point into the flat pool.
+        #: int64 so gathers feed the index arithmetic without conversions.
+        self._counts = np.empty((0, node_count, block_radix), dtype=np.int64)
+        self._offsets = np.empty((0, node_count, block_radix), dtype=np.int64)
+        #: Broadcast helpers reused every level.
+        self._node_row = np.arange(node_count)[None, :]
+        self._sig_base = 2 + 2 * np.arange(node_count, dtype=np.int64)[None, :]
+        #: Flat-index helpers: table[pair, node, local] ==
+        #: table.ravel()[(pair * node_count + node) * block_radix + local].
+        self._flat_node = (np.arange(node_count) * block_radix)[None, :]
+        self._flat_pair_scale = node_count * block_radix
+        self._counts_flat = self._counts.ravel()
+        self._offsets_flat = self._offsets.ravel()
+        #: Flat pool of unshifted option codes the offsets point into.
+        self._options_list: List[int] = []
+        self._options = np.empty(0, dtype=np.uint64)
+        #: context key -> (pair_keys int64[], next_tails int64[]).
+        self._contexts: Dict[int, Tuple["object", "object"]] = {}
+
+    # -- code representation helpers ---------------------------------------------
+
+    def split_codes(self, codes: List[int]) -> Tuple["object", "object"]:
+        """Python-int codes -> aligned ``(words uint64, tails int64)``."""
+        np = self.np
+        scale = self.tail_scale
+        words = np.array([code % scale for code in codes], dtype=np.uint64)
+        tails = np.array([code // scale for code in codes], dtype=np.int64)
+        return words, tails
+
+    def join_codes(self, words, tails) -> List[int]:
+        """Aligned split arrays -> Python-int packed codes (exact)."""
+        scale = self.tail_scale
+        return [int(word) + int(tail) * scale
+                for word, tail in zip(words.tolist(), tails.tolist())]
+
+    def fuse(self, words, tails) -> "object":
+        """Split arrays -> single uint64 code array (requires
+        :attr:`fused`); code order equals ``(tail, word)`` lexicographic
+        order, so fused sorts agree with split lexsorts."""
+        return words + tails.astype(self.np.uint64) * self._tail_scale_u64
+
+    def unfuse(self, codes) -> Tuple["object", "object"]:
+        """Fused uint64 codes -> ``(words, tails)`` split arrays."""
+        tails, words = self.np.divmod(codes, self._tail_scale_u64)
+        return words, tails.astype(self.np.int64)
+
+    def local_planes(self, words) -> "object":
+        """Per-node local codes: ``(n, node_count)`` int64 digit planes."""
+        np = self.np
+        planes = np.empty((len(words), self.node_count), dtype=np.int64)
+        rest = words
+        radix = np.uint64(self.block_radix)
+        for index in range(self.node_count):
+            rest, local = np.divmod(rest, radix)
+            planes[:, index] = local.astype(np.int64)
+        return planes
+
+    # -- lazy tables --------------------------------------------------------------
+
+    def _sent_kinds(self, planes) -> "object":
+        """Sent-kind ids for all states x nodes (fills table misses)."""
+        np = self.np
+        kinds = self._sent[self._node_row, planes]
+        if (kinds < 0).any():
+            rows, nodes = np.nonzero(kinds < 0)
+            missing = np.unique(np.stack([nodes, planes[rows, nodes]], axis=1),
+                                axis=0)
+            for node_index, local_code in missing.tolist():
+                self._sent[node_index, local_code] = KIND_TO_ID[
+                    self.model.sent_kind(node_index, local_code)]
+            kinds = self._sent[self._node_row, planes]
+        return kinds
+
+    def _signature_of(self, sig_id: int) -> Tuple[str, int]:
+        """Signature id -> the model's ``(kind, node_id)`` nominal tuple."""
+        if sig_id == SIG_SILENT:
+            return ("none", 0)
+        if sig_id == SIG_COLLISION:
+            return ("bad_frame", 0)
+        node_index, kind_shift = divmod(sig_id - 2, 2)
+        return (ID_TO_KIND[kind_shift + 1], node_index + 1)
+
+    def _context_entry(self, key: int) -> Tuple["object", "object"]:
+        """Flattened fault contexts of one ``(signature, tail)`` key."""
+        np = self.np
+        entry = self._contexts.get(key)
+        if entry is None:
+            sig_id, tail_code = divmod(key, self.tail_radix)
+            contexts = self.model.fault_contexts(self._signature_of(sig_id),
+                                                 tail_code)
+            pair_keys = np.array([pair_key for _, pair_key, _ in contexts],
+                                 dtype=np.int64)
+            next_tails = np.array(
+                [contribution // self.tail_scale
+                 for _, _, contribution in contexts], dtype=np.int64)
+            entry = (pair_keys, next_tails)
+            self._contexts[key] = entry
+        return entry
+
+    def _grow_pairs(self, pair_count: int) -> None:
+        """Extend the stacked step tables to cover ``pair_count`` pairs."""
+        np = self.np
+        have = self._counts.shape[0]
+        if pair_count <= have:
+            return
+        extra = pair_count - have
+        self._counts = np.concatenate(
+            [self._counts, np.full((extra, self.node_count, self.block_radix),
+                                   -1, dtype=np.int64)])
+        self._offsets = np.concatenate(
+            [self._offsets, np.zeros((extra, self.node_count,
+                                      self.block_radix), dtype=np.int64)])
+        self._counts_flat = self._counts.ravel()
+        self._offsets_flat = self._offsets.ravel()
+
+    def _fill_missing(self, row_pair, row_planes, counts) -> None:
+        """Fill step-table entries for every (pair, node, local) gathered as
+        unfilled (count < 0) in this level, through the scalar accessor.
+
+        Options enter the flat pool *pre-scaled* by ``block_radix**node``,
+        so the expansion sums gathered pool entries directly.
+        """
+        np = self.np
+        rows, nodes = np.nonzero(counts < 0)
+        triples = np.unique(np.stack(
+            [row_pair[rows], nodes, row_planes[rows, nodes]], axis=1), axis=0)
+        for pair_key, node_index, local_code in triples.tolist():
+            options = self.model.node_option_codes(node_index, local_code,
+                                                   pair_key)
+            scale = self.block_radix ** node_index
+            self._counts[pair_key, node_index, local_code] = len(options)
+            self._offsets[pair_key, node_index, local_code] = \
+                len(self._options_list)
+            self._options_list.extend(option * scale for option in options)
+        self._options = np.asarray(self._options_list, dtype=np.uint64)
+
+    # -- the per-level kernel ------------------------------------------------------
+
+    def successor_level(self, words, tails):
+        """Raw successors of a whole frontier, one array op at a time.
+
+        Returns ``(succ_words, succ_tails, parent_index)`` where
+        ``parent_index[j]`` is the row of the input frontier that produced
+        successor ``j``.  The output is *not* deduplicated: one target
+        reachable through two fault contexts appears twice (each
+        occurrence is a distinct transition).  Callers that need the
+        scalar path's per-parent target sets use :meth:`successors_batch`.
+        """
+        np = self.np
+        n = len(words)
+        empty = (np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64),
+                 np.empty(0, dtype=np.int64))
+        if n == 0:
+            return empty
+
+        planes = self.local_planes(words)
+
+        # Nominal signature of every state, branch-free: each sending node
+        # contributes its own signature id, the row sum IS the signature
+        # when exactly one node sends, and sender counts patch the silent
+        # and collision rows.
+        kinds = self._sent_kinds(planes).astype(np.int64)
+        sending = kinds > 0
+        sender_count = sending.sum(axis=1)
+        per_node_sig = sending * (self._sig_base + (kinds - 1))
+        signatures = np.where(
+            sender_count == 1, per_node_sig.sum(axis=1),
+            np.where(sender_count == 0, SIG_SILENT, SIG_COLLISION))
+
+        # Group states by (signature, tail) context key and flatten each
+        # key's fault contexts into per-row pair/tail arrays.
+        keys = signatures * self.tail_radix + tails
+        unique_keys, key_of_state = np.unique(keys, return_inverse=True)
+        pair_chunks = []
+        tail_chunks = []
+        context_counts = np.empty(len(unique_keys), dtype=np.int64)
+        for position, key in enumerate(unique_keys.tolist()):
+            pair_keys, next_tails = self._context_entry(key)
+            pair_chunks.append(pair_keys)
+            tail_chunks.append(next_tails)
+            context_counts[position] = len(pair_keys)
+        flat_pairs = np.concatenate(pair_chunks)
+        flat_tails = np.concatenate(tail_chunks)
+        context_offsets = np.zeros(len(unique_keys), dtype=np.int64)
+        if len(unique_keys) > 1:
+            context_offsets[1:] = np.cumsum(context_counts)[:-1]
+
+        # One row per (state, applicable fault context).
+        contexts_per_state = context_counts[key_of_state]
+        row_state = np.repeat(np.arange(n), contexts_per_state)
+        row_starts = np.zeros(n, dtype=np.int64)
+        if n > 1:
+            row_starts[1:] = np.cumsum(contexts_per_state)[:-1]
+        within = np.arange(len(row_state)) - row_starts[row_state]
+        row_context = context_offsets[key_of_state[row_state]] + within
+        row_pair = flat_pairs[row_context]
+        row_next_tail = flat_tails[row_context]
+
+        # Per-row, per-node option counts and offsets into the flat pool.
+        # One flat index array serves both stacked tables (same geometry);
+        # entries gathered as -1 are unfilled, triggering a scalar fill +
+        # regather.
+        rows = len(row_state)
+        self._grow_pairs(int(flat_pairs.max()) + 1)
+        row_planes = planes.take(row_state, axis=0)
+        flat_index = (row_pair[:, None] * self._flat_pair_scale
+                      + self._flat_node) + row_planes
+        counts = self._counts_flat.take(flat_index)
+        if (counts < 0).any():
+            self._fill_missing(row_pair, row_planes, counts)
+            counts = self._counts_flat.take(flat_index)
+        offsets = self._offsets_flat.take(flat_index)
+
+        # Cartesian expansion: each row yields prod(counts) successors.
+        # Most rows are deterministic (every node has exactly one option),
+        # so they skip the mixed-radix machinery entirely: their successor
+        # word is just the row sum of the (pre-scaled) options at digit 0.
+        row_successors = counts.prod(axis=1)
+        multi = np.flatnonzero(row_successors > 1)
+        single_words = self._options.take(offsets).sum(axis=1,
+                                                       dtype=np.uint64)
+        if len(multi) == 0:
+            return single_words, row_next_tail, row_state
+        single = np.flatnonzero(row_successors == 1)
+
+        # Multi-option rows: node 0's option index varies fastest; the
+        # mixed-radix decode of the within-row index runs as matrix ops.
+        multi_counts = counts.take(multi, axis=0)
+        multi_successors = row_successors.take(multi)
+        total = int(multi_successors.sum())
+        out_row = np.repeat(multi, multi_successors)
+        out_sub = np.repeat(np.arange(len(multi)), multi_successors)
+        out_starts = np.zeros(len(multi), dtype=np.int64)
+        if len(multi) > 1:
+            out_starts[1:] = np.cumsum(multi_successors)[:-1]
+        within_row = np.arange(total) - out_starts.take(out_sub)
+        strides = np.ones((len(multi), self.node_count), dtype=np.int64)
+        if self.node_count > 1:
+            strides[:, 1:] = np.cumprod(multi_counts[:, :-1], axis=1)
+        digits = (within_row[:, None] // strides.take(out_sub, axis=0)) \
+            % multi_counts.take(out_sub, axis=0)
+        option_codes = self._options.take(offsets.take(out_row, axis=0)
+                                          + digits)
+        multi_words = option_codes.sum(axis=1, dtype=np.uint64)
+
+        succ_words = np.concatenate([single_words.take(single), multi_words])
+        succ_tails = np.concatenate([row_next_tail.take(single),
+                                     row_next_tail.take(out_row)])
+        parent = np.concatenate([row_state.take(single),
+                                 row_state.take(out_row)])
+        return succ_words, succ_tails, parent
+
+    def successors_batch(self, words, tails):
+        """All successors of a frontier, deduplicated per parent.
+
+        The scalar-parity sibling of :meth:`successor_level`: duplicate
+        targets of one parent are collapsed exactly like the per-state
+        ``seen`` dict of :meth:`TTAStartupModel.packed_successors`, so
+        ``len()`` of the result matches the scalar transition count.
+        Sorted by ``(parent, tail, word)`` -- a deterministic order fixed
+        entirely by the state values.
+        """
+        np = self.np
+        succ_words, succ_tails, parent = self.successor_level(words, tails)
+        if len(succ_words) == 0:
+            return succ_words, succ_tails, parent
+        # Parent and tail fuse into one sort key; both are small ints.
+        group = parent * self.tail_radix + succ_tails
+        order = np.lexsort((succ_words, group))
+        succ_words = succ_words[order]
+        group = group[order]
+        keep = np.empty(len(group), dtype=bool)
+        keep[0] = True
+        keep[1:] = ((group[1:] != group[:-1])
+                    | (succ_words[1:] != succ_words[:-1]))
+        group = group[keep]
+        parent, succ_tails = np.divmod(group, self.tail_radix)
+        return succ_words[keep], succ_tails, parent
+
+
+def sort_unique_split(np, words, tails) -> Tuple["object", "object"]:
+    """Sort by ``(tail, word)`` and drop duplicate states."""
+    if len(words) == 0:
+        return words, tails
+    order = np.lexsort((words, tails))
+    words = words[order]
+    tails = tails[order]
+    keep = np.empty(len(words), dtype=bool)
+    keep[0] = True
+    keep[1:] = (tails[1:] != tails[:-1]) | (words[1:] != words[:-1])
+    return words[keep], tails[keep]
+
+
+class FusedSeenSet:
+    """Visited-state set over fused uint64 codes: one sorted array.
+
+    Membership is one ``np.searchsorted``; insertion is an O(n) sorted
+    merge (``np.insert``), never a re-sort.  Inputs must be sorted and
+    duplicate-free.
+    """
+
+    def __init__(self, np) -> None:
+        self.np = np
+        self._codes = np.empty(0, dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def filter_new(self, codes):
+        """Boolean mask of the rows *not* already in the set."""
+        np = self.np
+        if len(self._codes) == 0:
+            return np.ones(len(codes), dtype=bool)
+        position = np.searchsorted(self._codes, codes)
+        position = np.minimum(position, len(self._codes) - 1)
+        return self._codes[position] != codes
+
+    def insert(self, codes) -> None:
+        """Merge new codes (sorted, unique, not yet members)."""
+        np = self.np
+        if len(codes) == 0:
+            return
+        self._codes = np.insert(self._codes,
+                                np.searchsorted(self._codes, codes), codes)
+
+    def codes(self):
+        """All member codes, ascending."""
+        return self._codes
+
+
+class SplitSeenSet:
+    """Visited-state set over the split representation.
+
+    One sorted ``uint64`` word array per tail value; membership is a
+    binary search (``np.searchsorted``) per tail bucket, insertion an
+    O(n) sorted merge.  Inputs must be sorted by ``(tail, word)`` and
+    duplicate-free (see :func:`sort_unique_split`) so tail groups are
+    contiguous slices.
+    """
+
+    def __init__(self, np) -> None:
+        self.np = np
+        self._buckets: Dict[int, "object"] = {}
+        self.count = 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    def _tail_slices(self, tails):
+        """``(tail, start, stop)`` triples of the contiguous tail groups."""
+        np = self.np
+        boundaries = np.flatnonzero(tails[1:] != tails[:-1]) + 1
+        starts = [0] + boundaries.tolist()
+        stops = boundaries.tolist() + [len(tails)]
+        for start, stop in zip(starts, stops):
+            yield int(tails[start]), start, stop
+
+    def filter_new(self, words, tails):
+        """Boolean mask of the rows *not* already in the set."""
+        np = self.np
+        if len(words) == 0:
+            return np.empty(0, dtype=bool)
+        mask = np.ones(len(words), dtype=bool)
+        for tail, start, stop in self._tail_slices(tails):
+            bucket = self._buckets.get(tail)
+            if bucket is None:
+                continue
+            segment = words[start:stop]
+            position = np.searchsorted(bucket, segment)
+            position = np.minimum(position, len(bucket) - 1)
+            mask[start:stop] = bucket[position] != segment
+        return mask
+
+    def insert(self, words, tails) -> None:
+        """Add states (sorted, unique, and not yet members)."""
+        np = self.np
+        if len(words) == 0:
+            return
+        for tail, start, stop in self._tail_slices(tails):
+            segment = words[start:stop]
+            bucket = self._buckets.get(tail)
+            if bucket is None:
+                self._buckets[tail] = segment.copy()
+            else:
+                self._buckets[tail] = np.insert(
+                    bucket, np.searchsorted(bucket, segment), segment)
+            self.count += len(segment)
+
+    def tail_values(self) -> List[int]:
+        """All tail values present, ascending (deterministic iteration)."""
+        return sorted(self._buckets)
+
+    def bucket(self, tail: int):
+        """The sorted word array of one tail bucket."""
+        return self._buckets[tail]
+
+
+class VectorExplorer:
+    """Level-synchronous BFS driver state over the vector kernel.
+
+    The caller (invariant checker, sharded runner) owns the loop --
+    progress, violation handling, depth limits -- and drives two
+    operations: :meth:`initial_level` seeds the search, :meth:`step`
+    advances it one BFS level.  Both return the *newly discovered*
+    states as sorted-unique ``(words, tails)`` pairs in ``(tail, word)``
+    order (equal to ascending packed-code order), already committed to
+    the visited set.  Internally membership runs over fused uint64 codes
+    whenever the codec fits 63 bits (one sorted array, one binary
+    search) and over per-tail word buckets otherwise.
+
+    ``limit`` caps how many new states may be committed: when a batch
+    would overshoot, exactly the first ``limit`` states (in code order)
+    are kept and the overshoot flag comes back ``True`` -- this is how
+    the checker lands on *exactly* ``max_states``.
+
+    ``canonical`` is an optional symmetry hook ``(words, tails) ->
+    (words, tails)`` mapping every state to its orbit representative; it
+    is applied to initial states and to every successor batch, *before*
+    deduplication, so the search explores the quotient space.
+
+    ``expander`` substitutes a custom level-expansion callable
+    ``(words, tails) -> (succ_words, succ_tails, raw)`` for the local
+    kernel -- the hook behind sharded expansion
+    (:class:`repro.modelcheck.shard.FrontierSharder`).  The expander owns
+    canonicalization of its output; ``canonical`` is then only applied
+    to the initial states.
+    """
+
+    def __init__(self, model, canonical=None, expander=None) -> None:
+        np = require_numpy()
+        self.np = np
+        self.model = model
+        model.ensure_packed_tables()
+        kernel = getattr(model, "_cache_vector_kernel", None)
+        if kernel is None:
+            kernel = VectorKernel(model)
+            model._cache_vector_kernel = kernel
+        self.kernel = kernel
+        self.canonical = canonical
+        self.expander = expander
+        self._seen: Any
+        if kernel.fused:
+            self._seen = FusedSeenSet(np)
+        else:
+            self._seen = SplitSeenSet(np)
+
+    @property
+    def seen_count(self) -> int:
+        return len(self._seen)
+
+    def initial_level(self, limit: Optional[int] = None
+                      ) -> Tuple["object", "object", bool]:
+        """Commit the canonicalized initial states; returns them
+        sorted-unique plus the overshoot flag."""
+        words, tails = self.kernel.split_codes(
+            self.model.packed_initial_states())
+        if self.canonical is not None:
+            words, tails = self.canonical(words, tails)
+        return self._absorb(words, tails, limit)
+
+    def step(self, words, tails, limit: Optional[int] = None
+             ) -> Tuple["object", "object", int, bool]:
+        """One BFS level: expand the given frontier, drop already-visited
+        successors, commit the rest.  Returns the new states (sorted-
+        unique), the raw transition count enumerated, and the overshoot
+        flag."""
+        if self.expander is not None:
+            succ_words, succ_tails, raw = self.expander(words, tails)
+        else:
+            succ_words, succ_tails, _ = self.kernel.successor_level(words,
+                                                                    tails)
+            raw = len(succ_words)
+            if self.canonical is not None:
+                succ_words, succ_tails = self.canonical(succ_words,
+                                                        succ_tails)
+        new_words, new_tails, truncated = self._absorb(
+            succ_words, succ_tails, limit)
+        return new_words, new_tails, raw, truncated
+
+    def _absorb(self, words, tails, limit: Optional[int]
+                ) -> Tuple["object", "object", bool]:
+        """Dedup a raw batch against itself and the visited set, truncate
+        to ``limit``, commit, and return the committed states."""
+        np = self.np
+        if self.kernel.fused:
+            fused = self.kernel.fuse(words, tails)
+            fused.sort()
+            if len(fused):
+                keep = np.empty(len(fused), dtype=bool)
+                keep[0] = True
+                np.not_equal(fused[1:], fused[:-1], out=keep[1:])
+                fused = fused[keep]
+            fused = fused[self._seen.filter_new(fused)]
+            truncated = limit is not None and len(fused) > limit
+            if truncated:
+                fused = fused[:limit]
+            self._seen.insert(fused)
+            new_words, new_tails = self.kernel.unfuse(fused)
+            return new_words, new_tails, truncated
+        words, tails = sort_unique_split(np, words, tails)
+        mask = self._seen.filter_new(words, tails)
+        words, tails = words[mask], tails[mask]
+        truncated = limit is not None and len(words) > limit
+        if truncated:
+            words, tails = words[:limit], tails[:limit]
+        self._seen.insert(words, tails)
+        return words, tails, truncated
+
+    def seen_codes(self) -> List[int]:
+        """All visited states as Python-int packed codes, ascending
+        (boundary use: differential tests, reachable-set dumps)."""
+        if self.kernel.fused:
+            return [int(code) for code in self._seen.codes().tolist()]
+        codes: List[int] = []
+        scale = self.kernel.tail_scale
+        for tail in self._seen.tail_values():
+            codes.extend(int(word) + tail * scale
+                         for word in self._seen.bucket(tail).tolist())
+        return sorted(codes)
+
+
+def compile_batch_invariant(invariant: Callable, codec: StateCodec,
+                            tail_scale: int
+                            ) -> Callable[["object", "object"], "object"]:
+    """Compile an invariant into a violation mask over split-code arrays.
+
+    Fast path: ``forbidden_assignments`` whose digits live entirely inside
+    the node word become array digit tests.  Fallback: join each code back
+    to a Python int and evaluate the scalar compiled invariant (correct
+    for any invariant, slow -- only reached for exotic predicates).
+    """
+    np = require_numpy()
+    forbidden = getattr(invariant, "forbidden_assignments", None)
+    if forbidden:
+        checks: List[Tuple[int, int, int]] = []
+        in_word = True
+        for name, value in forbidden:
+            multiplier, radix = codec.digit_geometry(name)
+            if tail_scale % (multiplier * radix) != 0:
+                in_word = False
+                break
+            checks.append((multiplier, radix, codec.value_digit(name, value)))
+        if in_word:
+            check_table = [(np.uint64(multiplier), np.uint64(radix),
+                            np.uint64(digit))
+                           for multiplier, radix, digit in checks]
+
+            def violations(words, tails) -> "object":
+                mask = np.zeros(len(words), dtype=bool)
+                for multiplier, radix, digit in check_table:
+                    mask |= (words // multiplier) % radix == digit
+                return mask
+
+            return violations
+
+    from repro.modelcheck.encode import compile_packed_invariant
+
+    scalar = compile_packed_invariant(invariant, codec)
+
+    def violations_scalar(words, tails) -> "object":
+        return np.array(
+            [not scalar(int(word) + int(tail) * tail_scale)
+             for word, tail in zip(words.tolist(), tails.tolist())],
+            dtype=bool)
+
+    return violations_scalar

@@ -12,6 +12,9 @@ DET003   iteration over sets / unordered views in hot paths
          (``sim/``, ``modelcheck/``, ``ttp/``)
 DET004   ``id()``-based ordering (sort keys, magnitude comparisons)
 DET005   float ``==`` / ``!=`` in clock-synchronization code
+DET006   nondeterministic NumPy idioms in hot paths (unseeded
+         ``np.random``, unstable sort kinds, ``np.unique``
+         first-occurrence-index assumptions)
 ======== ==============================================================
 
 ``time.perf_counter`` stays legal: elapsed-time *measurement* does not
@@ -248,5 +251,84 @@ class FloatEqualityRule(AstRule):
                     "rounding-sensitive; compare within a tolerance")
 
 
+#: Sort kinds whose tie order is implementation-defined.  Equal keys may
+#: land in different relative positions across NumPy versions and
+#: platforms, so any payload riding along (parent indices, labels) stops
+#: being reproducible; 'stable' / 'mergesort' are the deterministic kinds.
+UNSTABLE_SORT_KINDS = frozenset({"quicksort", "heapsort"})
+
+#: NumPy call suffixes the DET006 rule treats as sorts with a ``kind``.
+_NUMPY_SORT_CALLS = ("sort", "argsort")
+
+
+class NumpyDeterminismRule(AstRule):
+    """DET006: NumPy idioms whose results vary per run or per version.
+
+    The vectorized frontier engine promises the same verdicts, state
+    orders, and counterexamples as the scalar engines; three NumPy
+    habits silently break that:
+
+    * ``np.random.*`` draws (and ``default_rng()`` without a seed) pull
+      from process-global or OS entropy;
+    * explicit ``kind='quicksort'`` / ``'heapsort'`` sorts reorder equal
+      keys differently across NumPy builds -- payload carried alongside
+      the keys (parent links, labels) then differs run to run;
+    * ``np.unique(..., return_index=True)`` is commonly read as "index
+      of the first occurrence", a guarantee tied to the internal sort's
+      stability -- derive indices from an explicit stable sort instead.
+    """
+
+    rule = "DET006"
+    description = ("nondeterministic NumPy idiom in a hot path: seed the "
+                   "generator, use a stable sort kind, and avoid "
+                   "np.unique(return_index=True)")
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return unit.in_directory(*HOT_PATH_DIRS)
+
+    @staticmethod
+    def _is_numpy_random(name: str) -> bool:
+        return name.startswith(("np.random.", "numpy.random."))
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if self._is_numpy_random(name):
+                if name.endswith(".default_rng") and (node.args
+                                                      or node.keywords):
+                    continue  # seeded generator construction is the fix
+                yield self.finding(
+                    unit, node,
+                    f"{name}() draws from unseeded process-global entropy; "
+                    f"construct np.random.default_rng(seed) from a "
+                    f"RandomStream-derived seed")
+                continue
+            if (name.endswith(_NUMPY_SORT_CALLS)
+                    or name in _NUMPY_SORT_CALLS):
+                for keyword in node.keywords:
+                    if (keyword.arg == "kind"
+                            and isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value in UNSTABLE_SORT_KINDS):
+                        yield self.finding(
+                            unit, node,
+                            f"sort kind {keyword.value.value!r} reorders "
+                            f"equal keys differently across NumPy builds; "
+                            f"use kind='stable'")
+            if name.endswith("unique") or name == "unique":
+                for keyword in node.keywords:
+                    if (keyword.arg == "return_index"
+                            and not (isinstance(keyword.value, ast.Constant)
+                                     and keyword.value.value is False)):
+                        yield self.finding(
+                            unit, node,
+                            "np.unique(return_index=True) couples the "
+                            "result to the internal sort's stability; "
+                            "derive indices from an explicit stable sort")
+
+
 DET_RULES = (WallClockRule, RawRandomRule, SetIterationRule, IdOrderingRule,
-             FloatEqualityRule)
+             FloatEqualityRule, NumpyDeterminismRule)

@@ -1,0 +1,159 @@
+"""Tests for rotational symmetry reduction: when the group is allowed to
+be non-trivial (soundness gates), that canonical forms are orbit minima,
+that the quotient's orbits union back to the full reachable set, and
+that counterexamples de-canonicalize into concrete runs."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.authority import CouplerAuthority, all_authorities
+from repro.model.properties import no_clique_freeze
+from repro.model.scenarios import scenario_for_authority
+from repro.model.system_model import TTAStartupModel
+from repro.modelcheck.symmetry import RotationGroup, decanonicalize_trace
+from repro.modelcheck.vector import VectorExplorer
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
+
+
+def uniform_config(authority=CouplerAuthority.PASSIVE):
+    return dataclasses.replace(scenario_for_authority(authority),
+                               uniform_listen_timeout=True)
+
+
+def build_group(config):
+    system = TTAStartupModel(config)
+    system.ensure_packed_tables()
+    group = RotationGroup.build(system, invariant=no_clique_freeze(config))
+    return system, group
+
+
+def explore_all(system, canonical=None):
+    explorer = VectorExplorer(system, canonical=canonical)
+    words, tails, _ = explorer.initial_level(limit=None)
+    while len(words):
+        words, tails, _, _ = explorer.step(words, tails, limit=None)
+    return explorer
+
+
+# ---------------------------------------------------------------------------
+# Soundness gates
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("authority", all_authorities(),
+                         ids=[a.value for a in all_authorities()])
+def test_group_is_trivial_on_paper_configs(authority):
+    """The paper's per-node listen timeouts break rotational symmetry, so
+    the group must refuse to reduce -- with a readable reason."""
+    _, group = build_group(scenario_for_authority(authority))
+    assert group.trivial
+    assert "timeout" in group.reason
+
+
+def test_group_is_trivial_when_disabled():
+    system = TTAStartupModel(uniform_config())
+    system.ensure_packed_tables()
+    group = RotationGroup.build(system, enabled=False)
+    assert group.trivial
+    assert "--no-symmetry" in group.reason
+
+
+def test_group_is_trivial_without_config():
+    class Bare:
+        pass
+
+    group = RotationGroup.build(Bare())
+    assert group.trivial
+    assert "config" in group.reason
+
+
+@pytest.mark.parametrize("authority", [CouplerAuthority.PASSIVE,
+                                       CouplerAuthority.FULL_SHIFTING],
+                         ids=["passive", "full_shifting"])
+def test_group_is_nontrivial_on_uniform_ablation(authority):
+    _, group = build_group(uniform_config(authority))
+    assert not group.trivial
+
+
+# ---------------------------------------------------------------------------
+# Canonical forms
+# ---------------------------------------------------------------------------
+
+def test_canonical_is_orbit_minimum_and_idempotent():
+    system, group = build_group(uniform_config())
+    explorer = explore_all(system)
+    codes = explorer.seen_codes()
+    for code in codes[:500]:
+        orbit = group.orbit_codes(code)
+        assert group.canonical_code(code) == min(orbit)
+        assert group.canonical_code(min(orbit)) == min(orbit)
+
+
+def test_orbits_stay_inside_the_reachable_set():
+    """Rotations map reachable states to reachable states: the group is a
+    real automorphism group of the uniform-timeout model."""
+    system, group = build_group(uniform_config())
+    reachable = set(explore_all(system).seen_codes())
+    for code in sorted(reachable)[:500]:
+        assert set(group.orbit_codes(code)) <= reachable
+
+
+def test_quotient_orbits_union_to_full_reachable_set():
+    system, group = build_group(uniform_config())
+    full = set(explore_all(system).seen_codes())
+    system2 = TTAStartupModel(uniform_config())
+    quotient = explore_all(system2, canonical=group.canonicalize)
+    representatives = quotient.seen_codes()
+    assert len(representatives) < len(full)  # a real reduction
+    union = set()
+    for representative in representatives:
+        union.update(group.orbit_codes(representative))
+    assert union == full
+
+
+def test_canonicalize_batch_matches_scalar():
+    system, group = build_group(uniform_config())
+    explorer = explore_all(system)
+    codes = explorer.seen_codes()[:500]
+    kernel = explorer.kernel
+    words, tails = kernel.split_codes(codes)
+    canon_words, canon_tails = group.canonicalize(words, tails)
+    batch = kernel.join_codes(canon_words, canon_tails)
+    assert batch == [group.canonical_code(code) for code in codes]
+
+
+# ---------------------------------------------------------------------------
+# De-canonicalization
+# ---------------------------------------------------------------------------
+
+def test_decanonicalize_produces_concrete_chain():
+    """A canonical-space BFS chain maps back to a real model run: same
+    length, concrete initial state, every hop a real transition whose
+    canonical form matches the quotient chain."""
+    config = dataclasses.replace(
+        scenario_for_authority(CouplerAuthority.FULL_SHIFTING),
+        uniform_listen_timeout=True)
+    system, group = build_group(config)
+    assert not group.trivial
+    codec = system.codec
+    # Build a short canonical chain by hand: canonical initial state plus
+    # two canonical successor hops.
+    chain = [min(group.canonical_code(codec.pack(state))
+                 for state in system.initial_states())]
+    for _ in range(2):
+        state = codec.unpack(group.canonical_code(chain[-1]))
+        targets = sorted({codec.pack(transition.target)
+                          for transition in system.successors(state)})
+        chain.append(group.canonical_code(targets[0]))
+    concrete = decanonicalize_trace(system, group, chain)
+    assert len(concrete) == len(chain)
+    initials = set(system.initial_states())
+    assert codec.unpack(concrete[0]) in initials
+    for current, following in zip(concrete, concrete[1:]):
+        targets = {codec.pack(transition.target)
+                   for transition in
+                   system.successors(codec.unpack(current))}
+        assert following in targets
+    assert [group.canonical_code(code) for code in concrete] == \
+        [group.canonical_code(code) for code in chain]

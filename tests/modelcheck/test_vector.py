@@ -1,0 +1,321 @@
+"""Tests for the vectorized frontier engine's building blocks: batched
+codec round-trips (hypothesis: whole-array results equal the scalar
+codec element by element), the VectorKernel/VectorExplorer successor
+pipeline, the sorted-array visited sets, batch invariant compilation,
+the exact vectorized reachable-count limit, and the no-numpy fallback
+gate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.authority import CouplerAuthority
+from repro.model.scenarios import scenario_for_authority
+from repro.model.system_model import TTAStartupModel
+from repro.modelcheck import encode
+from repro.modelcheck.encode import NUMPY_HINT, StateCodec, have_numpy, require_numpy
+from repro.modelcheck.model import count_reachable
+from repro.modelcheck.state import StateSpace, Variable
+from repro.modelcheck.vector import (FusedSeenSet, SplitSeenSet, VectorExplorer,
+                                     VectorKernel, compile_batch_invariant,
+                                     sort_unique_split)
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
+
+
+def small_space():
+    return StateSpace([
+        Variable("mode", domain=("idle", "busy", "done")),
+        Variable("count", domain=(0, 1, 2, 3)),
+        Variable("flag", domain=(False, True)),
+    ])
+
+
+def reachable_tuple_bfs(system):
+    """Reference reachable set via the scalar tuple engine."""
+    seen = set(system.initial_states())
+    frontier = sorted(seen)
+    while frontier:
+        successors = set()
+        for state in frontier:
+            for transition in system.successors(state):
+                if transition.target not in seen:
+                    successors.add(transition.target)
+        seen |= successors
+        frontier = sorted(successors)
+    return seen
+
+
+# ---------------------------------------------------------------------------
+# Batched codec round-trips
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.sampled_from(("idle", "busy", "done")),
+                          st.sampled_from((0, 1, 2, 3)),
+                          st.booleans()),
+                max_size=24))
+def test_pack_batch_matches_scalar_pack(states):
+    codec = StateCodec(small_space())
+    codes = codec.pack_batch(states)
+    assert len(codes) == len(states)
+    assert [int(code) for code in codes] == [codec.pack(state)
+                                             for state in states]
+
+
+@given(st.data())
+@settings(max_examples=50)
+def test_unpack_digits_matches_scalar_unpack(data):
+    """Column j of unpack_digits holds the domain index of variable j --
+    on arbitrarily shaped spaces, including >63-bit (object dtype)."""
+    variable_count = data.draw(st.integers(min_value=1, max_value=6))
+    wide = data.draw(st.booleans())
+    variables = []
+    for position in range(variable_count):
+        size = data.draw(st.integers(min_value=1, max_value=7))
+        if wide:  # force the big-int fallback path
+            size = data.draw(st.integers(min_value=900, max_value=1000))
+        domain = tuple(f"v{position}_{index}" for index in range(size))
+        variables.append(Variable(f"x{position}", domain=domain))
+    codec = StateCodec(StateSpace(variables))
+    states = [tuple(data.draw(st.sampled_from(variable.domain))
+                    for variable in variables)
+              for _ in range(data.draw(st.integers(min_value=0, max_value=8)))]
+    codes = codec.pack_batch(states)
+    digits = codec.unpack_digits(codes)
+    assert digits.shape == (len(states), variable_count)
+    for row, state in enumerate(states):
+        decoded = tuple(variables[position].domain[digits[row, position]]
+                        for position in range(variable_count))
+        assert decoded == state
+    assert codec.unpack_batch(codes) == states
+
+
+def test_unpack_digits_rejects_out_of_range():
+    codec = StateCodec(small_space())
+    with pytest.raises(ValueError, match="outside"):
+        codec.unpack_digits(np.asarray([codec.size], dtype=np.uint64))
+
+
+def test_fits_uint64_decides_code_dtype():
+    assert StateCodec(small_space()).fits_uint64
+    wide = StateCodec(StateSpace(
+        [Variable(f"x{i}", domain=tuple(range(1000))) for i in range(8)]))
+    assert not wide.fits_uint64
+    assert wide.pack_batch([(999,) * 8]).dtype == object
+
+
+# ---------------------------------------------------------------------------
+# Kernel / explorer parity with the scalar model
+# ---------------------------------------------------------------------------
+
+def test_kernel_successor_level_matches_scalar_successors():
+    """One level of the batched pipeline produces exactly the scalar
+    (parent, target) relation.  Raw row counts may differ (two fault
+    contexts reaching one target are distinct rows), so parity is on the
+    relation, with exact-count parity covered by successors_batch."""
+    system = TTAStartupModel(
+        scenario_for_authority(CouplerAuthority.SMALL_SHIFTING))
+    system.ensure_packed_tables()
+    kernel = VectorKernel(system)
+    codec = system.codec
+    frontier = sorted(codec.pack(state) for state in system.initial_states())
+    words, tails = kernel.split_codes(frontier)
+    succ_words, succ_tails, parent = kernel.successor_level(words, tails)
+    expected = set()
+    for row, state in enumerate(sorted(system.initial_states())):
+        for transition in system.successors(state):
+            expected.add((row, codec.pack(transition.target)))
+    produced = set(zip(parent.tolist(),
+                       kernel.join_codes(succ_words, succ_tails)))
+    assert produced == expected
+
+
+def test_kernel_successors_batch_deduplicates_per_parent():
+    system = TTAStartupModel(
+        scenario_for_authority(CouplerAuthority.FULL_SHIFTING))
+    system.ensure_packed_tables()
+    kernel = VectorKernel(system)
+    codec = system.codec
+    for state in system.initial_states():
+        words, tails = kernel.split_codes([codec.pack(state)])
+        batched = sorted(set(kernel.join_codes(
+            *kernel.successors_batch(words, tails)[:2])))
+        scalar = sorted({codec.pack(transition.target)
+                         for transition in system.successors(state)})
+        assert batched == scalar
+
+
+@pytest.mark.parametrize("authority", [CouplerAuthority.PASSIVE,
+                                       CouplerAuthority.FULL_SHIFTING],
+                         ids=["passive", "full_shifting"])
+def test_explorer_reaches_exactly_the_scalar_reachable_set(authority):
+    system = TTAStartupModel(scenario_for_authority(authority))
+    explorer = VectorExplorer(system)
+    words, tails, truncated = explorer.initial_level(limit=None)
+    assert not truncated
+    while len(words):
+        words, tails, _, truncated = explorer.step(words, tails, limit=None)
+        assert not truncated
+    expected = {system.codec.pack(state)
+                for state in reachable_tuple_bfs(system)}
+    assert set(explorer.seen_codes()) == expected
+    assert explorer.seen_count == len(expected)
+
+
+def test_explorer_limit_truncates_at_exact_prefix():
+    system = TTAStartupModel(scenario_for_authority(CouplerAuthority.PASSIVE))
+    explorer = VectorExplorer(system)
+    words, tails, truncated = explorer.initial_level(limit=None)
+    assert not truncated
+    level_size = explorer.seen_count
+    limit = level_size + 3  # force a mid-batch overshoot on level 1
+    words, tails, _, truncated = explorer.step(words, tails,
+                                               limit=limit - level_size)
+    assert truncated
+    assert explorer.seen_count == limit
+    # The committed prefix is the 3 smallest new codes, in code order.
+    committed = explorer.seen_codes()
+    assert committed == sorted(committed)
+
+
+# ---------------------------------------------------------------------------
+# Visited sets
+# ---------------------------------------------------------------------------
+
+def test_fused_seen_set_filters_and_merges_sorted():
+    seen = FusedSeenSet(np)
+    first = np.asarray([5, 9, 20], dtype=np.uint64)
+    assert seen.filter_new(first).all()  # nothing seen yet
+    seen.insert(first)
+    assert len(seen) == 3
+    probe = np.asarray([1, 5, 9, 10, 21], dtype=np.uint64)
+    mask = seen.filter_new(probe)
+    assert probe[mask].tolist() == [1, 10, 21]
+    seen.insert(probe[mask])
+    assert seen.codes().tolist() == [1, 5, 9, 10, 20, 21]
+
+
+def test_split_seen_set_buckets_by_tail():
+    seen = SplitSeenSet(np)
+    words = np.asarray([3, 3, 7], dtype=np.uint64)  # sorted by (tail, word)
+    tails = np.asarray([0, 1, 1], dtype=np.int64)
+    assert seen.filter_new(words, tails).all()
+    seen.insert(words, tails)
+    assert len(seen) == 3
+    assert not seen.filter_new(words, tails).any()
+    mixed_words = np.asarray([3, 5, 7], dtype=np.uint64)
+    mixed_tails = np.asarray([1, 1, 1], dtype=np.int64)
+    assert seen.filter_new(mixed_words, mixed_tails).tolist() == [
+        False, True, False]
+    assert seen.tail_values() == [0, 1]
+    assert seen.bucket(1).tolist() == [3, 7]
+
+
+def test_sort_unique_split_orders_by_tail_then_word():
+    words = np.asarray([9, 2, 9, 2], dtype=np.uint64)
+    tails = np.asarray([1, 1, 0, 1], dtype=np.int64)
+    out_words, out_tails = sort_unique_split(np, words, tails)
+    assert list(zip(out_tails.tolist(), out_words.tolist())) == [
+        (0, 9), (1, 2), (1, 9)]
+
+
+# ---------------------------------------------------------------------------
+# Batch invariant compilation
+# ---------------------------------------------------------------------------
+
+def test_compile_batch_invariant_matches_scalar_on_model():
+    config = scenario_for_authority(CouplerAuthority.FULL_SHIFTING)
+    system = TTAStartupModel(config)
+    system.ensure_packed_tables()
+    from repro.model.properties import no_clique_freeze
+
+    invariant = no_clique_freeze(config)
+    kernel = VectorKernel(system)
+    _, _, tail_scale = system.packed_geometry()
+    violations = compile_batch_invariant(invariant, system.codec, tail_scale)
+    codes = sorted({system.codec.pack(state)
+                    for state in reachable_tuple_bfs(system)})
+    words, tails = kernel.split_codes(codes)
+    mask = violations(words, tails)
+    for index, code in enumerate(codes):
+        assert bool(mask[index]) == (not invariant(system.codec.view(code)))
+    assert bool(mask.any())  # full shifting violates the property
+
+
+def test_compile_batch_invariant_scalar_fallback_for_opaque_predicates():
+    config = scenario_for_authority(CouplerAuthority.PASSIVE)
+    system = TTAStartupModel(config)
+    system.ensure_packed_tables()
+    kernel = VectorKernel(system)
+    _, _, tail_scale = system.packed_geometry()
+
+    def opaque(view):  # no forbidden_assignments attribute
+        return view.a_state != "freeze_clique"
+
+    violations = compile_batch_invariant(opaque, system.codec, tail_scale)
+    codes = sorted(system.codec.pack(state)
+                   for state in system.initial_states())
+    words, tails = kernel.split_codes(codes)
+    mask = violations(words, tails)
+    assert mask.shape == (len(codes),)
+    assert not mask.any()
+
+
+# ---------------------------------------------------------------------------
+# Vectorized reachable count: exact limit semantics
+# ---------------------------------------------------------------------------
+
+def test_count_reachable_engines_agree():
+    system = TTAStartupModel(scenario_for_authority(CouplerAuthority.PASSIVE))
+    expected = count_reachable(system, engine="tuple")
+    assert count_reachable(system, engine="vectorized") == expected
+
+
+def test_count_reachable_vectorized_limit_is_exact():
+    system = TTAStartupModel(scenario_for_authority(CouplerAuthority.PASSIVE))
+    total = count_reachable(system, engine="vectorized")
+    assert count_reachable(system, max_states=total,
+                           engine="vectorized") == total
+    with pytest.raises(RuntimeError, match=f"more than {total - 1}"):
+        count_reachable(system, max_states=total - 1, engine="vectorized")
+
+
+def test_count_reachable_rejects_unknown_engine():
+    system = TTAStartupModel(scenario_for_authority(CouplerAuthority.PASSIVE))
+    with pytest.raises(ValueError, match="engine"):
+        count_reachable(system, engine="warp")
+
+
+def test_count_reachable_vectorized_needs_native_batch_path():
+    from repro.modelcheck.model import ExplicitTransitionSystem
+
+    space = StateSpace([Variable("n", domain=(0, 1))])
+    system = ExplicitTransitionSystem(space, [(0,)], {(0,): [((1,), {})],
+                                                      (1,): []})
+    with pytest.raises(ValueError, match="batch"):
+        count_reachable(system, engine="vectorized")
+
+
+# ---------------------------------------------------------------------------
+# No-numpy degradation
+# ---------------------------------------------------------------------------
+
+def test_require_numpy_error_names_the_fallback(monkeypatch):
+    monkeypatch.setattr(encode, "_np", None)
+    assert not have_numpy()
+    with pytest.raises(ImportError, match="packed"):
+        require_numpy()
+    assert "numpy" in NUMPY_HINT
+
+
+def test_checker_falls_back_to_packed_without_numpy(monkeypatch):
+    from repro.model.properties import no_clique_freeze
+    from repro.modelcheck.checker import InvariantChecker
+
+    monkeypatch.setattr(encode, "_np", None)
+    config = scenario_for_authority(CouplerAuthority.PASSIVE)
+    checker = InvariantChecker(TTAStartupModel(config), engine="vectorized")
+    with pytest.warns(RuntimeWarning, match="numpy"):
+        result = checker.check(no_clique_freeze(config))
+    assert result.engine == "packed"
+    assert result.holds

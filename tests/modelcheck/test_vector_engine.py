@@ -1,0 +1,174 @@
+"""Differential tests: the vectorized engine must agree with the packed
+engine -- same verdicts, same counterexample lengths, and concrete
+counterexamples that replay step by step through the scalar model -- on
+the paper's own configurations, with and without symmetry reduction.
+The vectorized path is an optimisation, never a semantics change."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.core.authority import CouplerAuthority, all_authorities
+from repro.core.verification import (expected_verdicts, verify_all_authorities,
+                                     verify_authority, verify_config)
+from repro.model.properties import no_clique_freeze
+from repro.model.scenarios import scenario_for_authority
+from repro.model.system_model import TTAStartupModel
+from repro.modelcheck.checker import InvariantChecker, check_invariant
+from repro.modelcheck.model import ExplicitTransitionSystem, count_reachable
+from repro.modelcheck.state import StateSpace, Variable
+
+pytest.importorskip("numpy", exc_type=ImportError)
+
+
+def run_engine(config, engine, symmetry=True, jobs=None):
+    system = TTAStartupModel(config)
+    checker = InvariantChecker(system, engine=engine, symmetry=symmetry,
+                               jobs=jobs)
+    return checker.check(no_clique_freeze(config))
+
+
+def assert_concrete_counterexample(config, trace):
+    """The trace must be a real path of the scalar model: starts in an
+    initial state, follows actual transitions, ends in a violation."""
+    system = TTAStartupModel(config)
+    states = [step.state for step in trace.steps]
+    assert states[0] in set(system.initial_states())
+    for current, following in zip(states, states[1:]):
+        targets = {transition.target
+                   for transition in system.successors(current)}
+        assert following in targets
+    invariant = no_clique_freeze(config)
+    assert not invariant(system.codec.view(system.codec.pack(states[-1])))
+
+
+def assert_equivalent(packed_result, vector_result, config):
+    assert vector_result.engine == "vectorized"
+    assert vector_result.holds == packed_result.holds
+    assert vector_result.truncated == packed_result.truncated
+    if packed_result.counterexample is None:
+        assert vector_result.counterexample is None
+        # No violation: both engines visited the full reachable set.
+        assert (vector_result.states_explored
+                == packed_result.states_explored
+                == count_reachable(TTAStartupModel(config), engine="tuple"))
+    else:
+        assert vector_result.counterexample is not None
+        assert len(vector_result.counterexample) == \
+            len(packed_result.counterexample)
+        assert_concrete_counterexample(config, vector_result.counterexample)
+
+
+@pytest.mark.parametrize("symmetry", [True, False],
+                         ids=["symmetry", "no-symmetry"])
+@pytest.mark.parametrize("authority", all_authorities(),
+                         ids=[a.value for a in all_authorities()])
+def test_vectorized_matches_packed_on_verification_matrix(authority, symmetry):
+    config = scenario_for_authority(authority)
+    packed_result = run_engine(config, "packed")
+    vector_result = run_engine(config, "vectorized", symmetry=symmetry)
+    assert_equivalent(packed_result, vector_result, config)
+    assert vector_result.holds == expected_verdicts()[authority]
+
+
+@pytest.mark.parametrize("authority", [CouplerAuthority.PASSIVE,
+                                       CouplerAuthority.FULL_SHIFTING],
+                         ids=["passive", "full_shifting"])
+def test_vectorized_under_symmetry_reduction(authority):
+    """On the uniform-timeout ablation the rotation group is non-trivial;
+    the quotient search must reach the same verdict as the full search
+    and de-canonicalize counterexamples back to concrete runs."""
+    config = dataclasses.replace(scenario_for_authority(authority),
+                                 uniform_listen_timeout=True)
+    full = run_engine(config, "vectorized", symmetry=False)
+    quotient = run_engine(config, "vectorized", symmetry=True)
+    assert quotient.holds == full.holds
+    # The quotient visits strictly fewer states (the group is real).
+    assert quotient.states_explored < full.states_explored
+    if not quotient.holds:
+        assert len(quotient.counterexample) == len(full.counterexample)
+        assert_concrete_counterexample(config, quotient.counterexample)
+
+
+def test_vectorized_with_frontier_sharding_matches_serial():
+    config = scenario_for_authority(CouplerAuthority.SMALL_SHIFTING)
+    serial = run_engine(config, "vectorized")
+    sharded = run_engine(config, "vectorized", jobs=2)
+    assert sharded.holds == serial.holds
+    assert sharded.states_explored == serial.states_explored
+    assert sharded.transitions_explored == serial.transitions_explored
+
+
+def test_vectorized_respects_max_states_truncation():
+    config = scenario_for_authority(CouplerAuthority.PASSIVE)
+    system = TTAStartupModel(config)
+    checker = InvariantChecker(system, max_states=100, engine="vectorized")
+    result = checker.check(no_clique_freeze(config))
+    assert result.truncated
+    assert result.holds  # no violation found within the budget
+    assert result.states_explored <= 100
+
+
+def test_vectorized_falls_back_for_systems_without_batch_path():
+    """Systems without a native packed/batch path degrade to the packed
+    adapter with a warning, not an error."""
+    space = StateSpace([Variable("n", domain=tuple(range(12)))])
+    transitions = {(value,): [((value + 1,), {"step": value})]
+                   for value in range(11)}
+    transitions[(11,)] = []
+    system = ExplicitTransitionSystem(space, [(0,)], transitions)
+    with pytest.warns(RuntimeWarning, match="batch"):
+        result = check_invariant(system, lambda view: view.n < 7,
+                                 engine="vectorized")
+    assert result.engine == "packed"
+    assert len(result.counterexample) == 7
+
+
+def test_checker_rejects_bad_jobs():
+    config = scenario_for_authority(CouplerAuthority.PASSIVE)
+    with pytest.raises(ValueError, match="jobs"):
+        InvariantChecker(TTAStartupModel(config), engine="vectorized", jobs=0)
+
+
+def test_verify_authority_engine_and_symmetry_plumbing():
+    run = verify_authority(CouplerAuthority.FULL_SHIFTING, engine="vectorized",
+                           symmetry=False)
+    assert run.check.engine == "vectorized"
+    assert not run.property_holds
+    assert_concrete_counterexample(run.config, run.counterexample)
+
+
+def test_verify_all_authorities_vectorized_matrix():
+    """With the vectorized engine the matrix runs serially and ``jobs``
+    turns inward; verdicts still match the paper."""
+    results = verify_all_authorities(engine="vectorized", jobs=2)
+    verdicts = {authority: result.property_holds
+                for authority, result in results.items()}
+    assert verdicts == expected_verdicts()
+    assert all(result.check.engine == "vectorized"
+               for result in results.values())
+
+
+def test_auto_engine_still_selects_packed():
+    """Auto stays on the scalar packed engine; vectorized is opt-in."""
+    config = scenario_for_authority(CouplerAuthority.PASSIVE)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = verify_config(config, engine="auto")
+    assert result.check.engine == "packed"
+
+
+def test_conformance_replays_decanonicalized_counterexample():
+    """EXP-S3 through the vectorized engine under symmetry: the replayed
+    counterexample is concrete (de-canonicalized), so the DES replay
+    agrees slot by slot exactly as with the packed engine."""
+    from repro.conformance import conform_scenario
+
+    packed_report = conform_scenario("trace1", engine="packed")
+    vector_report = conform_scenario("trace1", engine="vectorized",
+                                     symmetry=True)
+    assert vector_report.conforms == packed_report.conforms
+    assert vector_report.conforms
+    assert vector_report.trace_steps == packed_report.trace_steps
+    assert vector_report.model_victim == packed_report.model_victim

@@ -89,11 +89,13 @@ class TestRuleSelection:
     def test_default_selects_all_ast_rules(self):
         ids = {rule.rule for rule in select_rules(None)}
         assert ids == {"DET001", "DET002", "DET003", "DET004", "DET005",
-                       "EVT001", "EVT002", "EVT003", "SIM001", "SIM002"}
+                       "DET006", "EVT001", "EVT002", "EVT003", "SIM001",
+                       "SIM002"}
 
     def test_pack_prefix_selects_the_pack(self):
         ids = {rule.rule for rule in select_rules(["DET"])}
-        assert ids == {"DET001", "DET002", "DET003", "DET004", "DET005"}
+        assert ids == {"DET001", "DET002", "DET003", "DET004", "DET005",
+                       "DET006"}
 
     def test_exact_id_selects_one_rule(self):
         ids = {rule.rule for rule in select_rules(["evt002"])}
