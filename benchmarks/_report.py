@@ -27,19 +27,23 @@ def write_report(experiment_id: str, text: str) -> pathlib.Path:
     return path
 
 
-def update_bench_json(key: str, payload: dict) -> pathlib.Path:
-    """Merge one benchmark's numbers into ``benchmarks/BENCH_checker.json``.
+def update_bench_json(key: str, payload: dict,
+                      path: pathlib.Path = None) -> pathlib.Path:
+    """Merge one benchmark's numbers into a machine-readable bench file.
 
-    Each benchmark owns one top-level key, so the two checker benchmarks
-    can run in either order (or alone) without clobbering each other.
+    ``path`` defaults to ``benchmarks/BENCH_checker.json`` (the checker
+    benchmarks); the DES benchmarks pass ``BENCH_des.json``.  Each
+    benchmark owns one top-level key, so benchmarks sharing a file can
+    run in either order (or alone) without clobbering each other.
     """
+    target = pathlib.Path(path) if path is not None else BENCH_JSON
     data = {}
-    if BENCH_JSON.exists():
+    if target.exists():
         try:
-            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+            data = json.loads(target.read_text(encoding="utf-8"))
         except (ValueError, OSError):
             data = {}
     data[key] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
-                          encoding="utf-8")
-    return BENCH_JSON
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return target

@@ -63,6 +63,9 @@ class ClusterSpec:
     #: entry 0 replaces the uniform default schedule and hosts may request
     #: deferred switches to the others.
     modes: Optional[List[Medl]] = None
+    #: Event-queue implementation for the simulator ("calendar" or "heap");
+    #: both yield byte-identical traces, the calendar queue is the fast path.
+    event_queue: str = "calendar"
     seed: int = 0
     #: Bound the event bus to a ring buffer of this many events (None =
     #: unbounded) so multi-thousand-round campaigns stop growing memory.
@@ -78,7 +81,9 @@ class Cluster:
 
     def __init__(self, spec: ClusterSpec) -> None:
         self.spec = spec
-        self.sim = Simulator()
+        # Align the calendar-queue bucket grid with the TDMA slot grid so
+        # most events land in the active bucket.
+        self.sim = Simulator(queue=spec.event_queue, grid=spec.slot_duration)
         self.monitor = TraceMonitor(capacity=spec.monitor_capacity)
         if spec.modes:
             from repro.ttp.modes import ModeSet
@@ -146,10 +151,15 @@ class Cluster:
             delay = self.spec.power_on_delays.get(name, index * stagger)
             controller.power_on(delay)
 
-    def run(self, rounds: float = 20.0) -> None:
-        """Run the simulation for ``rounds`` more TDMA rounds."""
+    def run(self, rounds: float = 20.0, pause_gc: bool = False) -> None:
+        """Run the simulation for ``rounds`` more TDMA rounds.
+
+        ``pause_gc`` forwards to :meth:`Simulator.run` -- it disables the
+        cyclic collector for the duration of the run (batch experiment
+        sweeps; the hot path allocates acyclic objects only).
+        """
         horizon = self.sim.now + rounds * self.medl.round_duration()
-        self.sim.run(until=horizon)
+        self.sim.run(until=horizon, pause_gc=pause_gc)
 
     # -- outcome queries -----------------------------------------------------------
 

@@ -15,11 +15,12 @@ transmitters and the channel (exactly the paper's concern).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Callable, List, Optional, Tuple
 
-from repro.network.signal import SignalShape
+from repro.network.signal import NOMINAL_SHAPE, SignalShape
 from repro.obs import events as obs_events
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.monitor import TraceMonitor
 from repro.ttp.frames import Frame
 
@@ -40,7 +41,7 @@ class Transmission:
     source: str
     start_time: float
     duration: float
-    shape: SignalShape = field(default_factory=SignalShape)
+    shape: SignalShape = NOMINAL_SHAPE
 
     @property
     def end_time(self) -> float:
@@ -51,26 +52,103 @@ class Transmission:
         return self.start_time < other.end_time and other.start_time < self.end_time
 
 
+class ChannelScheduler:
+    """One updatable completion process shared by every channel.
+
+    The classic design schedules one simulator event per transmission; at
+    N senders on two replicated channels that is O(messages) live events.
+    This scheduler keeps all pending completions of *all* its channels in
+    one small heap ordered by ``(end_time, transmit order)`` and holds
+    exactly one live simulator event -- for the earliest completion --
+    re-aimed whenever an earlier transmission arrives (the single
+    updatable bus-state process idiom).
+
+    The global transmit-order counter makes same-instant completions fire
+    in the order the transmissions entered the media, across channels --
+    exactly the order the per-event design produced via event sequence
+    numbers, so event streams are unchanged.
+    """
+
+    __slots__ = ("sim", "_heap", "_order", "_wake", "_draining")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._heap: List[Tuple[float, int, "Channel", Transmission]] = []
+        self._order = 0
+        self._wake: Optional[Event] = None
+        self._draining = False
+
+    def add(self, channel: "Channel", transmission: Transmission) -> None:
+        """Track one transmission; fires ``channel._complete`` at its end."""
+        order = self._order
+        self._order = order + 1
+        heappush(self._heap, (transmission.end_time, order, channel,
+                              transmission))
+        if not self._draining:
+            # Inlined _arm (two calls per transmission on the hot path).
+            end_time = self._heap[0][0]
+            wake = self._wake
+            if wake is not None:
+                if wake.time <= end_time:
+                    return
+                wake.cancel()
+            sim = self.sim
+            # now + (end - now) keeps the exact float the delay-based
+            # schedule() produced, so event times are bit-identical.
+            now = sim.now
+            self._wake = sim.schedule_at(now + (end_time - now), self._drain)
+
+    def _arm(self) -> None:
+        """(Re-)aim the single wake event at the earliest completion."""
+        end_time = self._heap[0][0]
+        wake = self._wake
+        if wake is not None:
+            if wake.time <= end_time:
+                return
+            wake.cancel()
+        self._wake = self.sim.schedule(end_time - self.sim.now, self._drain)
+
+    def _drain(self) -> None:
+        """Fire every completion due now, in global transmit order."""
+        self._wake = None
+        heap = self._heap
+        now = self.sim.now
+        self._draining = True
+        try:
+            while heap and heap[0][0] <= now:
+                _, _, channel, transmission = heappop(heap)
+                channel._complete(transmission)
+        finally:
+            self._draining = False
+        if heap:
+            self._arm()
+
+
 class Channel:
     """A broadcast medium with collision semantics.
 
     Receivers subscribe a callback invoked when a transmission *completes*
     (store-and-forward at the receiver: a frame can only be judged once it
-    has fully arrived).
+    has fully arrived).  Completion timing is tracked by a
+    :class:`ChannelScheduler` -- shared across channels when the topology
+    provides one, else private to this channel.
     """
 
     def __init__(self, sim: Simulator, name: str,
                  monitor: Optional[TraceMonitor] = None,
                  drop_probability: float = 0.0,
                  corrupt_probability: float = 0.0,
-                 rng=None) -> None:
+                 rng=None,
+                 scheduler: Optional[ChannelScheduler] = None) -> None:
         self.sim = sim
         self.name = name
         self.monitor = monitor
+        self._source = f"channel:{name}"
         self.drop_probability = drop_probability
         self.corrupt_probability = corrupt_probability
         self.rng = rng
-        self._subscribers: List[Subscriber] = []
+        self.scheduler = scheduler or ChannelScheduler(sim)
+        self._subscribers: Tuple[Subscriber, ...] = ()
         self._active: List[Transmission] = []
         self._collided: set = set()
         self.delivered_count = 0
@@ -79,7 +157,7 @@ class Channel:
 
     def subscribe(self, subscriber: Subscriber) -> None:
         """Register a receiver callback."""
-        self._subscribers.append(subscriber)
+        self._subscribers = self._subscribers + (subscriber,)
 
     def transmit(self, transmission: Transmission) -> None:
         """Begin driving a transmission onto the medium.
@@ -87,48 +165,73 @@ class Channel:
         Must be called at ``transmission.start_time`` (the current simulated
         instant); completion is scheduled automatically.
         """
-        if abs(transmission.start_time - self.sim.now) > 1e-9:
+        now = self.sim.now
+        if abs(transmission.start_time - now) > 1e-9:
             raise ValueError(
                 f"transmission start {transmission.start_time!r} is not now "
-                f"({self.sim.now!r})")
-        for other in self._active:
-            if transmission.overlaps(other):
-                self._collided.add(id(other))
-                self._collided.add(id(transmission))
-        self._active.append(transmission)
-        if self.monitor is not None:
-            self.monitor.emit(obs_events.TxStart(
-                time=self.sim.now, source=f"channel:{self.name}",
-                sender=transmission.source,
-                frame_kind=transmission.frame.kind.value))
-        self.sim.schedule(transmission.duration,
-                          lambda: self._complete(transmission))
+                f"({now!r})")
+        active = self._active
+        if active:
+            for other in active:
+                if transmission.overlaps(other):
+                    self._collided.add(id(other))
+                    self._collided.add(id(transmission))
+        active.append(transmission)
+        monitor = self.monitor
+        if monitor is not None:
+            # Built via __new__ + __dict__: the frozen-dataclass __init__
+            # routes every field through object.__setattr__, which the two
+            # per-transmission emits turn into a measurable hot-path cost.
+            event = object.__new__(obs_events.TxStart)
+            details = event.__dict__
+            details["time"] = now
+            details["source"] = self._source
+            details["sender"] = transmission.source
+            details["frame_kind"] = transmission.frame.kind_value
+            monitor.emit(event)
+        self.scheduler.add(self, transmission)
 
     def _complete(self, transmission: Transmission) -> None:
-        self._active.remove(transmission)
-        collided = id(transmission) in self._collided
-        self._collided.discard(id(transmission))
+        # Identity-based removal: the same (frozen, by-value-equal)
+        # transmission object may ride both channels.
+        active = self._active
+        for index, candidate in enumerate(active):
+            if candidate is transmission:
+                del active[index]
+                break
+        if self._collided:
+            collided = id(transmission) in self._collided
+            self._collided.discard(id(transmission))
+        else:
+            collided = False
 
         # Passive channel faults: drop or corrupt.
-        if self._chance(self.drop_probability):
+        if self.drop_probability > 0.0 and self._chance(self.drop_probability):
             self.dropped_count += 1
             if self.monitor is not None:
                 self.monitor.emit(obs_events.TxDropped(
-                    time=self.sim.now, source=f"channel:{self.name}",
+                    time=self.sim.now, source=self._source,
                     sender=transmission.source))
             return
-        corrupted = collided or self._chance(self.corrupt_probability)
+        corrupted = collided or (self.corrupt_probability > 0.0
+                                 and self._chance(self.corrupt_probability))
         if corrupted:
             self.corrupted_count += 1
 
         self.delivered_count += 1
-        if self.monitor is not None:
-            self.monitor.emit(obs_events.TxComplete(
-                time=self.sim.now, source=f"channel:{self.name}",
-                sender=transmission.source,
-                frame_kind=transmission.frame.kind.value,
-                corrupted=corrupted))
-        for subscriber in list(self._subscribers):
+        monitor = self.monitor
+        if monitor is not None:
+            event = object.__new__(obs_events.TxComplete)
+            details = event.__dict__
+            details["time"] = self.sim.now
+            details["source"] = self._source
+            details["sender"] = transmission.source
+            details["frame_kind"] = transmission.frame.kind_value
+            details["corrupted"] = corrupted
+            monitor.emit(event)
+        # Subscribers attach at wiring time; the tuple is rebuilt on
+        # subscribe, so iteration needs no defensive copy.
+        for subscriber in self._subscribers:
             subscriber(transmission, corrupted)
 
     def _chance(self, probability: float) -> bool:

@@ -54,12 +54,16 @@ class LocalBusGuardian:
                  fault: GuardianFault = GuardianFault.NONE) -> None:
         self.sim = sim
         self.node_name = node_name
+        self._source = f"guardian:{node_name}"
         self.medl = medl
         self.channel = channel
         self.monitor = monitor
         self.fault = fault
         self.stats = GuardianStats()
         self._sync_anchor: Optional[float] = None
+        #: Cached (window start, window end, round duration), built lazily
+        #: from the MEDL dispatch table (the schedule is static).
+        self._window: Optional[tuple] = None
 
     def synchronize(self, round_start_ref_time: float) -> None:
         """Anchor the guardian's independent slot schedule."""
@@ -78,12 +82,16 @@ class LocalBusGuardian:
         """
         if self._sync_anchor is None:
             return True
-        slot_id = self.medl.slot_of(self.node_name)
-        round_duration = self.medl.round_duration()
-        phase = (ref_time - self._sync_anchor) % round_duration
-        start = self.medl.slot_start_offset(slot_id)
-        end = start + self.medl.slot(slot_id).duration
-        return start - 1e-9 <= phase < end - 1e-9
+        window = self._window
+        if window is None:
+            dispatch = self.medl.dispatch()
+            slot_id = self.medl.slot_of(self.node_name)
+            start = dispatch.start_offsets[slot_id - 1]
+            end = start + dispatch.durations[slot_id - 1]
+            window = (start - 1e-9, end - 1e-9, dispatch.round_duration)
+            self._window = window
+        phase = (ref_time - self._sync_anchor) % window[2]
+        return window[0] <= phase < window[1]
 
     def transmit(self, transmission: Transmission) -> bool:
         """Gate one transmission from the node; returns True if forwarded."""
@@ -100,10 +108,17 @@ class LocalBusGuardian:
         return True
 
     def _emit(self, event_cls, **details) -> None:
-        if self.monitor is not None:
-            self.monitor.emit(event_cls(time=self.sim.now,
-                                        source=f"guardian:{self.node_name}",
-                                        **details))
+        monitor = self.monitor
+        if monitor is not None:
+            # __new__ + __dict__ skips the frozen-dataclass __init__ (one
+            # object.__setattr__ per field); unset detail fields fall back
+            # to their class-level dataclass defaults.
+            event = object.__new__(event_cls)
+            fields = event.__dict__
+            fields["time"] = self.sim.now
+            fields["source"] = self._source
+            fields.update(details)
+            monitor.emit(event)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"LocalBusGuardian({self.node_name!r}, fault={self.fault.value})"

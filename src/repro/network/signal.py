@@ -42,6 +42,11 @@ class SignalShape:
                 and abs(self.timing_offset) <= SPEC_MAX_OFFSET)
 
 
+#: The fully in-spec shape every healthy transmitter produces.  Shared
+#: (frozen) so the hot send path allocates no shape per frame.
+NOMINAL_SHAPE = SignalShape()
+
+
 @dataclass(frozen=True)
 class ReceiverTolerance:
     """One receiver's actual analog acceptance region.

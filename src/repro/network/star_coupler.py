@@ -27,7 +27,7 @@ from typing import List, Optional
 
 from repro.core.authority import CouplerAuthority, features_of
 from repro.network.channel import Channel, Transmission
-from repro.network.signal import reshape
+from repro.network.signal import NOMINAL_LEVEL, NOMINAL_OFFSET, reshape
 from repro.obs import events as obs_events
 from repro.sim.engine import Simulator
 from repro.sim.monitor import TraceMonitor
@@ -197,6 +197,12 @@ class StarCoupler:
         self.authority = authority
         self.features = features
         self.medl = medl
+        self._source = f"coupler:{name}"
+        self._dispatch = medl.dispatch()
+        #: MEDL geometry resolved once for the per-transmission checks
+        #: (``slot_count`` is a property; ``slot(1)`` a lookup per call).
+        self._slot_count = medl.slot_count
+        self._slot_duration = medl.slot(1).duration
         self.channel = channel
         self.monitor = monitor
         self.fault = fault
@@ -231,50 +237,56 @@ class StarCoupler:
         """Slot the coupler believes is open, or ``None`` before sync."""
         if self._sync_anchor is None:
             return None
-        round_duration = self.medl.round_duration()
-        phase = (ref_time - self._sync_anchor) % round_duration
-        elapsed = 0.0
-        for descriptor in self.medl:
-            elapsed += descriptor.duration
-            if phase < elapsed - 1e-9:
-                return descriptor.slot_id
-        return self.medl.slot_count
+        dispatch = self._dispatch
+        phase = (ref_time - self._sync_anchor) % dispatch.round_duration
+        # Phases within 1e-9 below a slot boundary resolve to the next
+        # slot (float dust from summed reference times).
+        return dispatch.slot_at_phase(phase + 1e-9)
 
     # -- uplink handling ------------------------------------------------------------
 
     def receive_uplink(self, transmission: Transmission) -> None:
         """A node drives its uplink; decide what reaches the channel."""
+        fault = self.fault
+        features = self.features
         # Fault behaviour first: a silent coupler forwards nothing at all.
-        if self.fault is CouplerFault.SILENCE:
+        if fault is CouplerFault.SILENCE:
             self.stats.silenced += 1
             self._emit(obs_events.UplinkSilenced, sender=transmission.source)
             return
 
         decision = self._policy_decision(transmission)
-        if decision == "block_window":
-            self.stats.blocked_out_of_window += 1
-            self._emit(obs_events.BlockedOutOfWindow, sender=transmission.source)
-            return
-        if decision == "block_semantic":
-            self.stats.blocked_semantic += 1
-            self._emit(obs_events.BlockedSemantic, sender=transmission.source)
+        if decision is not None:
+            if decision == "block_window":
+                self.stats.blocked_out_of_window += 1
+                self._emit(obs_events.BlockedOutOfWindow,
+                           sender=transmission.source)
+            else:
+                self.stats.blocked_semantic += 1
+                self._emit(obs_events.BlockedSemantic,
+                           sender=transmission.source)
             return
 
         # A verified cold-start frame (port check passed) is trustworthy:
         # a semantic-analysis coupler anchors its slot grid and global time
         # on it, the basis of its window and C-state enforcement.
-        if (self.features.semantic_analysis
+        if (features.semantic_analysis
                 and isinstance(transmission.frame, ColdStartFrame)):
             self._anchor_from_cold_start(transmission.frame)
 
         outgoing = transmission
-        if self.features.reshapes_signal:
-            reshaped_shape = reshape(transmission.shape, boost_value=True,
+        shape = transmission.shape
+        if (features.reshapes_signal
+                and (shape.level != NOMINAL_LEVEL
+                     or shape.timing_offset != NOMINAL_OFFSET)):
+            # A nominal shape reshapes to itself; only off-nominal frames
+            # pay for the reshape.
+            reshaped_shape = reshape(shape, boost_value=True,
                                      realign_time=self.features.can_shift_small,
                                      max_time_shift=self.max_small_shift)
-            if reshaped_shape != transmission.shape:
+            if reshaped_shape != shape:
                 self.stats.reshaped += 1
-            outgoing = replace(transmission, shape=reshaped_shape)
+                outgoing = replace(transmission, shape=reshaped_shape)
 
         # Store-and-replay capability (and its abuse under the fault).
         if self.features.can_shift_full:
@@ -292,8 +304,13 @@ class StarCoupler:
         self.stats.forwarded += 1
         self._forward(outgoing)
 
-    def _policy_decision(self, transmission: Transmission) -> str:
-        """Apply the authority level's filtering rules."""
+    def _policy_decision(self, transmission: Transmission) -> Optional[str]:
+        """Apply the authority level's filtering rules.
+
+        Returns ``"block_window"`` / ``"block_semantic"``, or ``None`` for
+        a frame allowed through (the overwhelmingly common case pays no
+        string comparison).
+        """
         if self.features.semantic_analysis:
             frame = transmission.frame
             if isinstance(frame, ColdStartFrame):
@@ -314,11 +331,12 @@ class StarCoupler:
                 if (frame.cstate.medl_position != expected_slot
                         or frame.cstate.global_time != expected_time):
                     return "block_semantic"
-        if self.features.can_block and self.synchronized:
-            open_slot = self.current_slot(self.sim.now)
-            try:
-                sender_slot = self.medl.slot_of(transmission.source)
-            except KeyError:
+        if self.features.can_block and self._sync_anchor is not None:
+            dispatch = self._dispatch
+            phase = (self.sim.now - self._sync_anchor) % dispatch.round_duration
+            open_slot = dispatch.slot_at_phase(phase + 1e-9)
+            sender_slot = dispatch.slot_by_sender.get(transmission.source)
+            if sender_slot is None:
                 return "block_window"
             if open_slot != sender_slot:
                 if (self.features.can_shift_small
@@ -328,9 +346,9 @@ class StarCoupler:
                     # into its own window rather than dropping it -- but
                     # only when a shift of at most the budget makes the
                     # whole frame fit inside that window.
-                    return "forward"
+                    return None
                 return "block_window"
-        return "forward"
+        return None
 
     def _within_shift_budget(self, sender_slot: int,
                              frame_duration: float) -> bool:
@@ -372,11 +390,11 @@ class StarCoupler:
         is not misjudged at the boundary.
         """
         anchor_ref, anchor_time, anchor_slot = self._time_anchor
-        slot_duration = self.medl.slot(1).duration
-        slots_elapsed = int(round((self.sim.now - anchor_ref) / slot_duration))
+        slots_elapsed = int(round((self.sim.now - anchor_ref)
+                                  / self._slot_duration))
         expected_time = (anchor_time + slots_elapsed) % (1 << 16)
         expected_slot = ((anchor_slot - 1 + slots_elapsed)
-                        % self.medl.slot_count) + 1
+                        % self._slot_count) + 1
         return expected_time, expected_slot
 
     def _schedule_replay(self) -> None:
@@ -393,18 +411,27 @@ class StarCoupler:
         original = self._buffered
         self.stats.replayed += 1
         self._emit(obs_events.OutOfSlotReplay, sender=original.source,
-                   frame_kind=original.frame.kind.value)
+                   frame_kind=original.frame.kind_value)
         replayed = replace(original, start_time=self.sim.now)
         self.channel.transmit(replayed)
 
     def _forward(self, transmission: Transmission) -> None:
-        onward = replace(transmission, start_time=self.sim.now)
-        self.channel.transmit(onward)
+        if transmission.start_time != self.sim.now:
+            transmission = replace(transmission, start_time=self.sim.now)
+        self.channel.transmit(transmission)
 
     def _emit(self, event_cls, **details) -> None:
-        if self.monitor is not None:
-            self.monitor.emit(event_cls(time=self.sim.now,
-                                        source=f"coupler:{self.name}", **details))
+        monitor = self.monitor
+        if monitor is not None:
+            # __new__ + __dict__ skips the frozen-dataclass __init__ (one
+            # object.__setattr__ per field); unset detail fields fall back
+            # to their class-level dataclass defaults.
+            event = object.__new__(event_cls)
+            fields = event.__dict__
+            fields["time"] = self.sim.now
+            fields["source"] = self._source
+            fields.update(details)
+            monitor.emit(event)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"StarCoupler({self.name!r}, {self.authority.value}, "

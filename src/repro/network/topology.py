@@ -18,9 +18,9 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.core.authority import CouplerAuthority
-from repro.network.channel import Channel, Transmission
+from repro.network.channel import Channel, ChannelScheduler, Transmission
 from repro.network.guardian import GuardianFault, LocalBusGuardian
-from repro.network.signal import SignalShape
+from repro.network.signal import NOMINAL_SHAPE, SignalShape
 from repro.network.star_coupler import CouplerFault, StarCoupler
 from repro.sim.engine import Simulator
 from repro.sim.monitor import TraceMonitor
@@ -43,11 +43,15 @@ class _TopologyBase:
         self.sim = sim
         self.medl = medl
         self.monitor = monitor
+        #: One completion process serves both replicated channels, so
+        #: same-instant completions fire in global transmit order.
+        self.scheduler = ChannelScheduler(sim)
         self.channels: List[Channel] = [
             Channel(sim, name=f"ch{index}", monitor=monitor,
                     drop_probability=drop_probability,
                     corrupt_probability=corrupt_probability,
-                    rng=None if rng is None else rng.child(f"ch{index}"))
+                    rng=None if rng is None else rng.child(f"ch{index}"),
+                    scheduler=self.scheduler)
             for index in range(CHANNEL_COUNT)]
         self._receivers: List[ReceiverCallback] = []
         for index, channel in enumerate(self.channels):
@@ -55,7 +59,9 @@ class _TopologyBase:
 
     def _make_fanout(self, channel_index: int):
         def fanout(transmission: Transmission, corrupted: bool) -> None:
-            for receiver in list(self._receivers):
+            # Receivers attach at wiring time (never detach), so no
+            # defensive copy on the per-frame fan-out.
+            for receiver in self._receivers:
                 receiver(channel_index, transmission, corrupted)
         return fanout
 
@@ -92,11 +98,13 @@ class BusTopology(_TopologyBase):
     def send(self, source: str, frame: Frame, duration: float,
              shape: Optional[SignalShape] = None) -> None:
         """Drive a frame through the node's guardians onto both buses."""
-        shape = shape or SignalShape()
+        # One immutable transmission rides both channels (channels track
+        # and collide transmissions by identity, per channel).
+        transmission = Transmission(frame=frame, source=source,
+                                    start_time=self.sim.now,
+                                    duration=duration,
+                                    shape=shape or NOMINAL_SHAPE)
         for guardian in self.guardians[source]:
-            transmission = Transmission(frame=frame, source=source,
-                                        start_time=self.sim.now,
-                                        duration=duration, shape=shape)
             guardian.transmit(transmission)
 
     def synchronize_guardians(self, round_start_ref_time: float) -> None:
@@ -149,11 +157,11 @@ class StarTopology(_TopologyBase):
     def send(self, source: str, frame: Frame, duration: float,
              shape: Optional[SignalShape] = None) -> None:
         """Drive a frame up both star-coupler uplinks."""
-        shape = shape or SignalShape()
+        transmission = Transmission(frame=frame, source=source,
+                                    start_time=self.sim.now,
+                                    duration=duration,
+                                    shape=shape or NOMINAL_SHAPE)
         for coupler in self.couplers:
-            transmission = Transmission(frame=frame, source=source,
-                                        start_time=self.sim.now,
-                                        duration=duration, shape=shape)
             coupler.receive_uplink(transmission)
 
     def synchronize_couplers(self, round_start_ref_time: float) -> None:

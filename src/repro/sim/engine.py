@@ -1,18 +1,49 @@
 """Event queue and simulation clock.
 
-The engine is a classic calendar-queue discrete-event simulator: callbacks
-are scheduled at absolute simulated times and executed in time order.  Ties
+The engine is a calendar-queue discrete-event simulator: callbacks are
+scheduled at absolute simulated times and executed in time order.  Ties
 are broken first by an integer priority (lower runs first) and then by
 insertion order, which makes every run fully deterministic.
+
+Two queue implementations share the exact (time, priority, seq) total
+order:
+
+* :class:`CalendarQueue` (the default) -- an array-backed ring of buckets
+  keyed to the TDMA slot grid.  Near-future events index directly into a
+  bucket; only the bucket at the head of the ring is ever sorted, and
+  far-future events (beyond the ring horizon) wait in a small overflow
+  heap that migrates into the ring as the head advances.
+* :class:`HeapQueue` -- the classic binary heap, kept as the differential
+  reference for the calendar queue.
+
+Both queues store plain ``(time, priority, seq, event)`` tuples so every
+comparison happens at C level, and both compact themselves when more than
+half of their entries are cancelled (long cancel-heavy runs stop growing
+memory).  :meth:`Simulator.post` is a fast scheduling path for callbacks
+that are never cancelled: it returns no handle, which lets the engine
+recycle the backing event objects through a free list.
 
 Time is a ``float`` in arbitrary units; the TTP/C layer uses microseconds.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from bisect import insort
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Default bucket width of the calendar queue -- the TTP/C default slot
+#: duration, so one TDMA slot of traffic lands in one bucket.
+DEFAULT_GRID = 100.0
+
+#: Number of buckets in the calendar ring (the horizon is
+#: ``grid * RING_BUCKETS``; events beyond it go to the overflow heap).
+RING_BUCKETS = 256
+
+#: Queues only compact when they hold more dead entries than this, so
+#: small queues never pay the rebuild.
+COMPACT_MIN_DEAD = 64
 
 
 class SimulationError(Exception):
@@ -23,11 +54,13 @@ class Event:
     """A scheduled callback.
 
     Events are created through :meth:`Simulator.schedule` and can be
-    cancelled until they have fired.  A cancelled event stays in the heap
-    but is skipped when popped.
+    cancelled until they have fired.  A cancelled event stays in the queue
+    but is skipped when popped (the queue compacts itself when cancelled
+    entries pile up).
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "fired")
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "fired",
+                 "_queue", "_pooled")
 
     def __init__(self, time: float, priority: int, seq: int,
                  callback: Callable[[], None]) -> None:
@@ -37,10 +70,20 @@ class Event:
         self.callback = callback
         self.cancelled = False
         self.fired = False
+        #: Owning queue while enqueued (dead-entry accounting for
+        #: compaction); cleared when the event fires.
+        self._queue = None
+        #: Whether the event came from the :meth:`Simulator.post` free
+        #: list (no external handle exists, so it may be recycled).
+        self._pooled = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None and not self.fired:
+                queue.note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
@@ -48,6 +91,266 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
         return f"Event(t={self.time!r}, prio={self.priority}, {state})"
+
+
+#: Queue entry: comparisons stop at ``seq`` (unique), so the event object
+#: itself is never compared.
+Entry = Tuple[float, int, int, Event]
+
+
+class HeapQueue:
+    """Binary-heap event queue (the calendar queue's reference)."""
+
+    __slots__ = ("_heap", "_dead")
+
+    def __init__(self) -> None:
+        self._heap: List[Entry] = []
+        self._dead = 0
+
+    def push(self, entry: Entry) -> None:
+        heappush(self._heap, entry)
+
+    def peek(self) -> Optional[Entry]:
+        """Next pending entry (discarding cancelled heads), or ``None``."""
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if not entry[3].cancelled:
+                return entry
+            heappop(heap)
+            self._dead -= 1
+        return None
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the next pending entry, or ``None``."""
+        entry = self.peek()
+        if entry is not None:
+            heappop(self._heap)
+        return entry
+
+    def consume(self) -> None:
+        """Drop the entry :meth:`peek` just returned (head is pending)."""
+        heappop(self._heap)
+
+    def pop_next(self, until: Optional[float] = None) -> Optional[Entry]:
+        """Fused peek-check-consume for the run loop.
+
+        Removes and returns the next pending entry, or ``None`` when the
+        queue is drained or the next entry lies past ``until`` (which is
+        then left in place).
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heappop(heap)
+                self._dead -= 1
+                continue
+            if until is not None and entry[0] > until:
+                return None
+            heappop(heap)
+            return entry
+        return None
+
+    def note_cancel(self) -> None:
+        self._dead += 1
+        if self._dead > COMPACT_MIN_DEAD and self._dead * 2 > len(self._heap):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled entries and re-heapify."""
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapify(self._heap)
+        self._dead = 0
+
+    def pending_count(self) -> int:
+        return len(self._heap) - self._dead
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class CalendarQueue:
+    """Array-backed calendar (bucket) queue keyed to the slot grid.
+
+    Buckets are a fixed ring indexed by ``floor(time / grid) % RING_BUCKETS``.
+    Only the head bucket is kept sorted -- and only once the queue starts
+    consuming it; inserts into the active head bucket use ``bisect.insort``
+    on the unconsumed tail, so the global (time, priority, seq) order is
+    exactly the heap's.  Entries whose bucket would lie past the ring
+    horizon wait in an overflow heap and migrate into the ring as the head
+    advances (a power-on delay of 1e9 costs O(1), not 1e7 empty buckets).
+
+    Inserts targeting a bucket before the head (legal when ``run(until=...)``
+    advanced the clock into the middle of the head bucket's span) are
+    clamped to the head bucket; intra-bucket sorting keeps them correctly
+    ordered because their times are never below the last consumed time.
+    """
+
+    __slots__ = ("_grid", "_buckets", "_head_bid", "_head_pos", "_head_sorted",
+                 "_ring_count", "_overflow", "_dead", "_size")
+
+    def __init__(self, grid: float = DEFAULT_GRID) -> None:
+        if grid <= 0:
+            raise SimulationError(f"calendar grid must be positive, got {grid!r}")
+        self._grid = grid
+        self._buckets: List[List[Entry]] = [[] for _ in range(RING_BUCKETS)]
+        self._head_bid = 0          # absolute bucket number at the ring head
+        self._head_pos = 0          # consumed prefix of the head bucket
+        self._head_sorted = False   # head bucket sorted (consumption began)
+        self._ring_count = 0        # entries currently in ring buckets
+        self._overflow: List[Entry] = []
+        self._dead = 0
+        self._size = 0
+
+    def push(self, entry: Entry) -> None:
+        bid = int(entry[0] / self._grid)
+        if self._size == 0:
+            # Empty queue: re-anchor the ring at the entry's bucket.  The
+            # drained head bucket may still hold its consumed prefix (it is
+            # only cleared when the head advances past it), and the new
+            # bucket id may map onto the same ring slot -- drop it first.
+            if self._head_pos:
+                self._buckets[self._head_bid % RING_BUCKETS].clear()
+            self._head_bid = bid
+            self._head_pos = 0
+            self._head_sorted = False
+        head = self._head_bid
+        if bid < head:
+            bid = head
+        if bid - head >= RING_BUCKETS:
+            heappush(self._overflow, entry)
+        else:
+            bucket = self._buckets[bid % RING_BUCKETS]
+            if bid == head and self._head_sorted:
+                insort(bucket, entry, self._head_pos)
+            else:
+                bucket.append(entry)
+            self._ring_count += 1
+        self._size += 1
+
+    def _head_entry(self) -> Optional[Entry]:
+        """Entry at the queue head (cancelled or not), or ``None``."""
+        buckets = self._buckets
+        while True:
+            bucket = buckets[self._head_bid % RING_BUCKETS]
+            if self._head_pos < len(bucket):
+                if not self._head_sorted:
+                    bucket.sort()
+                    self._head_sorted = True
+                return bucket[self._head_pos]
+            if self._head_pos:
+                bucket.clear()
+            self._head_pos = 0
+            self._head_sorted = False
+            if self._ring_count:
+                self._head_bid += 1
+            elif self._overflow:
+                # Ring drained: jump straight to the overflow's first bucket.
+                self._head_bid = int(self._overflow[0][0] / self._grid)
+            else:
+                return None
+            # Migrate overflow entries that now fall inside the horizon.
+            overflow = self._overflow
+            limit = self._head_bid + RING_BUCKETS
+            while overflow and int(overflow[0][0] / self._grid) < limit:
+                migrated = heappop(overflow)
+                buckets[int(migrated[0] / self._grid) % RING_BUCKETS].append(migrated)
+                self._ring_count += 1
+
+    def _consume_head(self) -> None:
+        self._head_pos += 1
+        self._ring_count -= 1
+        self._size -= 1
+
+    def peek(self) -> Optional[Entry]:
+        """Next pending entry (discarding cancelled heads), or ``None``."""
+        while True:
+            entry = self._head_entry()
+            if entry is None:
+                return None
+            if not entry[3].cancelled:
+                return entry
+            self._consume_head()
+            self._dead -= 1
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the next pending entry, or ``None``."""
+        entry = self.peek()
+        if entry is not None:
+            self._consume_head()
+        return entry
+
+    def consume(self) -> None:
+        """Drop the entry :meth:`peek` just returned (head is pending)."""
+        self._head_pos += 1
+        self._ring_count -= 1
+        self._size -= 1
+
+    def pop_next(self, until: Optional[float] = None) -> Optional[Entry]:
+        """Fused peek-check-consume for the run loop.
+
+        Removes and returns the next pending entry, or ``None`` when the
+        queue is drained or the next entry lies past ``until`` (which is
+        then left in place).  The head-bucket cursor read duplicates
+        :meth:`_head_entry`'s first branch so the steady state -- sorted
+        head bucket with live entries -- touches no other method.
+        """
+        buckets = self._buckets
+        while True:
+            if self._head_sorted:
+                bucket = buckets[self._head_bid % RING_BUCKETS]
+                pos = self._head_pos
+                entry = bucket[pos] if pos < len(bucket) else self._head_entry()
+            else:
+                entry = self._head_entry()
+            if entry is None:
+                return None
+            if entry[3].cancelled:
+                self._head_pos += 1
+                self._ring_count -= 1
+                self._size -= 1
+                self._dead -= 1
+                continue
+            if until is not None and entry[0] > until:
+                return None
+            self._head_pos += 1
+            self._ring_count -= 1
+            self._size -= 1
+            return entry
+
+    def note_cancel(self) -> None:
+        self._dead += 1
+        if self._dead > COMPACT_MIN_DEAD and self._dead * 2 > self._size:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the ring and overflow without cancelled entries."""
+        pending: List[Entry] = []
+        head_bucket = self._buckets[self._head_bid % RING_BUCKETS]
+        pending.extend(entry for entry in head_bucket[self._head_pos:]
+                       if not entry[3].cancelled)
+        for bid in range(self._head_bid + 1, self._head_bid + RING_BUCKETS):
+            pending.extend(entry for entry in self._buckets[bid % RING_BUCKETS]
+                           if not entry[3].cancelled)
+        pending.extend(entry for entry in self._overflow
+                       if not entry[3].cancelled)
+        for bucket in self._buckets:
+            bucket.clear()
+        self._overflow = []
+        self._ring_count = 0
+        self._size = 0
+        self._dead = 0
+        self._head_pos = 0
+        self._head_sorted = False
+        for entry in pending:
+            self.push(entry)
+
+    def pending_count(self) -> int:
+        return self._size - self._dead
+
+    def __len__(self) -> int:
+        return self._size
 
 
 class Simulator:
@@ -59,21 +362,31 @@ class Simulator:
         sim.schedule(5.0, lambda: print("hello at t=5"))
         sim.run(until=10.0)
 
-    Generator-based processes (see :mod:`repro.sim.process`) are layered on
-    top of this primitive scheduling interface.
+    ``queue`` selects the event-queue implementation (``"calendar"`` is
+    the default; ``"heap"`` is the reference); ``grid`` is the calendar
+    bucket width, ideally the TDMA slot duration.  Generator-based
+    processes (see :mod:`repro.sim.process`) are layered on top of this
+    primitive scheduling interface.
     """
 
-    def __init__(self) -> None:
-        self._now = 0.0
-        self._queue: List[Event] = []
+    def __init__(self, queue: str = "calendar",
+                 grid: Optional[float] = None) -> None:
+        #: Current simulated time (read-only by convention).
+        self.now = 0.0
         self._seq = itertools.count()
+        if queue == "calendar":
+            self._queue = CalendarQueue(grid=grid if grid else DEFAULT_GRID)
+        elif queue == "heap":
+            self._queue = HeapQueue()
+        else:
+            raise SimulationError(
+                f"unknown queue implementation {queue!r} "
+                "(have 'calendar', 'heap')")
+        self._pool: List[Event] = []
         self._running = False
         self._stopped = False
-
-    @property
-    def now(self) -> float:
-        """Current simulated time."""
-        return self._now
+        #: Total events fired over the simulator's lifetime.
+        self.fired_count = 0
 
     def schedule(self, delay: float, callback: Callable[[], None],
                  priority: int = 0) -> Event:
@@ -86,17 +399,46 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay!r} time units in the past")
-        return self.schedule_at(self._now + delay, callback, priority)
+        return self.schedule_at(self.now + delay, callback, priority)
 
     def schedule_at(self, time: float, callback: Callable[[], None],
                     priority: int = 0) -> Event:
         """Schedule ``callback`` at absolute simulated time ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at t={time!r}, which is before now={self._now!r}")
+                f"cannot schedule at t={time!r}, which is before now={self.now!r}")
         event = Event(time, priority, next(self._seq), callback)
-        heapq.heappush(self._queue, event)
+        event._queue = self._queue
+        self._queue.push((time, priority, event.seq, event))
         return event
+
+    def post(self, delay: float, callback: Callable[[], None],
+             priority: int = 0) -> None:
+        """Fast path of :meth:`schedule` for never-cancelled callbacks.
+
+        Returns no handle, so the backing event object can come from (and
+        return to) a free list instead of being allocated per call.  Use
+        it for fire-and-forget work (process wakeups, completions that are
+        never rescheduled); anything that may need :meth:`Event.cancel`
+        must use :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r} time units in the past")
+        time = self.now + delay
+        seq = next(self._seq)
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.priority = priority
+            event.seq = seq
+            event.callback = callback
+            event.cancelled = False
+            event.fired = False
+        else:
+            event = Event(time, priority, seq, callback)
+            event._pooled = True
+        self._queue.push((time, priority, seq, event))
 
     def stop(self) -> None:
         """Stop the run loop after the currently executing event returns."""
@@ -104,29 +446,36 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
-            return None
-        return self._queue[0].time
+        entry = self._queue.peek()
+        return None if entry is None else entry[0]
+
+    def _fire(self, entry: Entry) -> None:
+        event = entry[3]
+        self.now = entry[0]
+        event.fired = True
+        event._queue = None
+        callback = event.callback
+        if event._pooled:
+            # No handle escaped: recycle the object through the free list.
+            event.callback = None
+            self._pool.append(event)
+        self.fired_count += 1
+        callback()
 
     def step(self) -> bool:
         """Execute the single next pending event.
 
         Returns ``False`` when the queue is empty (nothing was executed).
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.fired = True
-            event.callback()
-            return True
-        return False
+        entry = self._queue.pop()
+        if entry is None:
+            return False
+        self._fire(entry)
+        return True
 
     def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> float:
+            max_events: Optional[int] = None,
+            pause_gc: bool = False) -> float:
         """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` events have fired.
 
@@ -138,34 +487,64 @@ class Simulator:
         :meth:`step`/:meth:`run` resumes with monotonic time instead of
         jumping past pending work and then moving backwards.  Returns the
         final time.
+
+        ``pause_gc`` disables the cyclic garbage collector for the
+        duration of the loop (restored on exit).  The hot path allocates
+        almost exclusively acyclic objects -- events, frames, typed
+        records -- which reference counting reclaims immediately, so the
+        collector's generation sweeps are pure overhead (~20% of a
+        benign-startup run).  Off by default: callers embedding the
+        simulator in a larger program keep normal GC behaviour.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         self._stopped = False
+        queue = self._queue
+        pop_next = queue.pop_next
+        pool = self._pool
         fired = 0
+        resume_gc = False
+        if pause_gc:
+            import gc
+
+            resume_gc = gc.isenabled()
+            if resume_gc:
+                gc.disable()
         try:
             while not self._stopped:
-                next_time = self.peek()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
                 if max_events is not None and fired >= max_events:
                     break
-                self.step()
+                entry = pop_next(until)
+                if entry is None:
+                    break
+                # Inlined _fire: this loop IS the hot path.
+                event = entry[3]
+                self.now = entry[0]
+                event.fired = True
+                event._queue = None
+                callback = event.callback
+                if event._pooled:
+                    event.callback = None
+                    pool.append(event)
+                self.fired_count += 1
+                callback()
                 fired += 1
         finally:
             self._running = False
-        if until is not None and self._now < until and not self._stopped:
+            if resume_gc:
+                import gc
+
+                gc.enable()
+        if until is not None and self.now < until and not self._stopped:
             next_time = self.peek()
             if next_time is None or next_time > until:
-                self._now = until
-        return self._now
+                self.now = until
+        return self.now
 
     def pending_count(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return self._queue.pending_count()
 
     def call_soon(self, callback: Callable[[], None], priority: int = 0) -> Event:
         """Schedule ``callback`` at the current instant (after running events)."""

@@ -79,14 +79,15 @@ class TraceMonitor:
             self.dropped_count += 1
         self._records.append(event)
         self._kind_counts[event.kind] += 1
-        for listener in list(self._listeners):
-            try:
-                listener(event)
-            except Exception as error:  # noqa: BLE001 - isolation is the point
-                if len(self.listener_errors) >= MAX_LISTENER_ERRORS:
-                    del self.listener_errors[0]
-                self.listener_errors.append(
-                    ListenerError(listener=listener, event=event, error=error))
+        if self._listeners:
+            for listener in list(self._listeners):
+                try:
+                    listener(event)
+                except Exception as error:  # noqa: BLE001 - isolation is the point
+                    if len(self.listener_errors) >= MAX_LISTENER_ERRORS:
+                        del self.listener_errors[0]
+                    self.listener_errors.append(
+                        ListenerError(listener=listener, event=event, error=error))
 
     def record(self, time: float, source: str, kind: str, **details: Any) -> None:
         """Legacy shim: build the typed event for ``kind`` and emit it."""

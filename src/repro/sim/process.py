@@ -103,8 +103,10 @@ class Process:
         self._pending_event: Optional[Event] = None
         self._waiting_signal: Optional[Signal] = None
         self._joiners: List["Process"] = []
-        # Start on the next tick so the creator finishes its own setup first.
-        sim.call_soon(lambda: self._resume(None))
+        # Start on the next tick so the creator finishes its own setup
+        # first.  Wakeups are never cancelled, so they use the engine's
+        # pooled fast path (``post``) instead of ``call_soon``.
+        sim.post(0.0, lambda: self._resume(None))
 
     # -- public API ---------------------------------------------------------
 
@@ -131,7 +133,7 @@ class Process:
         if not self._alive:
             return
         self._unblock()
-        self.sim.call_soon(lambda: self._throw(Interrupt(cause)))
+        self.sim.post(0.0, lambda: self._throw(Interrupt(cause)))
 
     # -- wiring -------------------------------------------------------------
 
@@ -145,7 +147,7 @@ class Process:
 
     def _resume_soon(self, value: Any) -> None:
         self._waiting_signal = None
-        self.sim.call_soon(lambda: self._resume(value))
+        self.sim.post(0.0, lambda: self._resume(value))
 
     def _resume(self, value: Any) -> None:
         if not self._alive:
@@ -184,8 +186,8 @@ class Process:
         elif isinstance(command, Process):
             if not command._alive:
                 if command._error is not None:
-                    self.sim.call_soon(
-                        lambda: self._throw(ProcessDied(str(command._error))))
+                    self.sim.post(
+                        0.0, lambda: self._throw(ProcessDied(str(command._error))))
                 else:
                     self._resume_soon(command._result)
             else:
@@ -201,8 +203,8 @@ class Process:
         joiners, self._joiners = self._joiners, []
         for joiner in joiners:
             if error is not None:
-                self.sim.call_soon(
-                    lambda j=joiner: j._throw(ProcessDied(str(error))))
+                self.sim.post(
+                    0.0, lambda j=joiner: j._throw(ProcessDied(str(error))))
             else:
                 joiner._resume_soon(result)
 

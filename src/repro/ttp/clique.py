@@ -18,7 +18,7 @@ with an incorrect/invalid frame (``failed_slots_counter``).  Once per round
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 
 class CliqueVerdict(enum.Enum):
@@ -50,13 +50,28 @@ class CliqueCounters:
         if self.agreed < 0 or self.failed < 0:
             raise ValueError("counters cannot be negative")
 
+    def _successor(self, agreed: int, failed: int) -> "CliqueCounters":
+        """Fast constructor for counters derived from validated ones (the
+        per-slot bookkeeping path skips the dataclass ``__init__`` and its
+        range re-check; both fields grew from non-negative values)."""
+        state = object.__new__(CliqueCounters)
+        fields = state.__dict__
+        fields["agreed"] = agreed
+        fields["failed"] = failed
+        fields["cap"] = self.cap
+        return state
+
     def record_agreed(self) -> "CliqueCounters":
         """Counters after a slot with a correct frame (or own send)."""
-        return replace(self, agreed=min(self.agreed + 1, self.cap))
+        if self.agreed >= self.cap:
+            return self
+        return self._successor(self.agreed + 1, self.failed)
 
     def record_failed(self) -> "CliqueCounters":
         """Counters after a slot with an invalid or incorrect frame."""
-        return replace(self, failed=min(self.failed + 1, self.cap))
+        if self.failed >= self.cap:
+            return self
+        return self._successor(self.agreed, self.failed + 1)
 
     def record_null(self) -> "CliqueCounters":
         """Counters after a silent slot (neither agreed nor failed)."""
@@ -64,7 +79,9 @@ class CliqueCounters:
 
     def reset(self) -> "CliqueCounters":
         """Fresh counters for a new round."""
-        return replace(self, agreed=0, failed=0)
+        if not self.agreed and not self.failed:
+            return self
+        return CliqueCounters(0, 0, self.cap)
 
     @property
     def total(self) -> int:

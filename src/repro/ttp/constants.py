@@ -76,6 +76,14 @@ MEDL_POSITION_BITS = 16
 #: padded to the spec's 16-bit field for the minimum configuration).
 MEMBERSHIP_BITS = 16
 
+#: Largest cluster the simulator accepts: the membership wire field grows
+#: in :data:`MEMBERSHIP_BITS` increments beyond the minimum configuration
+#: (TTP/C supports up to 64 slots).  Schedules of at most
+#: :data:`MEMBERSHIP_BITS` slots keep the paper's exact 16-bit field and
+#: frame sizes; larger generated clusters pad the field to the next
+#: 16-bit multiple.
+MAX_MEMBERSHIP_SLOTS = 64
+
 #: Round-slot position in a cold-start frame.
 ROUND_SLOT_BITS = 9
 

@@ -14,15 +14,18 @@ coupler fault subverts (a replayed frame carries a stale C-state).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import FrozenSet, Tuple
 
 from repro.ttp.constants import (
     GLOBAL_TIME_BITS,
+    MAX_MEMBERSHIP_SLOTS,
     MEDL_POSITION_BITS,
     MEMBERSHIP_BITS,
 )
 from repro.ttp.crc import crc24, int_to_bits
+
+_GLOBAL_TIME_WRAP = 1 << GLOBAL_TIME_BITS
 
 
 @dataclass(frozen=True)
@@ -45,9 +48,10 @@ class CState:
         if not 0 <= self.medl_position < (1 << MEDL_POSITION_BITS):
             raise ValueError(f"medl_position {self.medl_position} out of field range")
         for member in self.membership:
-            if not 0 <= member < MEMBERSHIP_BITS:
+            if not 0 <= member < MAX_MEMBERSHIP_SLOTS:
                 raise ValueError(
-                    f"membership slot {member} exceeds the {MEMBERSHIP_BITS}-bit vector")
+                    f"membership slot {member} exceeds the "
+                    f"{MAX_MEMBERSHIP_SLOTS}-slot vector limit")
 
     # -- wire representation ---------------------------------------------------
 
@@ -58,13 +62,30 @@ class CState:
             word |= 1 << member
         return word
 
+    def membership_field_bits(self) -> int:
+        """Width of the membership wire field for this C-state.
+
+        The paper's minimum configuration uses exactly
+        :data:`MEMBERSHIP_BITS`; memberships referencing higher slots
+        (large generated clusters) pad to the next 16-bit multiple, so
+        the encoding -- and therefore every digest and frame size -- is
+        bit-identical to the fixed-width one whenever all members fit.
+        """
+        if not self.membership:
+            return MEMBERSHIP_BITS
+        highest = max(self.membership)
+        if highest < MEMBERSHIP_BITS:
+            return MEMBERSHIP_BITS
+        return -(-(highest + 1) // MEMBERSHIP_BITS) * MEMBERSHIP_BITS
+
     def to_bits(self) -> list:
         """Explicit C-state field encoding (global time, MEDL position,
         membership), MSB first."""
         bits = []
         bits.extend(int_to_bits(self.global_time, GLOBAL_TIME_BITS))
         bits.extend(int_to_bits(self.medl_position, MEDL_POSITION_BITS))
-        bits.extend(int_to_bits(self.membership_word(), MEMBERSHIP_BITS))
+        bits.extend(int_to_bits(self.membership_word(),
+                                self.membership_field_bits()))
         return bits
 
     @classmethod
@@ -72,7 +93,8 @@ class CState:
                     membership_word: int, dmc_mode: int = 0) -> "CState":
         """Rebuild a C-state from decoded wire fields."""
         members = frozenset(
-            index for index in range(MEMBERSHIP_BITS) if membership_word & (1 << index))
+            index for index in range(membership_word.bit_length())
+            if membership_word & (1 << index))
         return cls(global_time=global_time, medl_position=medl_position,
                    membership=members, dmc_mode=dmc_mode)
 
@@ -82,22 +104,49 @@ class CState:
 
     # -- evolution ---------------------------------------------------------------
 
+    @classmethod
+    def _unchecked(cls, global_time: int, medl_position: int,
+                   membership: FrozenSet[int], dmc_mode: int) -> "CState":
+        """Fast constructor for fields already known to be in range.
+
+        The evolution methods derive every field from an already-validated
+        C-state, so re-running ``__post_init__``'s range checks (and the
+        dataclass ``__init__`` machinery) per TDMA slot is pure overhead
+        on the simulation hot path.
+        """
+        state = object.__new__(cls)
+        fields = state.__dict__
+        fields["global_time"] = global_time
+        fields["medl_position"] = medl_position
+        fields["membership"] = membership
+        fields["dmc_mode"] = dmc_mode
+        return state
+
     def advanced(self, slots_in_round: int, slot_duration_ticks: int = 1) -> "CState":
         """C-state after one TDMA slot elapses."""
         next_position = self.medl_position + 1
         if next_position > slots_in_round:
             next_position = 1
-        next_time = (self.global_time + slot_duration_ticks) % (1 << GLOBAL_TIME_BITS)
-        return replace(self, global_time=next_time, medl_position=next_position)
+        next_time = (self.global_time + slot_duration_ticks) % _GLOBAL_TIME_WRAP
+        return CState._unchecked(next_time, next_position, self.membership,
+                                 self.dmc_mode)
 
     def with_member(self, slot_id: int, present: bool) -> "CState":
         """C-state with one membership bit set or cleared."""
-        members = set(self.membership)
         if present:
-            members.add(slot_id)
+            if not 0 <= slot_id < MAX_MEMBERSHIP_SLOTS:
+                raise ValueError(
+                    f"membership slot {slot_id} exceeds the "
+                    f"{MAX_MEMBERSHIP_SLOTS}-slot vector limit")
+            if slot_id in self.membership:
+                return self
+            members = frozenset(self.membership | {slot_id})
         else:
-            members.discard(slot_id)
-        return replace(self, membership=frozenset(members))
+            if slot_id not in self.membership:
+                return self
+            members = frozenset(self.membership - {slot_id})
+        return CState._unchecked(self.global_time, self.medl_position,
+                                 members, self.dmc_mode)
 
     def agrees_with(self, other: "CState") -> bool:
         """Whether two C-states match for frame-correctness purposes."""

@@ -51,6 +51,12 @@ class Frame:
     sender_slot: int
     cstate: CState = field(default_factory=CState)
 
+    #: ``kind.value`` precomputed per class: the event emitters tag every
+    #: transmission with the frame-kind string, and going through the
+    #: property plus the enum's ``value`` descriptor costs two dynamic
+    #: lookups per emit on the hot path.
+    kind_value = ""
+
     @property
     def kind(self) -> FrameKind:
         raise NotImplementedError
@@ -94,6 +100,8 @@ class NFrame(Frame):
 
     mode_change_request: int = 0
 
+    kind_value = FrameKind.OTHER.value
+
     @property
     def kind(self) -> FrameKind:
         return FrameKind.OTHER
@@ -114,6 +122,8 @@ class IFrame(Frame):
     """Explicit C-state frame used for integration and re-integration."""
 
     mode_change_request: int = 0
+
+    kind_value = FrameKind.C_STATE.value
 
     @property
     def kind(self) -> FrameKind:
@@ -150,6 +160,8 @@ class XFrame(Frame):
         if any(bit not in (0, 1) for bit in self.data_bits):
             raise ValueError("data_bits must contain only 0/1")
 
+    kind_value = FrameKind.C_STATE.value
+
     @property
     def kind(self) -> FrameKind:
         return FrameKind.C_STATE
@@ -184,6 +196,8 @@ class ColdStartFrame(Frame):
     Because no global time exists yet, receivers cannot verify the sender by
     arrival time -- the root cause of startup masquerading (Section 2.2).
     """
+
+    kind_value = FrameKind.COLD_START.value
 
     @property
     def kind(self) -> FrameKind:

@@ -110,7 +110,7 @@ class HostRuntime:
         if self._started:
             raise RuntimeError("host runtime already started")
         self._started = True
-        self.controller.sim.schedule(delay, self._round_tick)
+        self.controller.sim.post(delay, self._round_tick)
 
     def _round_tick(self) -> None:
         if self.controller.integrated:
@@ -118,4 +118,4 @@ class HostRuntime:
             for task in self.tasks:
                 task.on_round(self.controller)
         period = self.controller.medl.round_duration()
-        self.controller.sim.schedule(period, self._round_tick)
+        self.controller.sim.post(period, self._round_tick)

@@ -9,8 +9,9 @@ MEDL (paper Section 2.1).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,65 @@ class SlotDescriptor:
             raise ValueError(f"slot duration must be positive, got {self.duration}")
         if self.frame_bits <= 0:
             raise ValueError(f"frame size must be positive, got {self.frame_bits}")
+
+
+class MedlDispatch:
+    """Compiled per-slot dispatch table for one MEDL round.
+
+    TDMA schedules are static, so everything the hot path asks of a MEDL
+    -- slot durations, start offsets, successor slots, the sender map,
+    the round length, and phase-to-slot resolution -- is computed once
+    here and then answered by array indexing instead of per-call scans.
+    Built lazily by :meth:`Medl.dispatch` and cached on the (immutable)
+    MEDL, so every controller, guardian, and coupler holding the same
+    schedule shares one table.
+    """
+
+    __slots__ = ("slot_count", "durations", "start_offsets", "next_slot_id",
+                 "frame_bits", "explicit_cstate", "slot_by_sender",
+                 "round_duration", "uniform_duration")
+
+    def __init__(self, medl: "Medl") -> None:
+        slots = medl.slots
+        self.slot_count: int = len(slots)
+        self.durations: Tuple[float, ...] = tuple(s.duration for s in slots)
+        offsets = []
+        acc = 0.0
+        for descriptor in slots:
+            offsets.append(acc)
+            acc += descriptor.duration
+        self.start_offsets: Tuple[float, ...] = tuple(offsets)
+        self.round_duration: float = acc
+        self.next_slot_id: Tuple[int, ...] = tuple(
+            index + 2 for index in range(len(slots) - 1)) + (1,)
+        self.frame_bits: Tuple[int, ...] = tuple(s.frame_bits for s in slots)
+        self.explicit_cstate: Tuple[bool, ...] = tuple(
+            s.explicit_cstate for s in slots)
+        self.slot_by_sender: Dict[str, int] = {
+            s.sender: s.slot_id for s in slots}
+        first = slots[0].duration
+        #: Common slot duration when the round is uniform (O(1) phase
+        #: lookups), else ``None`` (falls back to bisect).
+        self.uniform_duration: Optional[float] = (
+            first if all(d == first for d in self.durations) else None)
+
+    def slot_at_phase(self, phase: float) -> int:
+        """1-based id of the slot whose span contains round phase ``phase``.
+
+        ``phase`` must already be reduced modulo the round duration; the
+        final slot also absorbs ``phase == round_duration`` (boundary
+        instants resolve to the slot that just completed).
+        """
+        uniform = self.uniform_duration
+        if uniform is not None:
+            index = int(phase / uniform)
+        else:
+            index = bisect_right(self.start_offsets, phase) - 1
+            if index < 0:
+                index = 0
+        if index >= self.slot_count:
+            index = self.slot_count - 1
+        return index + 1
 
 
 @dataclass(frozen=True)
@@ -73,6 +133,15 @@ class Medl:
 
     # -- queries ------------------------------------------------------------------
 
+    def dispatch(self) -> MedlDispatch:
+        """The compiled dispatch table for this round (built once, cached)."""
+        try:
+            return self._dispatch_table  # type: ignore[attr-defined]
+        except AttributeError:
+            table = MedlDispatch(self)
+            object.__setattr__(self, "_dispatch_table", table)
+            return table
+
     @property
     def slot_count(self) -> int:
         """Number of slots per round (``slots`` in the paper's model)."""
@@ -90,10 +159,10 @@ class Medl:
 
     def slot_of(self, node_name: str) -> int:
         """Slot owned by the node (raises ``KeyError`` for unknown nodes)."""
-        for descriptor in self.slots:
-            if descriptor.sender == node_name:
-                return descriptor.slot_id
-        raise KeyError(f"node {node_name!r} has no slot in this MEDL")
+        slot_id = self.dispatch().slot_by_sender.get(node_name)
+        if slot_id is None:
+            raise KeyError(f"node {node_name!r} has no slot in this MEDL")
+        return slot_id
 
     def next_slot(self, slot_id: int) -> int:
         """Successor slot with wraparound (paper's ``next_slot``)."""
@@ -101,10 +170,12 @@ class Medl:
 
     def round_duration(self) -> float:
         """Total duration of one TDMA round."""
-        return sum(descriptor.duration for descriptor in self.slots)
+        return self.dispatch().round_duration
 
     def slot_start_offset(self, slot_id: int) -> float:
         """Offset of the slot start from the round start."""
+        if 1 <= slot_id <= self.slot_count:
+            return self.dispatch().start_offsets[slot_id - 1]
         return sum(descriptor.duration for descriptor in self.slots[:slot_id - 1])
 
     def node_names(self) -> List[str]:

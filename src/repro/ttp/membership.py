@@ -15,7 +15,7 @@ Membership feeds two mechanisms the paper exercises:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List
+from typing import FrozenSet, List, Optional
 
 from repro.ttp.clique import CliqueCounters
 from repro.ttp.cstate import CState
@@ -35,18 +35,46 @@ class SlotJudgment:
         return not self.correct and not self.null
 
 
-@dataclass
 class MembershipView:
-    """Mutable membership bookkeeping for one controller."""
+    """Mutable membership bookkeeping for one controller.
 
-    own_slot: int
-    members: set = field(default_factory=set)
-    counters: CliqueCounters = field(default_factory=CliqueCounters)
-    history: List[SlotJudgment] = field(default_factory=list)
+    The clique counters are kept as saturating plain integers -- one pair
+    of updates per judged slot is the membership hot path -- and exposed
+    as a :class:`CliqueCounters` value through the :attr:`counters`
+    property (built on demand; the avoidance test runs once per round).
+    """
+
+    __slots__ = ("own_slot", "members", "history", "_agreed", "_failed",
+                 "_cap", "_snapshot", "_snapshot_of")
+
+    def __init__(self, own_slot: int) -> None:
+        self.own_slot = own_slot
+        self.members: set = set()
+        self.history: List[SlotJudgment] = []
+        self._agreed = 0
+        self._failed = 0
+        self._cap = CliqueCounters().cap
+        #: Cached :meth:`membership_set` snapshot.  Valid only while it was
+        #: built from the *current* ``members`` object (callers may reassign
+        #: ``members`` wholesale; in-class mutations invalidate explicitly).
+        self._snapshot: Optional[FrozenSet[int]] = None
+        self._snapshot_of: Optional[set] = None
+
+    @property
+    def counters(self) -> CliqueCounters:
+        """This round's judgments as an immutable counters value."""
+        return CliqueCounters(self._agreed, self._failed, self._cap)
+
+    @counters.setter
+    def counters(self, value: CliqueCounters) -> None:
+        self._agreed = value.agreed
+        self._failed = value.failed
+        self._cap = value.cap
 
     def reset_round(self) -> None:
         """Start a new round of clique counting."""
-        self.counters = self.counters.reset()
+        self._agreed = 0
+        self._failed = 0
 
     def judge_slot(self, slot_id: int, observations: List[FrameObservation],
                    receiver_cstate: CState) -> SlotJudgment:
@@ -66,27 +94,44 @@ class MembershipView:
     def apply_judgment(self, judgment: SlotJudgment) -> None:
         """Fold one slot verdict into membership and counters."""
         self.history.append(judgment)
+        members = self.members
         if judgment.correct:
-            self.members.add(judgment.slot_id)
-            self.counters = self.counters.record_agreed()
+            if judgment.slot_id not in members:
+                members.add(judgment.slot_id)
+                self._snapshot = None
+            if self._agreed < self._cap:
+                self._agreed += 1
         elif judgment.null:
             # Silence: the sender may simply have nothing scheduled; TTP/C
             # removes it from membership but counts neither way.
-            self.members.discard(judgment.slot_id)
-            self.counters = self.counters.record_null()
+            if judgment.slot_id in members:
+                members.discard(judgment.slot_id)
+                self._snapshot = None
         else:
-            self.members.discard(judgment.slot_id)
-            self.counters = self.counters.record_failed()
+            if judgment.slot_id in members:
+                members.discard(judgment.slot_id)
+                self._snapshot = None
+            if self._failed < self._cap:
+                self._failed += 1
 
     def record_own_send(self) -> None:
         """A controller's own successful send counts as an agreed slot and
         keeps itself in the membership."""
-        self.members.add(self.own_slot)
-        self.counters = self.counters.record_agreed()
+        if self.own_slot not in self.members:
+            self.members.add(self.own_slot)
+            self._snapshot = None
+        if self._agreed < self._cap:
+            self._agreed += 1
 
     def membership_set(self) -> FrozenSet[int]:
         """Immutable snapshot for embedding into a C-state."""
-        return frozenset(self.members)
+        snapshot = self._snapshot
+        if snapshot is not None and self._snapshot_of is self.members:
+            return snapshot
+        snapshot = frozenset(self.members)
+        self._snapshot = snapshot
+        self._snapshot_of = self.members
+        return snapshot
 
     def is_member(self, slot_id: int) -> bool:
         return slot_id in self.members
@@ -95,6 +140,7 @@ class MembershipView:
         """Replace the membership view with the one from an adopted C-state
         (integration path)."""
         self.members = set(cstate.membership)
+        self._snapshot = None
 
     def failed_ratio(self) -> float:
         """Fraction of judged slots that failed (diagnostics)."""

@@ -87,6 +87,44 @@ def test_run_until_does_not_fire_later_events():
     assert fired == [1]
 
 
+def test_run_pause_gc_restores_collector():
+    import gc
+
+    sim = Simulator()
+    observed = []
+    sim.schedule(1.0, lambda: observed.append(gc.isenabled()))
+    assert gc.isenabled()
+    sim.run(pause_gc=True)
+    assert observed == [False]
+    assert gc.isenabled()
+
+
+def test_run_pause_gc_restores_collector_after_callback_error():
+    import gc
+
+    def boom():
+        raise RuntimeError("callback failure")
+
+    sim = Simulator()
+    sim.schedule(1.0, boom)
+    with pytest.raises(RuntimeError):
+        sim.run(pause_gc=True)
+    assert gc.isenabled()
+
+
+def test_run_pause_gc_leaves_disabled_collector_disabled():
+    import gc
+
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    gc.disable()
+    try:
+        sim.run(pause_gc=True)
+        assert not gc.isenabled()
+    finally:
+        gc.enable()
+
+
 def test_events_scheduled_during_run_are_executed():
     sim = Simulator()
     fired = []
@@ -228,3 +266,59 @@ def test_event_ordering_operator():
     early = Event(1.0, 0, 0, lambda: None)
     late = Event(2.0, 0, 1, lambda: None)
     assert early < late
+
+
+# -- cancelled-event compaction ----------------------------------------------
+
+
+@pytest.mark.parametrize("queue", ["calendar", "heap"])
+def test_churned_schedule_compacts_dead_events(queue):
+    """A churned schedule (mass cancellation) must not accumulate dead
+    entries: once more than half the queue is cancelled the queue compacts
+    and the survivors still fire in exact order."""
+    sim = Simulator(queue=queue, grid=10.0)
+    fired = []
+    events = [sim.schedule(float(i), (lambda i=i: fired.append(i)))
+              for i in range(400)]
+    # Cancel three quarters -- far past the compaction threshold (>64 dead
+    # and dead > live).
+    cancelled = [event for i, event in enumerate(events) if i % 4]
+    for event in cancelled:
+        event.cancel()
+    # The backing queue dropped the dead entries eagerly rather than
+    # waiting for pops to stumble over them.
+    assert len(sim._queue) < len(events)
+    assert sim._queue.pending_count() == 100
+    sim.run()
+    assert fired == [i for i in range(400) if i % 4 == 0]
+
+
+@pytest.mark.parametrize("queue", ["calendar", "heap"])
+def test_compaction_spans_ring_and_overflow(queue):
+    """Compaction rebuilds the whole structure, including entries past the
+    calendar ring horizon, without reordering survivors."""
+    sim = Simulator(queue=queue, grid=1.0)
+    fired = []
+    # Spread far beyond the 256-bucket ring horizon so the calendar queue
+    # holds a populated overflow heap at compaction time.
+    events = [sim.schedule(float(i * 7), (lambda i=i: fired.append(i)))
+              for i in range(300)]
+    for i, event in enumerate(events):
+        if i % 2:
+            event.cancel()
+    assert sim._queue.pending_count() == 150
+    sim.run()
+    assert fired == [i for i in range(300) if i % 2 == 0]
+    assert sim.now == (300 - 2) * 7.0
+
+
+def test_explicit_compact_resets_dead_counter():
+    sim = Simulator(queue="calendar", grid=10.0)
+    keep = sim.schedule(5.0, lambda: None)
+    for _ in range(10):
+        sim.schedule(3.0, lambda: None).cancel()
+    assert sim._queue._dead == 10
+    sim._queue.compact()
+    assert sim._queue._dead == 0
+    assert sim._queue.pending_count() == 1
+    assert sim._queue.peek()[3] is keep

@@ -1,0 +1,29 @@
+"""Fixture: a protocol module that bypasses the engine (SIM003 bait)."""
+
+import heapq          # SIM003: private event heap in protocol code
+import time           # SIM003: wall clock in simulated time
+from heapq import heappush  # SIM003: same, from-import form
+
+
+class SlotDriver:
+    def __init__(self, sim, medl):
+        self.sim = sim
+        self.medl = medl
+        self._pending = []
+
+    def install_round(self):
+        # SIM003: ad-hoc per-slot rescheduling loop.
+        for slot in self.medl.slots:
+            self.sim.schedule(slot.offset, self._slot_tick)
+
+    def queue_frame(self, frame):
+        heappush(self._pending, (time.monotonic(), frame))
+
+    def drain(self):
+        while self._pending:
+            _, frame = heapq.heappop(self._pending)
+            # SIM003: scheduling inside a loop, absolute-time form.
+            self.sim.schedule_at(frame.deadline, frame.send)
+
+    def _slot_tick(self):
+        pass

@@ -90,7 +90,7 @@ class TestRuleSelection:
         ids = {rule.rule for rule in select_rules(None)}
         assert ids == {"DET001", "DET002", "DET003", "DET004", "DET005",
                        "DET006", "EVT001", "EVT002", "EVT003", "SIM001",
-                       "SIM002"}
+                       "SIM002", "SIM003"}
 
     def test_pack_prefix_selects_the_pack(self):
         ids = {rule.rule for rule in select_rules(["DET"])}

@@ -51,8 +51,13 @@ class TestRepositoryGate:
                           baseline=baseline)
         assert report.new_findings == []
         assert report.exit_code == 0
-        # The accepted debt is all model hygiene, never AST findings.
-        assert {f.rule[:3] for f in report.baselined_findings} == {"MDL"}
+        # The accepted debt is model hygiene plus exactly one sanctioned
+        # AST finding: the shared ChannelScheduler's internal heap (the
+        # single channel-state process SIM003 exists to protect).
+        ast_debt = [f for f in report.baselined_findings
+                    if f.rule[:3] != "MDL"]
+        assert [(f.rule, f.path) for f in ast_debt] == [
+            ("SIM003", "src/repro/network/channel.py")]
         assert report.stale_baseline == []
 
     def test_selectors_restrict_the_run(self):

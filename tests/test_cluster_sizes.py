@@ -53,9 +53,27 @@ def test_three_node_cluster_round_duration():
     assert cluster.medl.round_duration() == 300.0
 
 
-def test_sixteen_slot_membership_field_limit():
-    """The 16-bit membership field caps the cluster at 16 slots."""
+def test_membership_field_grows_past_sixteen_slots():
+    """Clusters beyond 16 slots run: the membership wire field pads to the
+    next 16-bit multiple instead of capping the cluster size."""
     names = [f"N{i}" for i in range(17)]
     cluster = build(names)
+    cluster.run(rounds=12)
+    states = cluster.states().values()
+    assert any(state is ControllerStateName.ACTIVE for state in states)
+    # A 17-slot membership no longer fits 16 bits: the C-state encodes a
+    # 32-bit field, and every sub-17-slot membership keeps the exact
+    # paper encoding.
+    active = [controller for controller in cluster.controllers.values()
+              if controller.view.membership_set()]
+    assert active
+    widths = {controller.cstate.membership_field_bits()
+              for controller in active}
+    assert widths <= {16, 32}
+
+
+def test_sixty_four_slot_hard_limit():
+    """TTP/C's 64-slot ceiling is enforced at controller construction."""
+    names = [f"N{i}" for i in range(65)]
     with pytest.raises(ValueError):
-        cluster.run(rounds=30)
+        build(names)

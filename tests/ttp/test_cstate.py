@@ -19,7 +19,29 @@ def test_field_range_validation():
     with pytest.raises(ValueError):
         CState(medl_position=1 << 16)
     with pytest.raises(ValueError):
-        CState(membership=frozenset({16}))
+        CState(membership=frozenset({64}))
+    with pytest.raises(ValueError):
+        CState(membership=frozenset({-1}))
+
+
+def test_membership_field_grows_in_16_bit_steps():
+    # The paper's minimum configuration keeps the exact 16-bit field...
+    assert CState().membership_field_bits() == 16
+    assert CState(membership=frozenset({0, 15})).membership_field_bits() == 16
+    # ...and larger generated clusters pad to the next 16-bit multiple.
+    assert CState(membership=frozenset({16})).membership_field_bits() == 32
+    assert CState(membership=frozenset({31})).membership_field_bits() == 32
+    assert CState(membership=frozenset({32})).membership_field_bits() == 48
+    assert CState(membership=frozenset({63})).membership_field_bits() == 64
+
+
+def test_wide_membership_roundtrip():
+    original = CState(global_time=7, medl_position=20,
+                      membership=frozenset({0, 17, 40, 63}))
+    rebuilt = CState.from_fields(original.global_time, original.medl_position,
+                                 original.membership_word())
+    assert rebuilt.agrees_with(original)
+    assert len(original.to_bits()) == 16 + 16 + 64
 
 
 def test_membership_word_packing():
