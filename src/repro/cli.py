@@ -258,17 +258,37 @@ def _cmd_events(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.staticcheck import Baseline, run_lint, to_json, to_sarif, to_text
+    from repro.staticcheck import (
+        Baseline,
+        run_lint,
+        to_json,
+        to_sarif,
+        to_text,
+        update_baseline,
+    )
 
     paths = args.paths or ["src"]
     selectors = None
     if args.rules:
         selectors = [part.strip() for chunk in args.rules
                      for part in chunk.split(",") if part.strip()]
+
+    if args.update_baseline:
+        fresh = update_baseline(args.baseline_file, paths=paths, root=".",
+                                check_models=not args.no_models,
+                                model_slots=args.slots)
+        print(f"baseline written: {len(fresh)} finding(s) "
+              f"-> {args.baseline_file}")
+        return 0
+
     baseline = Baseline.from_file(args.baseline_file)
-    report = run_lint(paths, root=".", selectors=selectors,
-                      baseline=baseline, check_models=not args.no_models,
-                      model_slots=args.slots)
+    try:
+        report = run_lint(paths, root=".", selectors=selectors,
+                          baseline=baseline, check_models=not args.no_models,
+                          model_slots=args.slots, changed_ref=args.changed)
+    except RuntimeError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
 
     if args.baseline:
         Baseline(report.findings).write(args.baseline_file)
@@ -285,7 +305,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"({args.format} report written to {args.output})")
     else:
         print(rendered)
-    full_run = not (args.rules or args.no_models or args.paths)
+    full_run = not (args.rules or args.no_models or args.paths
+                    or args.changed)
     if (full_run and report.stale_baseline
             and args.format == "text" and not args.output):
         print(f"note: {len(report.stale_baseline)} stale baseline entr(y/ies) "
@@ -437,7 +458,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint = subparsers.add_parser(
         "lint", help="domain-aware static analysis: determinism (DET), "
                      "event taxonomy (EVT), simulator processes (SIM), "
-                     "transition-system hygiene (MDL)")
+                     "transition-system hygiene (MDL), concurrency hazards "
+                     "(CON), packed widths (WID), emit ordering (ORD)")
     lint.add_argument("paths", nargs="*",
                       help="files or directories to check (default: src)")
     lint.add_argument("--format", choices=("text", "json", "sarif"),
@@ -449,6 +471,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--baseline", action="store_true",
                       help="write all current findings to the baseline file "
                            "and exit 0 (accept them)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      dest="update_baseline",
+                      help="regenerate the baseline from a full clean-slate "
+                           "run (deterministic, sorted; drops stale entries) "
+                           "and exit 0")
+    lint.add_argument("--changed", default=None, metavar="GIT_REF",
+                      help="incremental mode: restrict findings to .py files "
+                           "differing from GIT_REF (whole universe still "
+                           "analyzed for call-graph facts; MDL pack skipped)")
     lint.add_argument("--baseline-file", default="staticcheck-baseline.json",
                       dest="baseline_file",
                       help="baseline location "

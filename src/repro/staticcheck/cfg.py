@@ -1,0 +1,348 @@
+"""Per-function control-flow graphs for the flow-sensitive rule packs.
+
+A :class:`CFG` is built from one ``ast.FunctionDef`` body: basic blocks of
+consecutive simple statements, edges for ``if``/``for``/``while``/``try``
+branching, and a synthetic exit block every ``return``/``raise`` jumps to.
+On top of the graph the class computes dominators and postdominators with
+the standard iterative fixpoint, exposed at *statement* granularity --
+``postdominates(a, b)`` answers "on every path from ``b`` to the function
+exit, does ``a`` execute?", which is exactly the question the ORD pack
+asks of an ``_emit`` site and the mutation it reports, and
+``dominates(a, b)`` answers "does the guard ``a`` always run before the
+sink ``b``?", the WID pack's overflow-guard test.
+
+The ``try`` translation is deliberately approximate (any statement of the
+body may transfer to any handler); approximation here only widens what the
+rules consider possible, it never hides an edge that exists.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: Statements that never fall through to the next statement in the block.
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+class Block:
+    """One basic block: a run of statements with a single entry and exit."""
+
+    __slots__ = ("index", "statements", "successors", "predecessors")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.statements: List[ast.stmt] = []
+        self.successors: List["Block"] = []
+        self.predecessors: List["Block"] = []
+
+    def link(self, successor: "Block") -> None:
+        if successor not in self.successors:
+            self.successors.append(successor)
+            successor.predecessors.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        lines = [getattr(stmt, "lineno", "?") for stmt in self.statements]
+        return f"Block({self.index}, lines={lines})"
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, function: ast.AST) -> None:
+        self.function = function
+        self.blocks: List[Block] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        #: id(statement) -> (block, position inside the block).
+        self._location: Dict[int, Tuple[Block, int]] = {}
+        self._dominators: Optional[List[Set[int]]] = None
+        self._postdominators: Optional[List[Set[int]]] = None
+        body = getattr(function, "body", [])
+        last = self._build_body(body, self.entry, loop_stack=[])
+        if last is not None:
+            last.link(self.exit)
+
+    # -- construction ------------------------------------------------------------
+
+    def _new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _place(self, block: Block, stmt: ast.stmt) -> None:
+        self._location[id(stmt)] = (block, len(block.statements))
+        block.statements.append(stmt)
+
+    def _build_body(self, body: List[ast.stmt], current: Optional[Block],
+                    loop_stack: List[Tuple[Block, Block]]) -> Optional[Block]:
+        """Thread ``body`` onto ``current``; returns the fall-through block
+        (``None`` when every path terminated)."""
+        for stmt in body:
+            if current is None:
+                # Unreachable code after a terminator still gets a block so
+                # every statement has a location; it just has no entry edge.
+                current = self._new_block()
+            current = self._build_statement(stmt, current, loop_stack)
+        return current
+
+    def _build_statement(self, stmt: ast.stmt, current: Block,
+                         loop_stack: List[Tuple[Block, Block]]
+                         ) -> Optional[Block]:
+        if isinstance(stmt, ast.If):
+            self._place(current, stmt)
+            after = self._new_block()
+            then_entry = self._new_block()
+            current.link(then_entry)
+            then_exit = self._build_body(stmt.body, then_entry, loop_stack)
+            if then_exit is not None:
+                then_exit.link(after)
+            if stmt.orelse:
+                else_entry = self._new_block()
+                current.link(else_entry)
+                else_exit = self._build_body(stmt.orelse, else_entry,
+                                             loop_stack)
+                if else_exit is not None:
+                    else_exit.link(after)
+            else:
+                current.link(after)
+            return after
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self._new_block()
+            current.link(header)
+            self._place(header, stmt)
+            after = self._new_block()
+            body_entry = self._new_block()
+            header.link(body_entry)
+            loop_stack.append((header, after))
+            body_exit = self._build_body(stmt.body, body_entry, loop_stack)
+            loop_stack.pop()
+            if body_exit is not None:
+                body_exit.link(header)
+            if stmt.orelse:
+                else_entry = self._new_block()
+                header.link(else_entry)
+                else_exit = self._build_body(stmt.orelse, else_entry,
+                                             loop_stack)
+                if else_exit is not None:
+                    else_exit.link(after)
+            else:
+                header.link(after)
+            return after
+
+        if isinstance(stmt, ast.Try) or (hasattr(ast, "TryStar")
+                                         and isinstance(stmt, ast.TryStar)):
+            return self._build_try(stmt, current, loop_stack)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._place(current, stmt)
+            body_entry = self._new_block()
+            current.link(body_entry)
+            body_exit = self._build_body(stmt.body, body_entry, loop_stack)
+            if body_exit is None:
+                return None
+            after = self._new_block()
+            body_exit.link(after)
+            return after
+
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            self._place(current, stmt)
+            after = self._new_block()
+            exhaustive = False
+            for case in stmt.cases:
+                case_entry = self._new_block()
+                current.link(case_entry)
+                case_exit = self._build_body(case.body, case_entry, loop_stack)
+                if case_exit is not None:
+                    case_exit.link(after)
+                if (isinstance(case.pattern, ast.MatchAs)
+                        and case.pattern.pattern is None):
+                    exhaustive = True  # a bare `case _:` catches everything
+            if not exhaustive:
+                current.link(after)
+            return after
+
+        # Simple statement: append to the running block.
+        self._place(current, stmt)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.link(self.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if loop_stack:
+                current.link(loop_stack[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if loop_stack:
+                current.link(loop_stack[-1][0])
+            return None
+        return current
+
+    def _build_try(self, stmt: ast.AST, current: Block,
+                   loop_stack: List[Tuple[Block, Block]]) -> Optional[Block]:
+        """Approximate ``try``: every block of the body may transfer to every
+        handler; ``finally`` runs on the way out of all of them."""
+        self._place(current, stmt)
+        after = self._new_block()
+        body_entry = self._new_block()
+        current.link(body_entry)
+        body_start = len(self.blocks) - 1
+        body_exit = self._build_body(stmt.body, body_entry, loop_stack)
+        body_blocks = self.blocks[body_start:]
+
+        handler_exits: List[Optional[Block]] = []
+        for handler in stmt.handlers:
+            handler_entry = self._new_block()
+            # The exception may fire before any body statement completes,
+            # or between any two of them.
+            current.link(handler_entry)
+            for block in body_blocks:
+                block.link(handler_entry)
+            handler_exits.append(self._build_body(handler.body, handler_entry,
+                                                  loop_stack))
+
+        else_exit = body_exit
+        if stmt.orelse and body_exit is not None:
+            else_entry = self._new_block()
+            body_exit.link(else_entry)
+            else_exit = self._build_body(stmt.orelse, else_entry, loop_stack)
+
+        exits = [exit_block for exit_block in [else_exit, *handler_exits]
+                 if exit_block is not None]
+        if stmt.finalbody:
+            final_entry = self._new_block()
+            for exit_block in exits:
+                exit_block.link(final_entry)
+            if not exits:
+                # All paths terminated, but finally still runs before the
+                # control transfer; model it as reachable from the try.
+                current.link(final_entry)
+            final_exit = self._build_body(stmt.finalbody, final_entry,
+                                          loop_stack)
+            if final_exit is None:
+                return None
+            final_exit.link(after)
+            return after
+        if not exits:
+            return None
+        for exit_block in exits:
+            exit_block.link(after)
+        return after
+
+    # -- queries -----------------------------------------------------------------
+
+    def location(self, stmt: ast.stmt) -> Tuple[Block, int]:
+        """``(block, position)`` of a statement placed in this CFG."""
+        return self._location[id(stmt)]
+
+    def contains(self, stmt: ast.stmt) -> bool:
+        return id(stmt) in self._location
+
+    def statements(self) -> Iterator[ast.stmt]:
+        for block in self.blocks:
+            yield from block.statements
+
+    def statement_of(self, node: ast.AST) -> Optional[ast.stmt]:
+        """The placed statement lexically containing ``node`` (by id walk)."""
+        for stmt in self.statements():
+            for child in ast.walk(stmt):
+                if child is node:
+                    return stmt
+        return None
+
+    # -- dominance ---------------------------------------------------------------
+
+    def _solve(self, roots: List[Block],
+               edges: str) -> List[Set[int]]:
+        """Iterative (post)dominator sets per block index.
+
+        ``edges`` selects ``"predecessors"`` (dominators, rooted at entry)
+        or ``"successors"`` (postdominators, rooted at exit).
+        """
+        everything = set(range(len(self.blocks)))
+        root_indices = {block.index for block in roots}
+        sets: List[Set[int]] = [
+            {index} if index in root_indices else set(everything)
+            for index in range(len(self.blocks))]
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks:
+                if block.index in root_indices:
+                    continue
+                inputs = getattr(block, edges)
+                if inputs:
+                    merged = set.intersection(*[sets[other.index]
+                                                for other in inputs])
+                else:
+                    # Unreachable from the roots: keep the full set (it
+                    # vacuously (post)dominates nothing reachable).
+                    merged = set(everything)
+                merged = merged | {block.index}
+                if merged != sets[block.index]:
+                    sets[block.index] = merged
+                    changed = True
+        return sets
+
+    def dominator_sets(self) -> List[Set[int]]:
+        if self._dominators is None:
+            self._dominators = self._solve([self.entry], "predecessors")
+        return self._dominators
+
+    def postdominator_sets(self) -> List[Set[int]]:
+        if self._postdominators is None:
+            self._postdominators = self._solve([self.exit], "successors")
+        return self._postdominators
+
+    def dominates(self, first: ast.stmt, second: ast.stmt) -> bool:
+        """Whether ``first`` executes on *every* path reaching ``second``."""
+        block_a, pos_a = self.location(first)
+        block_b, pos_b = self.location(second)
+        if block_a is block_b:
+            return pos_a <= pos_b
+        return block_a.index in self.dominator_sets()[block_b.index]
+
+    def postdominates(self, later: ast.stmt, earlier: ast.stmt) -> bool:
+        """Whether ``later`` executes on *every* path from ``earlier`` to
+        the function exit (after ``earlier`` itself)."""
+        block_l, pos_l = self.location(later)
+        block_e, pos_e = self.location(earlier)
+        if block_l is block_e:
+            return pos_l >= pos_e
+        return block_l.index in self.postdominator_sets()[block_e.index]
+
+
+#: List-field elements that belong to *nested* placed statements, not to
+#: the compound statement's own header (tests, iterables, with-items).
+_NESTED_KINDS = tuple(kind for kind in (
+    ast.stmt, ast.excepthandler, getattr(ast, "match_case", None))
+    if kind is not None)
+
+
+def own_nodes(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """AST nodes of a placed statement *excluding* nested statement bodies.
+
+    A compound statement (``if``/``for``/``try``/``with``) is placed in
+    the CFG before its body; its body statements are placed separately.
+    Transfer functions and sink scans must therefore look only at the
+    header expressions (the test, the iterable, the with-items) -- walking
+    ``ast.walk(stmt)`` would see every call of the body *at the header's
+    program point*, both double-reporting and time-traveling facts.
+    """
+    stack: List[ast.AST] = []
+    for _, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.AST) and not isinstance(value, _NESTED_KINDS):
+            stack.append(value)
+        elif isinstance(value, list):
+            stack.extend(item for item in value
+                         if isinstance(item, ast.AST)
+                         and not isinstance(item, _NESTED_KINDS))
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def build_cfg(function: ast.AST) -> CFG:
+    """CFG of one ``FunctionDef`` / ``AsyncFunctionDef`` body."""
+    return CFG(function)

@@ -20,11 +20,16 @@ suppresses only the listed rule ids.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.staticcheck.findings import Finding, RuleInfo
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (context -> framework)
+    from repro.staticcheck.context import AnalysisContext
 
 #: ``# repro: ignore`` or ``# repro: ignore[DET001,EVT002]``.
 _SUPPRESSION = re.compile(
@@ -35,17 +40,35 @@ ALL_RULES = "*"
 
 
 def parse_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map 1-based line number -> set of suppressed rule ids (or ``{'*'}``)."""
+    """Map 1-based line number -> set of suppressed rule ids (or ``{'*'}``).
+
+    Only *real* comments count: the source is tokenized and the
+    suppression pattern is matched against ``COMMENT`` tokens, so a
+    docstring or string literal that merely *quotes* the syntax (e.g.
+    documentation of the suppression feature itself) cannot silently
+    swallow genuine findings on its line.
+    """
     table: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESSION.search(line)
-        if match is None:
-            continue
-        listed = match.group("rules")
-        if listed is None:
-            table[lineno] = {ALL_RULES}
-        else:
-            table[lineno] = {rule.strip() for rule in listed.split(",")}
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    try:
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION.search(token.string)
+            if match is None:
+                continue
+            listed = match.group("rules")
+            lineno = token.start[0]
+            if listed is None:
+                table[lineno] = {ALL_RULES}
+            else:
+                table[lineno] = {rule.strip() for rule in listed.split(",")}
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unfinishable token stream: keep whatever suppressions tokenized
+        # cleanly before the error rather than guessing with a line regex
+        # (the caller already ast-parsed the source, so in practice this
+        # only fires on sources the lint run would reject anyway).
+        pass
     return table
 
 
@@ -137,21 +160,34 @@ def _own_yields(node: ast.AST) -> Iterator[ast.AST]:
 
 
 class AstRule:
-    """Base class of every per-file rule.
+    """Base class of every source-level rule.
 
     Subclasses set ``rule``, ``description``, optionally ``severity``, and
     implement :meth:`check`.  :meth:`applies_to` lets a rule scope itself
     to path patterns (hot paths, clock-sync modules, monitor modules).
+
+    ``check`` receives the unit under analysis *and* the run-wide
+    :class:`~repro.staticcheck.context.AnalysisContext`: per-file rules
+    simply ignore the context, while the flow- and call-graph-aware packs
+    (CON/WID/ORD) pull memoized CFGs and the repo call graph from it.
     """
 
     rule: str = ""
     description: str = ""
     severity: str = "error"
+    #: ``"file"`` rules run once per unit; ``"universe"`` rules run once
+    #: per lint run (over the whole context) and may report into any file.
+    scope: str = "file"
 
     def applies_to(self, unit: ModuleUnit) -> bool:
         return True
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit,
+              context: "AnalysisContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_universe(self, context: "AnalysisContext") -> Iterator[Finding]:
+        """Entry point of ``scope == "universe"`` rules."""
         raise NotImplementedError
 
     def finding(self, unit: ModuleUnit, node: ast.AST, message: str,
@@ -170,26 +206,60 @@ class AstRule:
 
 
 def run_ast_rules(rules: Sequence[AstRule],
-                  units: Iterable[ModuleUnit]) -> List[Finding]:
-    """All non-suppressed findings of ``rules`` over ``units``."""
+                  units: Iterable[ModuleUnit],
+                  context: Optional["AnalysisContext"] = None
+                  ) -> List[Finding]:
+    """All non-suppressed findings of ``rules`` over ``units``.
+
+    ``context`` defaults to a fresh :class:`AnalysisContext` spanning
+    exactly ``units``; the lint driver passes a shared one so CFGs and
+    the call graph are built once per run, not once per rule pack.  When
+    the context restricts reporting (``--changed``), findings outside the
+    reportable set are dropped here, uniformly for every pack.
+    """
+    from repro.staticcheck.context import AnalysisContext
+
+    unit_list = list(units)
+    if context is None:
+        context = AnalysisContext(unit_list)
     findings: List[Finding] = []
-    for unit in units:
+
+    def admit(finding: Finding, checked_unit: Optional[ModuleUnit]) -> None:
+        if not context.should_report(finding.path):
+            return
+        # Suppressions live in the file the finding lands in, which for
+        # universe-scope rules need not be the unit being iterated.
+        target = context.by_path.get(finding.path, checked_unit)
+        if target is not None and is_suppressed(finding, target.suppressions):
+            return
+        findings.append(finding)
+
+    for unit in unit_list:
+        if not context.should_report(unit.rel_path):
+            continue  # --changed: file-scope findings land in their own file
         for rule in rules:
-            if not rule.applies_to(unit):
+            if rule.scope != "file" or not rule.applies_to(unit):
                 continue
-            for finding in rule.check(unit):
-                if not is_suppressed(finding, unit.suppressions):
-                    findings.append(finding)
+            for finding in rule.check(unit, context):
+                admit(finding, unit)
+    for rule in rules:
+        if rule.scope == "universe":
+            for finding in rule.check_universe(context):
+                admit(finding, None)
     return findings
 
 
 def all_rules() -> List[AstRule]:
-    """Instantiate every registered AST rule (DET + EVT + SIM packs)."""
+    """Instantiate every registered AST rule (DET/EVT/SIM + CON/WID/ORD)."""
+    from repro.staticcheck.rules_con import CON_RULES
     from repro.staticcheck.rules_det import DET_RULES
     from repro.staticcheck.rules_evt import EVT_RULES
+    from repro.staticcheck.rules_ord import ORD_RULES
     from repro.staticcheck.rules_sim import SIM_RULES
+    from repro.staticcheck.rules_wid import WID_RULES
 
-    return [cls() for cls in (*DET_RULES, *EVT_RULES, *SIM_RULES)]
+    return [cls() for cls in (*DET_RULES, *EVT_RULES, *SIM_RULES,
+                              *CON_RULES, *WID_RULES, *ORD_RULES)]
 
 
 def select_rules(selectors: Optional[Sequence[str]]) -> List[AstRule]:

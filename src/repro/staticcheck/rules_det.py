@@ -76,7 +76,7 @@ class WallClockRule(AstRule):
     description = ("wall-clock read; simulated time comes from the engine, "
                    "elapsed time from time.perf_counter")
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit, context) -> Iterator[Finding]:
         for node in ast.walk(unit.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -102,7 +102,7 @@ class RawRandomRule(AstRule):
         # The one blessed wrapper is the seeded-stream module itself.
         return not unit.rel_path.endswith("sim/rng.py")
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit, context) -> Iterator[Finding]:
         for node in ast.walk(unit.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -162,7 +162,7 @@ class SetIterationRule(AstRule):
                 for generator in node.generators:
                     yield generator.iter
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit, context) -> Iterator[Finding]:
         for source in self._iteration_sources(unit):
             if _is_set_expression(source):
                 yield self.finding(
@@ -184,7 +184,7 @@ class IdOrderingRule(AstRule):
                 and isinstance(node.func, ast.Name)
                 and node.func.id == "id")
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit, context) -> Iterator[Finding]:
         for node in ast.walk(unit.tree):
             if isinstance(node, ast.Call):
                 name = dotted_name(node.func)
@@ -237,7 +237,7 @@ class FloatEqualityRule(AstRule):
         name = unit.basename()
         return name in self.CLOCK_FILES or "clock" in name
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit, context) -> Iterator[Finding]:
         for node in ast.walk(unit.tree):
             if not isinstance(node, ast.Compare):
                 continue
@@ -290,7 +290,7 @@ class NumpyDeterminismRule(AstRule):
     def _is_numpy_random(name: str) -> bool:
         return name.startswith(("np.random.", "numpy.random."))
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit, context) -> Iterator[Finding]:
         for node in ast.walk(unit.tree):
             if not isinstance(node, ast.Call):
                 continue

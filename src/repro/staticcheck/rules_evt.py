@@ -70,7 +70,7 @@ class EmitSiteRule(AstRule):
     description = ("_emit call sites must name an event class declared in "
                    "obs/events.py and pass only its declared detail fields")
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit, context) -> Iterator[Finding]:
         class_fields, _ = taxonomy()
         for node in ast.walk(unit.tree):
             if not isinstance(node, ast.Call):
@@ -134,7 +134,7 @@ class RecordKindRule(AstRule):
             return kind_node.value, kind_node
         return None
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit, context) -> Iterator[Finding]:
         class_fields, kind_to_class = taxonomy()
         for node in ast.walk(unit.tree):
             if not isinstance(node, ast.Call):
@@ -201,7 +201,7 @@ class MonitorKindRule(AstRule):
             for argument in node.args:
                 yield from self._literal_values(argument)
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit, context) -> Iterator[Finding]:
         _, kind_to_class = taxonomy()
 
         def verify(kind: str, node: ast.AST) -> Iterator[Finding]:

@@ -75,7 +75,7 @@ class ProcessIsGeneratorRule(AstRule):
                     and isinstance(node.args[1], ast.Call)):
                 yield node.args[1]
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit, context) -> Iterator[Finding]:
         table = _function_table(unit)
         for factory_call in self._registered_factories(unit):
             name = terminal_name(factory_call.func)
@@ -100,7 +100,7 @@ class NoBlockingCallsRule(AstRule):
     description = ("generator bodies must not call blocking primitives; "
                    "yield Timeout(delay) to pass simulated time")
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit, context) -> Iterator[Finding]:
         for node in ast.walk(unit.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -155,7 +155,7 @@ class NoEngineBypassRule(AstRule):
     def applies_to(self, unit: ModuleUnit) -> bool:
         return unit.in_directory("ttp", "network")
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+    def check(self, unit: ModuleUnit, context) -> Iterator[Finding]:
         for node in ast.walk(unit.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:

@@ -1,0 +1,23 @@
+"""Clean fixture for the ORD pack: emit post-dominates, kinds consumed."""
+
+from ord_events import Freeze, StateChange
+
+
+class CleanController:
+    def __init__(self):
+        self.state = "init"
+        self.bus = []
+
+    def advance(self, ready):
+        if not ready:
+            return
+        self.state = "active"
+        # Post-dominates the mutation: every continuing path reports it.
+        self._emit(StateChange(time=0.0, source="ctl", state=self.state))
+
+    def _emit(self, event):
+        self.bus.append(event)
+
+
+def report_freeze():
+    return Freeze(time=0.0, source="ctl")  # 'freeze' is consumed

@@ -1,0 +1,15 @@
+"""Fixture monitor for the ORD pack: consumes 'state' and 'freeze' only."""
+
+KINDS_OF_INTEREST = ("state", "freeze")
+
+
+class FixtureMonitor:
+    def __init__(self):
+        self.seen = []
+        self.frozen = False
+
+    def on_event(self, event):
+        if event.kind == "state":
+            self.seen.append(event)
+        elif event.kind in KINDS_OF_INTEREST:
+            self.frozen = True

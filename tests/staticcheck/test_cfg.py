@@ -1,0 +1,141 @@
+"""CFG construction, dominance, and own-node scoping."""
+
+import ast
+
+from repro.staticcheck.cfg import build_cfg, own_nodes
+
+
+def _cfg(source):
+    tree = ast.parse(source)
+    function = tree.body[0]
+    return function, build_cfg(function)
+
+
+def _stmt(function, lineno):
+    for node in ast.walk(function):
+        if isinstance(node, ast.stmt) and getattr(node, "lineno", None) == lineno:
+            return node
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+class TestDominance:
+    def test_guard_dominates_straight_line_sink(self):
+        function, cfg = _cfg(
+            "def f(x):\n"
+            "    if x > (1 << 63):\n"      # line 2
+            "        raise ValueError\n"
+            "    y = x + 1\n"              # line 4
+            "    return y\n")              # line 5
+        assert cfg.dominates(_stmt(function, 2), _stmt(function, 4))
+        assert cfg.dominates(_stmt(function, 2), _stmt(function, 5))
+
+    def test_branch_body_does_not_dominate_the_join(self):
+        function, cfg = _cfg(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"              # line 3: then-branch only
+            "    return x\n")              # line 4
+        assert not cfg.dominates(_stmt(function, 3), _stmt(function, 4))
+
+    def test_same_block_order_is_positional(self):
+        function, cfg = _cfg(
+            "def f():\n"
+            "    a = 1\n"                  # line 2
+            "    b = 2\n")                 # line 3
+        assert cfg.dominates(_stmt(function, 2), _stmt(function, 3))
+        assert not cfg.dominates(_stmt(function, 3), _stmt(function, 2))
+
+
+class TestPostdominance:
+    def test_straight_line_emit_postdominates_mutation(self):
+        function, cfg = _cfg(
+            "def f(self):\n"
+            "    self.state = 1\n"         # line 2
+            "    self._emit(self.state)\n")  # line 3
+        assert cfg.postdominates(_stmt(function, 3), _stmt(function, 2))
+
+    def test_early_return_breaks_postdominance(self):
+        function, cfg = _cfg(
+            "def f(self, ready):\n"
+            "    self.state = 1\n"         # line 2
+            "    if not ready:\n"
+            "        return\n"
+            "    self._emit(self.state)\n")  # line 5
+        assert not cfg.postdominates(_stmt(function, 5), _stmt(function, 2))
+
+    def test_emit_before_conditional_return_postdominates(self):
+        function, cfg = _cfg(
+            "def f(self, ready):\n"
+            "    self.state = 1\n"         # line 2
+            "    self._emit(self.state)\n"  # line 3
+            "    if not ready:\n"
+            "        return\n"
+            "    self.cleanup()\n")
+        assert cfg.postdominates(_stmt(function, 3), _stmt(function, 2))
+
+
+class TestLoopsAndTry:
+    def test_loop_body_neither_dominates_nor_postdominates_after(self):
+        function, cfg = _cfg(
+            "def f(xs):\n"
+            "    total = 0\n"
+            "    for x in xs:\n"
+            "        total += x\n"         # line 4: may run zero times
+            "    return total\n")          # line 5
+        assert not cfg.dominates(_stmt(function, 4), _stmt(function, 5))
+        assert not cfg.postdominates(_stmt(function, 4), _stmt(function, 2))
+
+    def test_try_body_may_skip_to_handler(self):
+        function, cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        a = risky()\n"        # line 3
+            "        b = a + 1\n"          # line 4: may be skipped
+            "    except ValueError:\n"
+            "        b = 0\n"
+            "    return b\n")              # line 7
+        assert not cfg.dominates(_stmt(function, 4), _stmt(function, 7))
+        assert cfg.dominates(_stmt(function, 2), _stmt(function, 7))
+
+    def test_every_statement_is_placed(self):
+        function, cfg = _cfg(
+            "def f(xs):\n"
+            "    with open('x') as h:\n"
+            "        for x in xs:\n"
+            "            if x:\n"
+            "                continue\n"
+            "            h.write(x)\n"
+            "    while xs:\n"
+            "        xs.pop()\n"
+            "    return xs\n")
+        for node in ast.walk(function):
+            if isinstance(node, ast.stmt) and node is not function:
+                assert cfg.contains(node), ast.dump(node)
+
+
+class TestOwnNodes:
+    def test_compound_header_only(self):
+        stmt = ast.parse(
+            "if check(n):\n"
+            "    publish(n)\n"
+            "else:\n"
+            "    other(n)\n").body[0]
+        calls = {node.func.id for node in own_nodes(stmt)
+                 if isinstance(node, ast.Call)}
+        assert calls == {"check"}
+
+    def test_try_header_sees_no_body_calls(self):
+        stmt = ast.parse(
+            "try:\n"
+            "    publish(n)\n"
+            "finally:\n"
+            "    cleanup(n)\n").body[0]
+        calls = [node for node in own_nodes(stmt)
+                 if isinstance(node, ast.Call)]
+        assert calls == []
+
+    def test_simple_statement_is_fully_walked(self):
+        stmt = ast.parse("x = f(g(1), h=i(2))").body[0]
+        calls = {node.func.id for node in own_nodes(stmt)
+                 if isinstance(node, ast.Call)}
+        assert calls == {"f", "g", "i"}

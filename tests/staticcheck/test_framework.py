@@ -50,6 +50,31 @@ class TestSuppressions:
         unit = load_unit("suppressed.py")
         assert run_ast_rules(all_rules(), [unit]) == []
 
+    def test_marker_inside_a_docstring_is_not_a_suppression(self):
+        # Regression: a naive line scan would read the quoted marker as a
+        # live suppression; the tokenizer knows it is a string.
+        source = ('def f():\n'
+                  '    """Write `# repro: ignore[DET001]` to suppress."""\n'
+                  '    return 1\n')
+        assert parse_suppressions(source) == {}
+
+    def test_marker_inside_a_string_literal_is_not_a_suppression(self):
+        source = 'text = "x = 1  # repro: ignore"\n'
+        assert parse_suppressions(source) == {}
+
+    def test_comment_after_multiline_statement_lands_on_its_line(self):
+        source = ("value = [\n"
+                  "    1,\n"
+                  "]  # repro: ignore[EVT001]\n")
+        assert parse_suppressions(source) == {3: {"EVT001"}}
+
+    def test_suppressions_survive_unparseable_tail(self):
+        # tokenize raises on some malformed sources even when earlier
+        # lines carried markers; the parser must not propagate that.
+        source = "x = 1  # repro: ignore\ny = (\n"
+        table = parse_suppressions(source)
+        assert table.get(1) == {"*"}
+
 
 class TestGeneratorDetection:
     def _func(self, source: str) -> ast.FunctionDef:
@@ -90,7 +115,18 @@ class TestRuleSelection:
         ids = {rule.rule for rule in select_rules(None)}
         assert ids == {"DET001", "DET002", "DET003", "DET004", "DET005",
                        "DET006", "EVT001", "EVT002", "EVT003", "SIM001",
-                       "SIM002", "SIM003"}
+                       "SIM002", "SIM003",
+                       "CON001", "CON002", "CON003", "CON004",
+                       "WID001", "WID002", "WID003",
+                       "ORD001", "ORD002"}
+
+    def test_pack_prefix_selects_interprocedural_packs(self):
+        assert {rule.rule for rule in select_rules(["CON"])} == {
+            "CON001", "CON002", "CON003", "CON004"}
+        assert {rule.rule for rule in select_rules(["WID"])} == {
+            "WID001", "WID002", "WID003"}
+        assert {rule.rule for rule in select_rules(["ORD"])} == {
+            "ORD001", "ORD002"}
 
     def test_pack_prefix_selects_the_pack(self):
         ids = {rule.rule for rule in select_rules(["DET"])}

@@ -1,0 +1,52 @@
+"""CON pack: concurrency hazards across the pool boundary."""
+
+import pytest
+
+from repro.staticcheck.context import AnalysisContext
+from repro.staticcheck.framework import run_ast_rules, select_rules
+
+
+@pytest.fixture
+def findings(load_unit):
+    units = [load_unit("con_unclean.py"), load_unit("con_clean.py")]
+    context = AnalysisContext(units)
+    return run_ast_rules(select_rules(["CON"]), units, context)
+
+
+def _hits(findings, rule):
+    return sorted((f.path, f.line) for f in findings if f.rule == rule)
+
+
+def test_con001_flags_mutation_after_publish(findings):
+    assert _hits(findings, "CON001") == [("con_unclean.py", 34)]
+
+
+def test_con002_flags_unpicklable_payloads(findings):
+    assert _hits(findings, "CON002") == [("con_unclean.py", 39),
+                                         ("con_unclean.py", 44)]
+
+
+def test_con003_flags_worker_reachable_global_mutation(findings):
+    assert _hits(findings, "CON003") == [("con_unclean.py", 16)]
+
+
+def test_con003_is_a_warning(findings):
+    (finding,) = [f for f in findings if f.rule == "CON003"]
+    assert finding.severity == "warning"
+
+
+def test_con004_flags_unenveloped_submission(findings):
+    assert _hits(findings, "CON004") == [("con_unclean.py", 49)]
+
+
+def test_clean_fixture_is_silent(findings):
+    assert not [f for f in findings if f.path == "con_clean.py"]
+
+
+def test_con003_needs_the_whole_universe(load_unit):
+    # With only the clean module in scope, its local cache refresh is not
+    # worker-reachable, so nothing fires.
+    units = [load_unit("con_clean.py")]
+    findings = run_ast_rules(select_rules(["CON"]), units,
+                             AnalysisContext(units))
+    assert findings == []

@@ -2,6 +2,7 @@
 and the ``repro lint`` CLI gate."""
 
 import json
+import time
 from pathlib import Path
 
 import pytest
@@ -9,10 +10,12 @@ import pytest
 from repro.cli import main
 from repro.staticcheck import (
     Baseline,
+    changed_python_files,
     run_lint,
     to_json,
     to_sarif,
     to_text,
+    update_baseline,
 )
 
 HERE = Path(__file__).parent
@@ -21,7 +24,9 @@ REPO_ROOT = HERE.parents[1]
 
 #: Every AST rule id the fixture packages must demonstrate.
 AST_RULE_IDS = {"DET001", "DET002", "DET003", "DET004", "DET005",
-                "EVT001", "EVT002", "EVT003", "SIM001", "SIM002"}
+                "EVT001", "EVT002", "EVT003", "SIM001", "SIM002",
+                "CON001", "CON002", "CON003", "CON004",
+                "WID001", "WID002", "WID003", "ORD001", "ORD002"}
 
 
 @pytest.fixture(scope="module")
@@ -51,13 +56,27 @@ class TestRepositoryGate:
                           baseline=baseline)
         assert report.new_findings == []
         assert report.exit_code == 0
-        # The accepted debt is model hygiene plus exactly one sanctioned
-        # AST finding: the shared ChannelScheduler's internal heap (the
-        # single channel-state process SIM003 exists to protect).
+        # The accepted debt is model hygiene plus a small, enumerated set
+        # of sanctioned AST findings (each justified in DESIGN.md):
+        # the shared ChannelScheduler heap (SIM003), the per-process
+        # shard worker cache (CON003), three width sinks whose bounds
+        # the checker cannot see (WID001), and telemetry-only event
+        # kinds no monitor dispatches on (ORD002).
         ast_debt = [f for f in report.baselined_findings
                     if f.rule[:3] != "MDL"]
-        assert [(f.rule, f.path) for f in ast_debt] == [
-            ("SIM003", "src/repro/network/channel.py")]
+        by_rule = {}
+        for finding in ast_debt:
+            by_rule.setdefault(finding.rule, []).append(finding.path)
+        assert by_rule["SIM003"] == ["src/repro/network/channel.py"]
+        assert by_rule["CON003"] == ["src/repro/modelcheck/shard.py"]
+        assert sorted(by_rule["WID001"]) == [
+            "src/repro/modelcheck/checker.py",
+            "src/repro/modelcheck/symmetry.py",
+            "src/repro/modelcheck/vector.py"]
+        ord_debt = [f for f in ast_debt if f.rule == "ORD002"]
+        assert len(ord_debt) == 20
+        assert all(f.item.startswith("kind:") for f in ord_debt)
+        assert set(by_rule) == {"SIM003", "CON003", "WID001", "ORD002"}
         assert report.stale_baseline == []
 
     def test_selectors_restrict_the_run(self):
@@ -85,6 +104,20 @@ class TestEmitters:
             assert location["artifactLocation"]["uri"]
             assert result["partialFingerprints"]["reproLint/v1"]
 
+    def test_sarif_validates_against_the_vendored_schema(self,
+                                                         fixture_report):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(
+            (HERE / "sarif-2.1.0-minimal.schema.json").read_text())
+        document = json.loads(to_sarif(fixture_report))
+        jsonschema.validate(document, schema)
+        # The new packs appear in the validated document, not just any
+        # SARIF: the fixture run exercises every rule family.
+        rule_ids = {result["ruleId"]
+                    for result in document["runs"][0]["results"]}
+        for pack in ("CON", "WID", "ORD"):
+            assert any(rule.startswith(pack) for rule in rule_ids), pack
+
     def test_sarif_marks_baselined_results(self, fixture_report):
         baseline = Baseline(fixture_report.new_findings)
         rebaselined = run_lint([FIXTURES], root=FIXTURES,
@@ -105,6 +138,68 @@ class TestEmitters:
         text = to_text(fixture_report)
         assert "repro lint:" in text
         assert f"{len(fixture_report.new_findings)} new finding(s)" in text
+
+
+class TestBaselineReproducibility:
+    def test_update_baseline_is_byte_identical_to_the_committed_file(
+            self, tmp_path):
+        committed = REPO_ROOT / "staticcheck-baseline.json"
+        regenerated = tmp_path / "staticcheck-baseline.json"
+        update_baseline(regenerated, paths=(REPO_ROOT / "src",),
+                        root=REPO_ROOT)
+        assert regenerated.read_bytes() == committed.read_bytes()
+
+
+class TestChangedMode:
+    def test_changed_python_files_reports_relative_posix_paths(self):
+        changed = changed_python_files("HEAD", REPO_ROOT)
+        assert all(path.endswith(".py") for path in changed)
+        assert all("\\" not in path and not path.startswith("/")
+                   for path in changed)
+
+    def test_bad_ref_raises(self):
+        with pytest.raises(RuntimeError, match="git diff"):
+            changed_python_files("no-such-ref-xyz", REPO_ROOT)
+
+    def test_changed_run_restricts_findings_to_the_diff(self):
+        changed = changed_python_files("HEAD", REPO_ROOT)
+        report = run_lint([REPO_ROOT / "src"], root=REPO_ROOT,
+                          baseline=Baseline.from_file(
+                              REPO_ROOT / "staticcheck-baseline.json"),
+                          changed_ref="HEAD")
+        assert report.models_checked == 0  # MDL is skipped in changed mode
+        for finding in report.findings:
+            assert finding.path in changed
+
+    def test_cli_changed_mode_passes_on_the_repository(self, monkeypatch,
+                                                       capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "--changed", "HEAD"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_cli_changed_mode_bad_ref_exits_two(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "--changed", "no-such-ref-xyz"]) == 2
+        assert "git diff" in capsys.readouterr().err
+
+
+class TestTimingBudget:
+    def test_full_lint_fits_the_ci_budget(self):
+        baseline = Baseline.from_file(REPO_ROOT / "staticcheck-baseline.json")
+        started = time.monotonic()
+        report = run_lint([REPO_ROOT / "src"], root=REPO_ROOT,
+                          baseline=baseline)
+        elapsed = time.monotonic() - started
+        assert report.exit_code == 0
+        assert elapsed < 60.0, f"full lint took {elapsed:.1f}s"
+
+    def test_changed_lint_fits_the_incremental_budget(self):
+        started = time.monotonic()
+        run_lint([REPO_ROOT / "src"], root=REPO_ROOT, changed_ref="HEAD",
+                 baseline=Baseline.from_file(
+                     REPO_ROOT / "staticcheck-baseline.json"))
+        elapsed = time.monotonic() - started
+        assert elapsed < 10.0, f"changed lint took {elapsed:.1f}s"
 
 
 class TestCli:
