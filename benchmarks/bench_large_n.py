@@ -1,0 +1,110 @@
+"""EXP-P8: large-N generated clusters -- throughput and startup vs size.
+
+The cluster generator (``repro.gen``) materializes arbitrary-size
+clusters from one declarative config; this benchmark runs the benign
+generated star at a ladder of sizes up to the TTP/C 64-slot ceiling and
+records, per size:
+
+* **typed-event rate** -- typed events/sec of a benign startup run to
+  steady state (wall-clock over the monitor's eviction-proof counter);
+* **startup latency in rounds** -- time until every node is ACTIVE,
+  from the online :class:`repro.obs.monitors.StartupMonitor`, divided
+  by the round duration.  Listen timeouts are ``slots + node_slot``
+  silent slots, so latency measured in *rounds* is expected to stay
+  O(1) while the round itself grows linearly with N -- the scaling
+  argument behind the paper's 4-node minimum being representative;
+* **correctness gates** -- every node ACTIVE with the full membership
+  vector agreed, at every size (a perf number from a broken run is
+  worthless).
+
+``REPRO_BENCH_FAST=1`` drops the size ladder to {8, 32} and shortens
+the runs (CI tripwire); numbers in ``BENCH_des.json`` should come from
+a default run.
+"""
+
+import os
+import time
+
+from _report import update_bench_json, write_report
+
+from repro.analysis.tables import format_table
+from repro.cluster import Cluster
+from repro.gen.config import GenConfig
+from repro.gen.materialize import materialize
+from repro.obs.monitors import StartupMonitor
+from repro.ttp.constants import ControllerStateName
+
+from bench_des_engine import BENCH_DES_JSON
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+SIZES = [8, 32] if FAST else [8, 16, 32, 64]
+ROUNDS = 12 if FAST else 40
+
+#: Bound the event ring so 64-node runs keep flat memory; the startup
+#: monitor is online, so eviction never loses the verdict.
+MONITOR_CAPACITY = 4096
+
+
+def run_size(nodes):
+    spec = materialize(GenConfig(name="bench-large-n", nodes=nodes, seed=1))
+    spec.monitor_capacity = MONITOR_CAPACITY
+    cluster = Cluster(spec)
+    startup = StartupMonitor.for_cluster(cluster)
+    cluster.power_on()
+    started = time.perf_counter()
+    cluster.run(rounds=ROUNDS, pause_gc=True)
+    seconds = time.perf_counter() - started
+
+    # Correctness gates before any rate is recorded.
+    assert all(state is ControllerStateName.ACTIVE
+               for state in cluster.states().values()), (
+        f"{nodes}-node generated cluster failed to reach ACTIVE")
+    expected = frozenset(range(1, nodes + 1))
+    assert all(controller.view.membership_set() == expected
+               for controller in cluster.controllers.values()), (
+        f"{nodes}-node membership vectors disagree")
+
+    all_active = startup.all_active_time()
+    assert all_active is not None
+    round_duration = cluster.medl.round_duration()
+    events = sum(cluster.monitor.kind_counts.values())
+    return {
+        "nodes": nodes,
+        "slot_duration": spec.slot_duration,
+        "round_duration": round_duration,
+        "typed_events": events,
+        "seconds": round(seconds, 3),
+        "events_per_second": round(events / seconds, 1),
+        "startup_rounds": round(all_active / round_duration, 4),
+    }
+
+
+def test_exp_p8_large_n_scaling(benchmark):
+    benchmark.pedantic(lambda: run_size(SIZES[0]), rounds=1, iterations=1)
+
+    results = [run_size(nodes) for nodes in SIZES]
+
+    # The O(1)-rounds startup claim: latency in rounds must not grow
+    # with N (generous factor for the listen-timeout spread).
+    latencies = [row["startup_rounds"] for row in results]
+    assert max(latencies) <= 3 * min(latencies), (
+        f"startup latency in rounds grew superlinearly: {latencies}")
+
+    rows = [(row["nodes"], f"{row['slot_duration']:g}",
+             row["typed_events"], f"{row['seconds']:.3f}s",
+             f"{row['events_per_second']:,.0f}",
+             f"{row['startup_rounds']:g}")
+            for row in results]
+    rows.append(("cpu count", os.cpu_count(), "-", "-", "-", "-"))
+    write_report("EXP-P8", format_table(
+        ["nodes", "slot", "typed events", "time", "events/s",
+         "startup (rounds)"],
+        rows,
+        title=f"Generated-cluster scaling, benign startup x {ROUNDS} "
+              f"rounds (fast={FAST})"))
+    update_bench_json("exp_p8_large_n_scaling", {
+        "workload": f"benign generated star startup, {ROUNDS} rounds",
+        "sizes": SIZES,
+        "results": results,
+        "fast_mode": FAST,
+    }, path=BENCH_DES_JSON)

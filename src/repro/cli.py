@@ -9,6 +9,8 @@
 ``repro events``      -- run a named scenario, emit its JSONL event stream
 ``repro conform``     -- replay a counterexample on the DES (EXP-S3)
 ``repro lint``        -- domain-aware static analysis (DET/EVT/SIM/MDL)
+``repro gen``         -- emit/validate/describe a generated-cluster config
+``repro sweep``       -- containment / startup-latency sweeps vs cluster size
 """
 
 from __future__ import annotations
@@ -314,6 +316,115 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _gen_config_from_args(args: argparse.Namespace):
+    """Build a GenConfig from ``repro gen emit`` flags (over a base file)."""
+    from repro.gen import Dist, FaultMix, GenConfig
+
+    if args.config:
+        base = GenConfig.load(args.config)
+    else:
+        base = GenConfig()
+    overrides = {}
+    for flag, field_name in (("name", "name"), ("nodes", "nodes"),
+                             ("topology", "topology"),
+                             ("authority", "authority"), ("seed", "seed"),
+                             ("slot_duration", "slot_duration"),
+                             ("modes", "modes")):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[field_name] = value
+    if args.shuffle_slots:
+        overrides["shuffle_slots"] = True
+    if args.ppm_band is not None:
+        overrides["ppm"] = Dist.uniform(-args.ppm_band, args.ppm_band)
+    if args.power_on_max is not None:
+        overrides["power_on_delay"] = Dist.uniform(0.0, args.power_on_max)
+    fault_overrides = {}
+    if args.node_fault_density is not None:
+        fault_overrides["node_density"] = args.node_fault_density
+    if args.node_fault_types is not None:
+        fault_overrides["node_types"] = tuple(
+            part.strip() for part in args.node_fault_types.split(",")
+            if part.strip())
+    if args.guardian_fault_density is not None:
+        fault_overrides["guardian_density"] = args.guardian_fault_density
+    if args.coupler_faults is not None:
+        fault_overrides["coupler_faults"] = tuple(
+            part.strip() for part in args.coupler_faults.split(",")
+            if part.strip())
+    if fault_overrides:
+        base_faults = base.faults.to_json()
+        base_faults.update(
+            {key: list(value) if isinstance(value, tuple) else value
+             for key, value in fault_overrides.items()})
+        overrides["faults"] = FaultMix.from_json(base_faults)
+    if not overrides:
+        return base
+    from dataclasses import replace
+
+    return replace(base, **overrides)
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.gen import GenConfig, describe, materialize
+
+    if args.action == "emit":
+        config = _gen_config_from_args(args)
+        materialize(config)  # fail fast before writing anything
+        if args.out:
+            config.dump(args.out)
+            print(f"config written -> {args.out}")
+        else:
+            sys.stdout.write(config.dumps())
+        return 0
+
+    if not args.config:
+        raise SystemExit(f"repro gen {args.action} requires --config PATH")
+    config = GenConfig.load(args.config)
+    if args.action == "validate":
+        try:
+            spec = materialize(config)
+        except ValueError as error:
+            print(f"invalid: {error}", file=sys.stderr)
+            return 2
+        print(f"ok: {config.nodes}-node {config.topology} cluster, "
+              f"slot {spec.slot_duration:g}, "
+              f"{len(spec.injected_faults)} fault(s)")
+        return 0
+    print(format_table(["property", "value"], describe(config),
+                       title=f"generated cluster: {config.name}"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.gen import GenConfig, run_sweep
+    from repro.gen.sweep import dump_report
+
+    config = GenConfig.load(args.config) if args.config else GenConfig()
+    sizes = [int(part) for chunk in args.sizes
+             for part in chunk.split(",") if part.strip()]
+    report = run_sweep(config, sizes=sizes, rounds=args.rounds,
+                       trials=args.trials, jobs=args.jobs,
+                       **_resilience_kwargs(args))
+    rows = []
+    for row in report["rows"]:
+        containment = row["containment_rate"]
+        rows.append((row["nodes"],
+                     f"{row['completed_trials']}/{row['trials']}",
+                     "-" if row["startup_rounds_mean"] is None
+                     else f"{row['startup_rounds_mean']:g}",
+                     "benign" if containment is None else f"{containment:g}",
+                     row["victim_trials"]))
+    print(format_table(
+        ["nodes", "completed", "startup (rounds)", "containment", "victim trials"],
+        rows, title=f"scale sweep: {config.name} ({config.topology}, "
+                    f"{args.trials} trial(s) x {args.rounds:g} rounds)"))
+    if args.report:
+        dump_report(report, args.report)
+        print(f"\n(report written to {args.report})")
+    return 0
+
+
 def _cmd_conform(args: argparse.Namespace) -> int:
     from repro.conformance import SCENARIOS, check_conformance
 
@@ -493,6 +604,80 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--no-models", action="store_true", dest="no_models",
                       help="skip the MDL reachability rules (AST packs only)")
     lint.set_defaults(func=_cmd_lint)
+
+    gen = subparsers.add_parser(
+        "gen", help="generate large-N cluster configs: emit a declarative "
+                    "spec file, validate one, or describe what it "
+                    "materializes to")
+    gen.add_argument("action", choices=["emit", "validate", "describe"])
+    gen.add_argument("--config", default=None, metavar="PATH",
+                     help="existing config file (base for emit; required "
+                          "for validate/describe)")
+    gen.add_argument("--out", default=None, metavar="PATH",
+                     help="emit: write the config here (default: stdout)")
+    gen.add_argument("--name", default=None)
+    gen.add_argument("--nodes", type=_positive_int, default=None)
+    gen.add_argument("--topology", choices=["star", "bus"], default=None)
+    gen.add_argument("--authority", default=None,
+                     choices=[level.value for level in CouplerAuthority])
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("--slot-duration", type=_positive_float, default=None,
+                     dest="slot_duration",
+                     help="fixed TDMA slot duration (default: auto-sized "
+                          "from the widest always-sent frame)")
+    gen.add_argument("--modes", type=_positive_int, default=None,
+                     help="operating modes; mode 0 is the status schedule, "
+                          "further modes get payload-frame slots")
+    gen.add_argument("--shuffle-slots", action="store_true",
+                     dest="shuffle_slots",
+                     help="permute the node-to-slot assignment with a "
+                          "seeded draw")
+    gen.add_argument("--ppm-band", type=_positive_float, default=None,
+                     dest="ppm_band", metavar="PPM",
+                     help="draw per-node crystal offsets uniformly from "
+                          "+/- PPM")
+    gen.add_argument("--power-on-max", type=_positive_float, default=None,
+                     dest="power_on_max", metavar="TIME",
+                     help="draw per-node power-on delays uniformly from "
+                          "[0, TIME]")
+    gen.add_argument("--node-fault-density", type=float, default=None,
+                     dest="node_fault_density",
+                     help="fraction of nodes carrying a node fault")
+    gen.add_argument("--node-fault-types", default=None,
+                     dest="node_fault_types", metavar="CSV",
+                     help="comma-separated FaultType values faulty nodes "
+                          "draw from (e.g. sos_signal,babbling_idiot)")
+    gen.add_argument("--guardian-fault-density", type=float, default=None,
+                     dest="guardian_fault_density",
+                     help="fraction of nodes with a faulty local guardian "
+                          "(bus topology)")
+    gen.add_argument("--coupler-faults", default=None, dest="coupler_faults",
+                     metavar="CSV",
+                     help="per-channel coupler faults, 'none' for healthy "
+                          "(e.g. coupler_out_of_slot,none; star topology)")
+    gen.set_defaults(func=_cmd_gen)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="containment-rate and startup-latency sweeps as "
+                      "functions of cluster size, sharded across workers")
+    sweep.add_argument("--config", default=None, metavar="PATH",
+                       help="generated-cluster config (repro gen emit); "
+                            "default: the benign 4-node star config")
+    sweep.add_argument("--sizes", action="append", default=None,
+                       required=True, metavar="CSV",
+                       help="cluster sizes to sweep, comma-separated; "
+                            "repeatable (e.g. --sizes 4,8,16,32,64)")
+    sweep.add_argument("--rounds", type=_positive_float, default=60.0,
+                       help="TDMA rounds per cell (default: 60)")
+    sweep.add_argument("--trials", type=_positive_int, default=1,
+                       help="independent seeds per size (default: 1)")
+    sweep.add_argument("--jobs", type=_positive_int, default=None,
+                       help="fan the size x trial cells out over N worker "
+                            "processes (default: serial)")
+    sweep.add_argument("--report", default=None, metavar="PATH",
+                       help="write the deterministic JSON report here")
+    _add_resilience_flags(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
 
     report = subparsers.add_parser(
         "report", help="run every core experiment and print the combined "

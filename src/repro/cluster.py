@@ -20,8 +20,15 @@ from repro.sim.clock import ClockConfig, DriftingClock
 from repro.sim.engine import Simulator
 from repro.sim.monitor import TraceMonitor
 from repro.sim.rng import RandomStream
-from repro.ttp.constants import ControllerStateName
+from repro.ttp.constants import (
+    CHANNEL_COUNT,
+    COLD_START_FRAME_BITS,
+    MAX_MEMBERSHIP_SLOTS,
+    N_FRAME_BITS,
+    ControllerStateName,
+)
 from repro.ttp.controller import ControllerConfig, FreezeReason, TTPController
+from repro.ttp.frames import i_frame_wire_bits
 from repro.ttp.medl import Medl
 
 DEFAULT_NODE_NAMES = ["A", "B", "C", "D"]
@@ -75,11 +82,124 @@ class ClusterSpec:
     #: cluster announces each as a ``fault_injected`` event at time zero.
     injected_faults: List = field(default_factory=list)
 
+    def validate(self) -> None:
+        """Reject misconfigured specs before any wiring happens.
+
+        Every rule here used to fail silently (typo'd node names ignored
+        through ``.get()`` defaults, topology-mismatched fault fields
+        never read) or deep inside a run (oversized memberships exploding
+        in ``CState.__post_init__`` mid-simulation).
+        """
+        names = self.node_names
+        if not names:
+            raise ValueError("cluster needs at least one node")
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate node names {duplicates}: every node needs its "
+                f"own TDMA slot, so names must be unique")
+        if len(names) > MAX_MEMBERSHIP_SLOTS:
+            raise ValueError(
+                f"cluster has {len(names)} nodes but the membership vector "
+                f"addresses at most {MAX_MEMBERSHIP_SLOTS} slots; split the "
+                f"cluster or reduce node count")
+        if self.topology not in ("star", "bus"):
+            raise ValueError(f"unknown topology {self.topology!r} "
+                             f"(expected 'star' or 'bus')")
+        known = set(names)
+        for field_name in ("node_ppm", "power_on_delays", "node_configs",
+                           "tolerances", "guardian_faults"):
+            unknown = sorted(set(getattr(self, field_name)) - known)
+            if unknown:
+                raise ValueError(
+                    f"{field_name} refers to unknown node(s) {unknown}; "
+                    f"cluster nodes are {sorted(known)}")
+        for probability_name in ("channel_drop_probability",
+                                 "channel_corrupt_probability"):
+            value = getattr(self, probability_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{probability_name} must be in [0, 1], got {value}")
+        if self.topology == "star":
+            if len(self.coupler_faults) != CHANNEL_COUNT:
+                raise ValueError(
+                    f"coupler_faults needs one entry per channel "
+                    f"({CHANNEL_COUNT}), got {len(self.coupler_faults)}")
+            if self.guardian_faults:
+                raise ValueError(
+                    "guardian_faults configures bus-topology local "
+                    "guardians; a star cluster has none (use "
+                    "coupler_faults)")
+        else:
+            from repro.network.star_coupler import CouplerFault
+
+            if any(fault is not CouplerFault.NONE
+                   for fault in self.coupler_faults):
+                raise ValueError(
+                    "coupler_faults configures the star coupler; a bus "
+                    "cluster has none (use guardian_faults)")
+            if (self.coupler_replay_delay is not None
+                    or self.coupler_replay_limit is not None):
+                raise ValueError(
+                    "coupler_replay_delay/coupler_replay_limit configure "
+                    "the star coupler; a bus cluster has none")
+        if self.modes:
+            mode_zero = self.modes[0]
+            if mode_zero.node_names() != list(names):
+                raise ValueError(
+                    f"mode 0 schedules {mode_zero.node_names()} but the "
+                    f"spec names {list(names)}; senders must match in "
+                    f"slot order")
+            for mode_index, mode in enumerate(self.modes):
+                for slot in mode.slots:
+                    if slot.duration != self.slot_duration:
+                        raise ValueError(
+                            f"mode {mode_index} slot {slot.slot_id} lasts "
+                            f"{slot.duration} but the spec's slot_duration "
+                            f"is {self.slot_duration}; controller timing "
+                            f"and the event-queue grid follow the spec "
+                            f"value, so they must agree")
+        self._validate_frame_fit(names)
+
+    def _validate_frame_fit(self, names: List[str]) -> None:
+        """Every frame a node *always* sends must fit its slot.
+
+        ``frame_bits`` on a slot is an airtime *allowance* (X-frame slots
+        routinely advertise the 2076-bit maximum and send less), so only
+        the frames whose size is forced -- the integration I-frame for
+        explicit-C-state slots, plus N/cold-start frames -- are checked.
+        The same condition is enforced per transmission at runtime; this
+        catches it at spec time with the knob to turn named.
+        """
+        slot_count = len(names)
+        if self.modes:
+            own_slots = [(mode.slot(index + 1), name)
+                         for mode in self.modes
+                         for index, name in enumerate(mode.node_names())]
+        else:
+            own_slots = [(None, name) for name in names]
+        for descriptor, name in own_slots:
+            explicit = descriptor.explicit_cstate if descriptor else True
+            duration = descriptor.duration if descriptor else self.slot_duration
+            if explicit:
+                required = i_frame_wire_bits(slot_count)
+            else:
+                required = max(N_FRAME_BITS, COLD_START_FRAME_BITS)
+            config = self.node_configs.get(name)
+            bit_rate = config.bit_rate if config else 1.0
+            if required / bit_rate >= duration:
+                raise ValueError(
+                    f"node {name!r} must send a {required}-bit frame "
+                    f"({required / bit_rate} time units at bit rate "
+                    f"{bit_rate}) but its slot lasts only {duration}; "
+                    f"raise slot_duration above {required / bit_rate}")
+
 
 class Cluster:
     """A fully wired simulated cluster."""
 
     def __init__(self, spec: ClusterSpec) -> None:
+        spec.validate()
         self.spec = spec
         # Align the calendar-queue bucket grid with the TDMA slot grid so
         # most events land in the active bucket.
@@ -109,15 +229,13 @@ class Cluster:
                 drop_probability=spec.channel_drop_probability,
                 corrupt_probability=spec.channel_corrupt_probability,
                 rng=rng)
-        elif spec.topology == "bus":
+        else:
             self.topology = BusTopology(
                 self.sim, self.medl, monitor=self.monitor,
                 guardian_faults=dict(spec.guardian_faults),
                 drop_probability=spec.channel_drop_probability,
                 corrupt_probability=spec.channel_corrupt_probability,
                 rng=rng)
-        else:
-            raise ValueError(f"unknown topology {spec.topology!r}")
 
         self.controllers: Dict[str, TTPController] = {}
         for index, name in enumerate(spec.node_names):
@@ -151,14 +269,31 @@ class Cluster:
             delay = self.spec.power_on_delays.get(name, index * stagger)
             controller.power_on(delay)
 
+    def active_mode(self) -> int:
+        """Mode index the integrated part of the cluster is running in
+        (0 when nobody has integrated yet)."""
+        for controller in self.controllers.values():
+            if controller.integrated:
+                return controller.current_mode
+        return 0
+
+    def active_medl(self) -> Medl:
+        """Schedule of the currently active mode."""
+        return self.mode_set.schedule(self.active_mode())
+
     def run(self, rounds: float = 20.0, pause_gc: bool = False) -> None:
         """Run the simulation for ``rounds`` more TDMA rounds.
+
+        The horizon is computed from the *active* mode's schedule, not
+        mode 0's -- after a deferred mode change the two can in principle
+        disagree on round duration, and ``rounds`` must mean rounds of
+        the schedule actually on the bus.
 
         ``pause_gc`` forwards to :meth:`Simulator.run` -- it disables the
         cyclic collector for the duration of the run (batch experiment
         sweeps; the hot path allocates acyclic objects only).
         """
-        horizon = self.sim.now + rounds * self.medl.round_duration()
+        horizon = self.sim.now + rounds * self.active_medl().round_duration()
         self.sim.run(until=horizon, pause_gc=pause_gc)
 
     # -- outcome queries -----------------------------------------------------------

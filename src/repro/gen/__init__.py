@@ -1,0 +1,34 @@
+"""Large-N cluster generation.
+
+One declarative :class:`GenConfig` materializes an arbitrary-size cluster
+-- topology, heterogeneous per-node parameters, TDMA round schedule, and
+fault plan -- as a ready-to-run :class:`repro.cluster.ClusterSpec`.  Every
+draw goes through named :class:`repro.sim.rng.RandomStream` substreams, so
+the same seed always yields the byte-identical spec and adding a node
+never perturbs the draws of the others.
+
+* :mod:`repro.gen.config` -- the declarative config and its canonical
+  JSON round-trip,
+* :mod:`repro.gen.topology` -- node naming and per-node parameter draws,
+* :mod:`repro.gen.schedule` -- MEDL synthesis (auto-sized slots, optional
+  multi-mode schedule sets, seeded slot shuffles),
+* :mod:`repro.gen.faults` -- density-driven fault plans,
+* :mod:`repro.gen.materialize` -- config -> ClusterSpec assembly,
+* :mod:`repro.gen.sweep` -- containment / startup-latency sweeps vs N,
+  sharded through :class:`repro.exec.runner.TaskRunner`.
+"""
+
+from repro.gen.config import Dist, FaultMix, GenConfig
+from repro.gen.materialize import describe, materialize
+from repro.gen.schedule import auto_slot_duration
+from repro.gen.sweep import run_sweep
+
+__all__ = [
+    "Dist",
+    "FaultMix",
+    "GenConfig",
+    "auto_slot_duration",
+    "describe",
+    "materialize",
+    "run_sweep",
+]

@@ -1,0 +1,81 @@
+"""Density-driven fault plans for generated clusters.
+
+Turns a :class:`repro.gen.config.FaultMix` into the concrete
+:class:`repro.faults.types.FaultDescriptor` list for one cluster: each
+node runs its own Bernoulli trial (through its own substream, so growing
+the cluster never re-rolls existing nodes), faulty nodes draw a type from
+the configured mix, and coupler/channel faults are taken verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.faults.types import SITE_OF_TYPE, FaultDescriptor, FaultSite, FaultType
+from repro.gen.config import GenConfig
+
+
+def _validated_types(names, expected_site: FaultSite, label: str):
+    types = []
+    for name in names:
+        fault_type = FaultType(name)
+        if SITE_OF_TYPE[fault_type] is not expected_site:
+            raise ValueError(
+                f"{label} lists {name!r}, which is a "
+                f"{SITE_OF_TYPE[fault_type].value} fault, not a "
+                f"{expected_site.value} fault")
+        types.append(fault_type)
+    return types
+
+
+def draw_fault_plan(config: GenConfig,
+                    node_names: List[str]) -> List[FaultDescriptor]:
+    """The fault descriptors this config's densities select."""
+    mix = config.faults
+    root = config.root_stream()
+    plan: List[FaultDescriptor] = []
+
+    node_types = _validated_types(mix.node_types, FaultSite.NODE,
+                                  "faults.node_types")
+    guardian_types = _validated_types(mix.guardian_types,
+                                      FaultSite.LOCAL_GUARDIAN,
+                                      "faults.guardian_types")
+    for name in node_names:
+        stream = root.child(f"fault/{name}")
+        if mix.node_density and stream.child("node").bernoulli(
+                mix.node_density):
+            plan.append(FaultDescriptor(
+                fault_type=stream.child("node_type").choice(node_types),
+                target=name))
+        if (config.topology == "bus" and mix.guardian_density
+                and stream.child("guardian").bernoulli(mix.guardian_density)):
+            plan.append(FaultDescriptor(
+                fault_type=stream.child("guardian_type").choice(
+                    guardian_types),
+                target=name))
+
+    if config.topology == "star":
+        for channel, name in enumerate(mix.coupler_faults):
+            if name == "none":
+                continue
+            fault_type = FaultType(name)
+            if SITE_OF_TYPE[fault_type] is not FaultSite.STAR_COUPLER:
+                raise ValueError(
+                    f"faults.coupler_faults lists {name!r}, which is not a "
+                    f"star-coupler fault")
+            plan.append(FaultDescriptor(fault_type=fault_type,
+                                        target=str(channel)))
+    elif mix.coupler_faults and any(name != "none"
+                                    for name in mix.coupler_faults):
+        raise ValueError("faults.coupler_faults configures the star coupler; "
+                         "a bus cluster has none (use guardian densities)")
+
+    if mix.channel_drop:
+        plan.append(FaultDescriptor(fault_type=FaultType.CHANNEL_DROP,
+                                    target="0",
+                                    probability=mix.channel_drop))
+    if mix.channel_corrupt:
+        plan.append(FaultDescriptor(fault_type=FaultType.CHANNEL_CORRUPT,
+                                    target="0",
+                                    probability=mix.channel_corrupt))
+    return plan

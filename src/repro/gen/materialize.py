@@ -1,0 +1,78 @@
+"""Config -> ClusterSpec assembly.
+
+:func:`materialize` is the generator's single exit point: it composes the
+topology draws, the synthesized schedule, and the fault plan into one
+validated :class:`repro.cluster.ClusterSpec`.  Purity contract: the spec
+is a function of the config alone (no ambient randomness, no clock), so
+``materialize(config)`` is reproducible anywhere.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Dict, List, Tuple
+
+from repro.cluster import ClusterSpec
+from repro.core.authority import CouplerAuthority
+from repro.faults.injector import apply_fault
+from repro.gen.config import GenConfig
+from repro.gen.faults import draw_fault_plan
+from repro.gen.schedule import build_modes, resolve_slot_duration, slot_order
+from repro.gen.topology import draw_node_parameters, node_names
+from repro.ttp.frames import i_frame_wire_bits
+
+
+def materialize(config: GenConfig) -> ClusterSpec:
+    """The ready-to-run cluster spec this config describes."""
+    names = node_names(config)
+    senders = slot_order(config, names)
+    draws = draw_node_parameters(config, names)
+    modes = build_modes(config, senders)
+    duration = resolve_slot_duration(config)
+
+    spec = ClusterSpec(
+        node_names=senders,
+        topology=config.topology,
+        authority=CouplerAuthority(config.authority),
+        slot_duration=duration,
+        frame_bits=i_frame_wire_bits(config.nodes),
+        node_ppm=draws.ppm,
+        power_on_delays=draws.power_on_delays,
+        tolerances=draws.tolerances,
+        channel_drop_probability=config.faults.channel_drop,
+        channel_corrupt_probability=config.faults.channel_corrupt,
+        modes=modes if config.modes > 1 else None,
+        seed=config.seed,
+    )
+    plan = draw_fault_plan(config, names)
+    spec = reduce(apply_fault, plan, spec)
+    spec.validate()
+    return spec
+
+
+def describe(config: GenConfig) -> List[Tuple[str, str]]:
+    """Human-readable (key, value) rows for ``repro gen describe``."""
+    spec = materialize(config)
+    faulty = sorted({fault.describe() for fault in spec.injected_faults})
+    heterogeneous: Dict[str, int] = {
+        "ppm draws": len(spec.node_ppm),
+        "power-on draws": len(spec.power_on_delays),
+        "tolerance draws": len(spec.tolerances),
+    }
+    rows = [
+        ("name", config.name),
+        ("nodes", str(config.nodes)),
+        ("topology", config.topology),
+        ("authority", config.authority),
+        ("seed", str(config.seed)),
+        ("slot duration", f"{spec.slot_duration:g}"
+         + ("" if config.slot_duration is not None else " (auto)")),
+        ("round duration", f"{spec.slot_duration * config.nodes:g}"),
+        ("I-frame wire bits", str(i_frame_wire_bits(config.nodes))),
+        ("modes", str(config.modes)),
+        ("slot order", "shuffled" if config.shuffle_slots else "list order"),
+    ]
+    for label, count in heterogeneous.items():
+        rows.append((label, str(count)))
+    rows.append(("fault plan", ", ".join(faulty) if faulty else "benign"))
+    return rows

@@ -1,0 +1,78 @@
+"""MEDL round-schedule synthesis.
+
+Slot assignment (list order or a seeded shuffle), auto-sized slot
+durations, and optional multi-mode schedule sets.  The listen-timeout
+uniqueness the startup protocol requires (``slots + node_slot`` silent
+slots, unique per node) falls out of the slot assignment itself --
+:class:`repro.ttp.startup.StartupRules` derives the timeout from the slot
+id, and every node gets a distinct slot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.gen.config import GenConfig
+from repro.ttp.constants import MAX_MEMBERSHIP_SLOTS
+from repro.ttp.frames import i_frame_wire_bits
+from repro.ttp.medl import Medl, SlotDescriptor
+
+#: Silence the receivers need after a frame before the slot boundary
+#: (action-time margin); the paper's 4-node slot is 100 time units for a
+#: 76-bit I-frame, i.e. a 24-bit-time guard.
+GUARD_BITS = 24
+
+#: Slot durations round up to a multiple of this, keeping generated
+#: timing grids coarse and human-readable (4 nodes -> exactly the
+#: paper's 100).
+SLOT_QUANTUM = 25.0
+
+
+def auto_slot_duration(slot_count: int, bit_rate: float = 1.0) -> float:
+    """Smallest quantized slot that fits the widest always-sent frame.
+
+    The binding frame is the integration I-frame, whose membership field
+    (and hence width) grows with the slot count; N and cold-start frames
+    are always narrower.
+    """
+    airtime = (i_frame_wire_bits(slot_count) + GUARD_BITS) / bit_rate
+    return math.ceil(airtime / SLOT_QUANTUM) * SLOT_QUANTUM
+
+
+def slot_order(config: GenConfig, names: List[str]) -> List[str]:
+    """Sender-to-slot assignment: list order, or a seeded permutation."""
+    if not config.shuffle_slots:
+        return list(names)
+    return config.root_stream().child("schedule/shuffle").shuffle(names)
+
+
+def resolve_slot_duration(config: GenConfig) -> float:
+    """The configured slot duration, or the auto-sized one."""
+    if config.slot_duration is not None:
+        return config.slot_duration
+    return auto_slot_duration(config.nodes)
+
+
+def build_modes(config: GenConfig, senders: List[str]) -> List[Medl]:
+    """The mode-0 status schedule plus any payload modes.
+
+    Mode 0 advertises exactly the I-frame width (pure protocol traffic);
+    payload modes advertise ``payload_frame_bits`` as the allowance --
+    an *allowance*, not a commitment, so it may exceed what the slot can
+    carry and the controller sends what fits.
+    """
+    if len(senders) > MAX_MEMBERSHIP_SLOTS:
+        raise ValueError(
+            f"generated schedule has {len(senders)} slots but the "
+            f"membership vector addresses at most {MAX_MEMBERSHIP_SLOTS}")
+    duration = resolve_slot_duration(config)
+    status = Medl.uniform(senders, slot_duration=duration,
+                          frame_bits=i_frame_wire_bits(len(senders)))
+    schedules = [status]
+    for _ in range(config.modes - 1):
+        schedules.append(Medl(slots=tuple(
+            SlotDescriptor(slot_id=index + 1, sender=name, duration=duration,
+                           frame_bits=config.payload_frame_bits)
+            for index, name in enumerate(senders))))
+    return schedules

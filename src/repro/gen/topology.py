@@ -1,0 +1,67 @@
+"""Node naming and per-node parameter draws.
+
+Each node draws its parameters from its *own* named substream
+(``gen/<name>/node/<node>``), so the draws are a function of (seed,
+config name, node name) alone: growing the cluster from 32 to 64 nodes
+leaves the first 32 nodes' crystals, delays, and tolerances untouched --
+the standard reproducibility idiom the :mod:`repro.sim.rng` docstring
+describes, applied to topology synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.gen.config import GenConfig
+from repro.network.signal import ReceiverTolerance
+
+
+def node_names(config: GenConfig) -> List[str]:
+    """Zero-padded node names (``N00..N63``): lexicographic order equals
+    slot order, which keeps reports and traces readable at any N."""
+    width = len(str(config.nodes - 1))
+    return [f"{config.node_prefix}{index:0{width}d}"
+            for index in range(config.nodes)]
+
+
+@dataclass(frozen=True)
+class NodeDraws:
+    """The per-node heterogeneous parameters the generator drew."""
+
+    ppm: Dict[str, float]
+    power_on_delays: Dict[str, float]
+    tolerances: Dict[str, ReceiverTolerance]
+
+
+def draw_node_parameters(config: GenConfig, names: List[str]) -> NodeDraws:
+    """Draw every node's parameters through its own substream."""
+    root = config.root_stream()
+    ppm: Dict[str, float] = {}
+    power_on: Dict[str, float] = {}
+    tolerances: Dict[str, ReceiverTolerance] = {}
+    for name in names:
+        stream = root.child(f"node/{name}")
+        offset = config.ppm.draw(stream.child("ppm"))
+        if offset != 0.0:
+            ppm[name] = offset
+        if config.power_on_delay is not None:
+            # Power-on is a physical delay: clamp pathological negative
+            # draws (wide gaussians) to "at the epoch".
+            power_on[name] = max(0.0,
+                                 config.power_on_delay.draw(
+                                     stream.child("power_on")))
+        if (config.tolerance_threshold is not None
+                or config.tolerance_window is not None):
+            defaults = ReceiverTolerance()
+            threshold = (defaults.threshold
+                         if config.tolerance_threshold is None
+                         else config.tolerance_threshold.draw(
+                             stream.child("tolerance_threshold")))
+            window = (defaults.window
+                      if config.tolerance_window is None
+                      else config.tolerance_window.draw(
+                          stream.child("tolerance_window")))
+            tolerances[name] = ReceiverTolerance(threshold=threshold,
+                                                 window=window)
+    return NodeDraws(ppm=ppm, power_on_delays=power_on, tolerances=tolerances)

@@ -48,7 +48,9 @@ class CState:
         if not 0 <= self.medl_position < (1 << MEDL_POSITION_BITS):
             raise ValueError(f"medl_position {self.medl_position} out of field range")
         for member in self.membership:
-            if not 0 <= member < MAX_MEMBERSHIP_SLOTS:
+            # Members are 1-based slot ids (bit 0 of the wire vector is
+            # reserved), so the full 64-slot cluster uses bits 1..64.
+            if not 0 <= member <= MAX_MEMBERSHIP_SLOTS:
                 raise ValueError(
                     f"membership slot {member} exceeds the "
                     f"{MAX_MEMBERSHIP_SLOTS}-slot vector limit")
@@ -91,9 +93,15 @@ class CState:
     @classmethod
     def from_fields(cls, global_time: int, medl_position: int,
                     membership_word: int, dmc_mode: int = 0) -> "CState":
-        """Rebuild a C-state from decoded wire fields."""
+        """Rebuild a C-state from decoded wire fields.
+
+        Bits past the 64-slot ceiling can only appear through wire
+        corruption (no encoder sets them); they are dropped here so the
+        damage is reported through the CRC verdict, not an exception.
+        """
         members = frozenset(
-            index for index in range(membership_word.bit_length())
+            index for index in range(
+                min(membership_word.bit_length(), MAX_MEMBERSHIP_SLOTS + 1))
             if membership_word & (1 << index))
         return cls(global_time=global_time, medl_position=medl_position,
                    membership=members, dmc_mode=dmc_mode)
@@ -134,7 +142,7 @@ class CState:
     def with_member(self, slot_id: int, present: bool) -> "CState":
         """C-state with one membership bit set or cleared."""
         if present:
-            if not 0 <= slot_id < MAX_MEMBERSHIP_SLOTS:
+            if not 0 <= slot_id <= MAX_MEMBERSHIP_SLOTS:
                 raise ValueError(
                     f"membership slot {slot_id} exceeds the "
                     f"{MAX_MEMBERSHIP_SLOTS}-slot vector limit")

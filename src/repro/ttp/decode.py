@@ -44,6 +44,15 @@ COLD_START_WIRE_BITS = 1 + GLOBAL_TIME_BITS + ROUND_SLOT_BITS + CRC_BITS
 X_FRAME_MIN_WIRE_BITS = (HEADER_BITS + X_CSTATE_BITS + 2 * CRC_BITS
                          + X_CRC_PAD_BITS)
 
+#: Non-membership portion of an I-frame; its wire length is this plus the
+#: (16-bit-multiple) membership field, so valid I-frame lengths are
+#: ``I_FRAME_BITS + 16k``.
+_I_FRAME_FIXED_BITS = (HEADER_BITS + GLOBAL_TIME_BITS + MEDL_POSITION_BITS
+                       + CRC_BITS)
+
+#: Largest I-frame a 64-slot cluster can emit (80-bit membership field).
+I_FRAME_MAX_WIRE_BITS = _I_FRAME_FIXED_BITS + 80
+
 
 class DecodeError(ValueError):
     """Raised when the bits cannot be parsed as any frame type."""
@@ -65,13 +74,14 @@ def _split_crc(bits: List[int]) -> tuple:
     return bits[:-CRC_BITS], bits_to_int(bits[-CRC_BITS:])
 
 
-def _decode_cstate_fields(bits: List[int]) -> CState:
+def _decode_cstate_fields(bits: List[int],
+                          membership_bits: int = MEMBERSHIP_BITS) -> CState:
     cursor = 0
     global_time = bits_to_int(bits[cursor:cursor + GLOBAL_TIME_BITS])
     cursor += GLOBAL_TIME_BITS
     position = bits_to_int(bits[cursor:cursor + MEDL_POSITION_BITS])
     cursor += MEDL_POSITION_BITS
-    membership_word = bits_to_int(bits[cursor:cursor + MEMBERSHIP_BITS])
+    membership_word = bits_to_int(bits[cursor:cursor + membership_bits])
     return CState.from_fields(global_time, position, membership_word)
 
 
@@ -94,12 +104,23 @@ def decode_n_frame(bits: List[int], receiver_cstate: CState,
 
 
 def decode_i_frame(bits: List[int], sender_slot: int = 0) -> DecodedFrame:
-    """Decode an explicit-C-state I-frame."""
-    if len(bits) != I_FRAME_BITS:
-        raise DecodeError(f"I-frame must be {I_FRAME_BITS} bits, got {len(bits)}")
+    """Decode an explicit-C-state I-frame.
+
+    The membership field is the paper's 16 bits in the minimum
+    configuration and pads in 16-bit steps for larger clusters, so valid
+    I-frame lengths are ``I_FRAME_BITS + 16k`` up to the 64-slot maximum.
+    """
+    length = len(bits)
+    membership_bits = length - _I_FRAME_FIXED_BITS
+    if (membership_bits < MEMBERSHIP_BITS or membership_bits % MEMBERSHIP_BITS
+            or length > I_FRAME_MAX_WIRE_BITS):
+        raise DecodeError(
+            f"I-frames are {I_FRAME_BITS}..{I_FRAME_MAX_WIRE_BITS} bits in "
+            f"16-bit steps, got {length}")
     payload, crc_value = _split_crc(list(bits))
     mode_change_request = bits_to_int(payload[:HEADER_BITS])
-    cstate = _decode_cstate_fields(payload[HEADER_BITS:])
+    cstate = _decode_cstate_fields(payload[HEADER_BITS:],
+                                   membership_bits=membership_bits)
     # The deferred-mode-change request travels in the header field.
     cstate = replace(cstate, dmc_mode=mode_change_request)
     frame = IFrame(sender_slot=sender_slot or cstate.medl_position,
@@ -138,8 +159,13 @@ def decode_x_frame(bits: List[int], sender_slot: int = 0) -> DecodedFrame:
     mode_change_request = bits_to_int(bits[cursor:cursor + HEADER_BITS])
     cursor += HEADER_BITS
     cstate_field = bits[cursor:cursor + X_CSTATE_BITS]
+    # Read the membership over the full remainder of the fixed C-state
+    # field: wide memberships (up to the 64 bits the field can hold) decode
+    # correctly and the zero padding after a narrow one is harmless
+    # (``CState.from_fields`` keys members off set bits only).
     cstate = _decode_cstate_fields(
-        cstate_field[:GLOBAL_TIME_BITS + MEDL_POSITION_BITS + MEMBERSHIP_BITS])
+        cstate_field,
+        membership_bits=X_CSTATE_BITS - GLOBAL_TIME_BITS - MEDL_POSITION_BITS)
     cursor += X_CSTATE_BITS
     data = tuple(bits[cursor:cursor + data_bits_count])
     cursor += data_bits_count
@@ -175,7 +201,10 @@ def decode_frame(bits: List[int],
         return decode_n_frame(bits, receiver_cstate)
     if length == COLD_START_WIRE_BITS:
         return decode_cold_start_frame(bits)
-    if length == I_FRAME_BITS:
+    if (I_FRAME_BITS <= length <= I_FRAME_MAX_WIRE_BITS
+            and (length - I_FRAME_BITS) % MEMBERSHIP_BITS == 0):
+        # Unambiguous: every I-frame length (76..140 in 16-bit steps) is
+        # below the 156-bit X-frame minimum and distinct from N/cold-start.
         return decode_i_frame(bits)
     if length >= X_FRAME_MIN_WIRE_BITS:
         return decode_x_frame(bits)

@@ -27,6 +27,8 @@ from repro.ttp.constants import (
     GLOBAL_TIME_BITS,
     HEADER_BITS,
     I_FRAME_BITS,
+    MEDL_POSITION_BITS,
+    MEMBERSHIP_BITS,
     N_FRAME_BITS,
     ROUND_SLOT_BITS,
     X_CRC_PAD_BITS,
@@ -36,6 +38,25 @@ from repro.ttp.constants import (
 )
 from repro.ttp.crc import crc24, int_to_bits
 from repro.ttp.cstate import CState
+
+
+def membership_field_bits_for(slot_count: int) -> int:
+    """Width of the membership wire field for an N-slot schedule.
+
+    Membership bits are indexed by 1-based slot id (bit 0 reserved), so the
+    field must cover bit ``slot_count``; schedules whose highest slot id
+    stays below :data:`MEMBERSHIP_BITS` keep the paper's exact 16-bit field,
+    larger ones pad to the next 16-bit multiple.
+    """
+    if slot_count < MEMBERSHIP_BITS:
+        return MEMBERSHIP_BITS
+    return -(-(slot_count + 1) // MEMBERSHIP_BITS) * MEMBERSHIP_BITS
+
+
+def i_frame_wire_bits(slot_count: int) -> int:
+    """On-wire size of the I-frame an N-slot cluster exchanges."""
+    return (HEADER_BITS + GLOBAL_TIME_BITS + MEDL_POSITION_BITS
+            + membership_field_bits_for(slot_count) + CRC_BITS)
 
 
 @dataclass(frozen=True)
@@ -131,7 +152,12 @@ class IFrame(Frame):
 
     @property
     def size_bits(self) -> int:
-        return I_FRAME_BITS
+        # The paper's 76-bit I-frame whenever the membership fits the
+        # 16-bit field; memberships referencing higher slots widen the
+        # frame by the same padding the C-state encoding uses, so airtime
+        # and wire length agree.
+        return (HEADER_BITS + GLOBAL_TIME_BITS + MEDL_POSITION_BITS
+                + self.cstate.membership_field_bits() + CRC_BITS)
 
     def payload_bits(self) -> List[int]:
         bits = int_to_bits(self.mode_change_request, HEADER_BITS)
@@ -159,6 +185,16 @@ class XFrame(Frame):
                 f"X-frame data limited to {X_DATA_BITS} bits, got {len(self.data_bits)}")
         if any(bit not in (0, 1) for bit in self.data_bits):
             raise ValueError("data_bits must contain only 0/1")
+        cstate_bits = (GLOBAL_TIME_BITS + MEDL_POSITION_BITS
+                       + self.cstate.membership_field_bits())
+        if cstate_bits > X_CSTATE_BITS:
+            # Without this check the padding arithmetic below would go
+            # negative and silently emit a truncated C-state field.
+            raise ValueError(
+                f"C-state needs {cstate_bits} bits but the X-frame C-state "
+                f"field is {X_CSTATE_BITS}: memberships past slot "
+                f"{X_CSTATE_BITS - GLOBAL_TIME_BITS - MEDL_POSITION_BITS - 1} "
+                f"cannot ride in X-frames (use I-frame slots)")
 
     kind_value = FrameKind.C_STATE.value
 
@@ -174,10 +210,15 @@ class XFrame(Frame):
 
     def payload_bits(self) -> List[int]:
         bits = int_to_bits(self.mode_change_request, HEADER_BITS)
-        cstate_bits = self.cstate.to_bits()
-        # The X-frame C-state field is 96 bits; pad the encoded C-state.
-        bits.extend(cstate_bits)
-        bits.extend([0] * (X_CSTATE_BITS - len(cstate_bits)))
+        # The X-frame C-state field is fixed at 96 bits with fixed
+        # sub-field widths (16 global time + 16 MEDL position + 64
+        # membership), so a decoder needs no width negotiation: narrow
+        # memberships just leave the high membership bits zero.
+        bits.extend(int_to_bits(self.cstate.global_time, GLOBAL_TIME_BITS))
+        bits.extend(int_to_bits(self.cstate.medl_position, MEDL_POSITION_BITS))
+        bits.extend(int_to_bits(
+            self.cstate.membership_word(),
+            X_CSTATE_BITS - GLOBAL_TIME_BITS - MEDL_POSITION_BITS))
         bits.extend(self.data_bits)
         # First CRC covers header+cstate+data; encode() appends the second.
         bits.extend(int_to_bits(crc24(bits), CRC_BITS))

@@ -13,6 +13,8 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.ttp.constants import MAX_MEMBERSHIP_SLOTS
+
 
 @dataclass(frozen=True)
 class SlotDescriptor:
@@ -125,6 +127,11 @@ class Medl:
     def uniform(cls, node_names: List[str], slot_duration: float = 100.0,
                 frame_bits: int = 76) -> "Medl":
         """Round with one equal-length slot per node, in list order."""
+        if len(node_names) > MAX_MEMBERSHIP_SLOTS:
+            raise ValueError(
+                f"schedule has {len(node_names)} slots but the membership "
+                f"vector addresses at most {MAX_MEMBERSHIP_SLOTS}; split the "
+                f"cluster or reduce node count")
         slots = tuple(
             SlotDescriptor(slot_id=index + 1, sender=name,
                            duration=slot_duration, frame_bits=frame_bits)

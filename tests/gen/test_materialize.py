@@ -1,0 +1,141 @@
+"""Generator -> ClusterSpec: determinism, draw stability, constraints."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.gen.config import Dist, FaultMix, GenConfig
+from repro.gen.materialize import describe, materialize
+from repro.gen.schedule import auto_slot_duration
+from repro.gen.topology import node_names
+from repro.ttp.constants import ControllerStateName
+from repro.ttp.frames import i_frame_wire_bits
+
+
+class TestAutoSlotDuration:
+    def test_four_nodes_match_the_paper(self):
+        # 76-bit I-frame + 24-bit guard = 100: the paper's slot.
+        assert auto_slot_duration(4) == 100.0
+
+    def test_wide_memberships_grow_the_slot(self):
+        assert auto_slot_duration(32) == 150.0
+        assert auto_slot_duration(64) == 175.0
+
+    @pytest.mark.parametrize("n", [1, 4, 16, 17, 32, 33, 48, 64])
+    def test_always_sent_frames_fit(self, n):
+        assert i_frame_wire_bits(n) < auto_slot_duration(n)
+
+
+class TestNodeNames:
+    def test_zero_padded_and_sorted(self):
+        names = node_names(GenConfig(nodes=64))
+        assert names[0] == "N00"
+        assert names[-1] == "N63"
+        assert names == sorted(names)
+
+    def test_prefix_and_width_follow_the_config(self):
+        assert node_names(GenConfig(nodes=4, node_prefix="ecu")) == [
+            "ecu0", "ecu1", "ecu2", "ecu3"]
+
+
+class TestMaterialize:
+    def test_sixty_four_node_spec_validates(self):
+        spec = materialize(GenConfig(nodes=64, seed=7))
+        assert len(spec.node_names) == 64
+        assert spec.slot_duration == 175.0
+        assert spec.frame_bits == i_frame_wire_bits(64)
+        spec.validate()  # idempotent; materialize already ran it
+
+    def test_same_seed_same_spec(self):
+        config = GenConfig(nodes=16, seed=3,
+                           ppm=Dist.uniform(-200.0, 200.0),
+                           power_on_delay=Dist.uniform(0.0, 40.0))
+        first = materialize(config)
+        second = materialize(config)
+        assert first.node_ppm == second.node_ppm
+        assert first.power_on_delays == second.power_on_delays
+        assert first.node_names == second.node_names
+
+    def test_different_seed_different_draws(self):
+        config = GenConfig(nodes=16, ppm=Dist.uniform(-200.0, 200.0))
+        assert (materialize(config.with_seed(1)).node_ppm
+                != materialize(config.with_seed(2)).node_ppm)
+
+    def test_growing_the_cluster_keeps_existing_draws(self):
+        """Per-node substreams: N00..N15 draw identically at N=16 and N=64."""
+        config = GenConfig(seed=5, ppm=Dist.uniform(-200.0, 200.0),
+                           power_on_delay=Dist.uniform(0.0, 40.0))
+        small = materialize(config.with_nodes(16))
+        large = materialize(config.with_nodes(64))
+        for name in small.node_names:
+            assert large.node_ppm[name] == small.node_ppm[name]
+            assert large.power_on_delays[name] == small.power_on_delays[name]
+
+    def test_shuffle_is_seeded_and_stable(self):
+        config = GenConfig(nodes=16, seed=8, shuffle_slots=True)
+        first = materialize(config)
+        second = materialize(config)
+        assert first.node_names == second.node_names
+        assert sorted(first.node_names) == node_names(config)
+        assert first.node_names != node_names(config)
+
+    def test_fault_density_draws_faults(self):
+        config = GenConfig(nodes=32, seed=1,
+                           faults=FaultMix(node_density=0.5))
+        spec = materialize(config)
+        targets = {fault.target for fault in spec.injected_faults}
+        assert 0 < len(targets) < 32
+
+    def test_bus_guardian_density(self):
+        config = GenConfig(nodes=32, topology="bus", seed=2,
+                           faults=FaultMix(guardian_density=0.5))
+        spec = materialize(config)
+        assert spec.guardian_faults
+
+    def test_guardian_density_is_bus_only_by_construction(self):
+        # On a star the same density draws nothing: spec.validate() would
+        # reject guardian_faults there, and the generator never emits them.
+        config = GenConfig(nodes=32, topology="star", seed=2,
+                           faults=FaultMix(guardian_density=0.5))
+        assert not materialize(config).guardian_faults
+
+    def test_coupler_faults_are_star_only(self):
+        mix = FaultMix(coupler_faults=("coupler_out_of_slot", "none"))
+        materialize(GenConfig(nodes=4, topology="star", faults=mix))
+        with pytest.raises(ValueError, match="bus cluster has none"):
+            materialize(GenConfig(nodes=4, topology="bus", faults=mix))
+
+    def test_wrong_site_fault_types_rejected(self):
+        with pytest.raises(ValueError, match="node fault"):
+            materialize(GenConfig(
+                faults=FaultMix(node_density=1.0,
+                                node_types=("guardian_block_all",))))
+        with pytest.raises(ValueError, match="star-coupler fault"):
+            materialize(GenConfig(
+                faults=FaultMix(coupler_faults=("sos_signal", "none"))))
+
+    def test_over_ceiling_cluster_rejected(self):
+        with pytest.raises(ValueError, match="64"):
+            materialize(GenConfig(nodes=65))
+
+    def test_multi_mode_schedules_share_timing(self):
+        spec = materialize(GenConfig(nodes=8, modes=2))
+        assert len(spec.modes) == 2
+        assert (spec.modes[0].round_duration()
+                == spec.modes[1].round_duration())
+        assert spec.modes[1].slots[0].frame_bits == 2076
+
+    def test_generated_cluster_starts_up(self):
+        cluster = Cluster(materialize(GenConfig(nodes=8, seed=4)))
+        cluster.power_on()
+        cluster.run(rounds=20)
+        assert all(state is ControllerStateName.ACTIVE
+                   for state in cluster.states().values())
+
+
+class TestDescribe:
+    def test_rows_cover_the_key_knobs(self):
+        rows = dict(describe(GenConfig(nodes=64, seed=7)))
+        assert rows["nodes"] == "64"
+        assert rows["slot duration"] == "175 (auto)"
+        assert rows["I-frame wire bits"] == "140"
+        assert rows["fault plan"] == "benign"

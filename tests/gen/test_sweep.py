@@ -1,0 +1,74 @@
+"""Scale sweeps: deterministic reports, aggregation, checkpoint/resume."""
+
+import json
+
+from repro.gen.config import FaultMix, GenConfig
+from repro.gen.sweep import dump_report, run_sweep, sweep_cell
+
+
+def small_config(**kwargs):
+    return GenConfig(name="sweep-test", seed=3, **kwargs)
+
+
+class TestSweepCell:
+    def test_benign_cell_completes(self):
+        cell = sweep_cell({"config": small_config().to_json(),
+                           "size": 4, "trial": 0, "rounds": 15.0})
+        assert cell["completed"]
+        assert cell["startup_rounds"] is not None
+        assert cell["contained"] is None  # nothing to contain
+        assert cell["integrated"] == 4
+        assert not cell["victims"]
+
+    def test_faulty_cell_reports_containment(self):
+        config = small_config(faults=FaultMix(node_density=1.0))
+        cell = sweep_cell({"config": config.to_json(),
+                           "size": 4, "trial": 0, "rounds": 15.0})
+        assert cell["faulty"]
+        assert cell["contained"] is not None
+
+    def test_trials_perturb_the_seed(self):
+        base = {"config": small_config().to_json(), "size": 4,
+                "rounds": 15.0}
+        first = sweep_cell({**base, "trial": 0})
+        second = sweep_cell({**base, "trial": 1})
+        assert first != second
+
+
+class TestRunSweep:
+    def test_report_is_deterministic(self, tmp_path):
+        config = small_config()
+        paths = []
+        for name in ("a.json", "b.json"):
+            report = run_sweep(config, sizes=[3, 4], rounds=12.0, trials=2)
+            path = tmp_path / name
+            dump_report(report, path)
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_rows_aggregate_per_size(self):
+        report = run_sweep(small_config(), sizes=[3, 4], rounds=12.0,
+                           trials=2)
+        assert [row["nodes"] for row in report["rows"]] == [3, 4]
+        for row in report["rows"]:
+            assert row["trials"] == 2
+            assert row["completed_trials"] == 2
+            assert row["startup_rounds_mean"] is not None
+            assert row["containment_rate"] is None  # benign sweep
+        assert len(report["cells"]) == 4
+
+    def test_resume_reproduces_the_full_run(self, tmp_path):
+        config = small_config()
+        checkpoint = tmp_path / "cells.jsonl"
+        kwargs = dict(sizes=[3, 4], rounds=12.0, trials=1,
+                      checkpoint=str(checkpoint))
+        full = run_sweep(config, **kwargs)
+        assert checkpoint.exists()
+        resumed = run_sweep(config, resume=True, **kwargs)
+        assert (json.dumps(resumed, sort_keys=True)
+                == json.dumps(full, sort_keys=True))
+
+    def test_report_carries_the_config(self):
+        config = small_config()
+        report = run_sweep(config, sizes=[3], rounds=10.0)
+        assert GenConfig.from_json(report["config"]) == config

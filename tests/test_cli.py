@@ -204,6 +204,78 @@ def test_conform_command_rejects_unknown_scenario():
         main(["conform", "nonsense"])
 
 
+def test_gen_emit_writes_canonical_config(capsys, tmp_path):
+    path = tmp_path / "c8.json"
+    code, out = run_cli(capsys, "gen", "emit", "--nodes", "8", "--seed", "7",
+                        "--ppm-band", "200", "--out", str(path))
+    assert code == 0
+    assert str(path) in out
+    from repro.gen import GenConfig
+
+    config = GenConfig.load(path)
+    assert config.nodes == 8
+    assert config.seed == 7
+    assert config.ppm.kind == "uniform"
+    # Canonical encoding: emitting the loaded config reproduces the file.
+    assert path.read_text() == config.dumps()
+
+
+def test_gen_emit_to_stdout(capsys):
+    code, out = run_cli(capsys, "gen", "emit", "--nodes", "4")
+    assert code == 0
+    assert '"nodes": 4' in out
+
+
+def test_gen_validate_accepts_good_config(capsys, tmp_path):
+    path = tmp_path / "c64.json"
+    run_cli(capsys, "gen", "emit", "--nodes", "64", "--out", str(path))
+    code, out = run_cli(capsys, "gen", "validate", "--config", str(path))
+    assert code == 0
+    assert "ok: 64-node star cluster" in out
+
+
+def test_gen_validate_rejects_bad_config(capsys, tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"nodes": 65}\n')
+    code = main(["gen", "validate", "--config", str(path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "invalid" in captured.err
+
+
+def test_gen_describe(capsys, tmp_path):
+    path = tmp_path / "c16.json"
+    run_cli(capsys, "gen", "emit", "--nodes", "16", "--out", str(path))
+    code, out = run_cli(capsys, "gen", "describe", "--config", str(path))
+    assert code == 0
+    assert "nodes" in out
+    assert "16" in out
+    assert "(auto)" in out
+
+
+def test_gen_validate_requires_config():
+    with pytest.raises(SystemExit):
+        main(["gen", "validate"])
+
+
+def test_sweep_command_writes_report(capsys, tmp_path):
+    report = tmp_path / "sweep.json"
+    code, out = run_cli(capsys, "sweep", "--sizes", "3,4", "--rounds", "12",
+                        "--report", str(report))
+    assert code == 0
+    assert "scale sweep" in out
+    assert report.exists()
+    import json
+
+    data = json.loads(report.read_text())
+    assert [row["nodes"] for row in data["rows"]] == [3, 4]
+
+
+def test_sweep_rejects_bad_sizes():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--rounds", "12"])  # --sizes is required
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["nonsense"])

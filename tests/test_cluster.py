@@ -3,8 +3,11 @@
 import pytest
 
 from repro.cluster import DEFAULT_NODE_NAMES, Cluster, ClusterSpec
+from repro.network.guardian import GuardianFault
+from repro.network.star_coupler import CouplerFault
 from repro.network.topology import BusTopology, StarTopology
 from repro.ttp.constants import ControllerStateName
+from repro.ttp.medl import Medl, SlotDescriptor
 
 
 def test_default_spec_builds_four_node_star():
@@ -20,9 +23,9 @@ def test_bus_spec_builds_bus_topology():
 
 
 def test_custom_node_names_and_slot_duration():
-    spec = ClusterSpec(node_names=["N1", "N2", "N3"], slot_duration=50.0)
+    spec = ClusterSpec(node_names=["N1", "N2", "N3"], slot_duration=200.0)
     cluster = Cluster(spec)
-    assert cluster.medl.round_duration() == 150.0
+    assert cluster.medl.round_duration() == 600.0
     assert cluster.medl.slot_of("N2") == 2
 
 
@@ -95,3 +98,127 @@ def test_healthy_victims_empty_without_faults():
     cluster.power_on()
     cluster.run(rounds=20)
     assert cluster.healthy_victims() == []
+
+
+class TestSpecValidation:
+    """ClusterSpec.validate(): misconfigurations fail loudly at build time.
+
+    Each of these used to pass silently -- typo'd node names were ignored
+    through ``.get()`` defaults, topology-mismatched fault fields were
+    dropped, and oversized clusters surfaced as encoding errors mid-run.
+    """
+
+    def test_duplicate_node_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate node names"):
+            Cluster(ClusterSpec(node_names=["A", "B", "A"]))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            Cluster(ClusterSpec(node_names=[]))
+
+    @pytest.mark.parametrize("field_name,value", [
+        ("node_ppm", {"Z": 100.0}),
+        ("power_on_delays", {"Z": 5.0}),
+        ("tolerances", {"Z": None}),
+        ("guardian_faults", {"Z": GuardianFault.BLOCK_ALL}),
+    ])
+    def test_typoed_node_names_rejected(self, field_name, value):
+        spec = ClusterSpec(topology="bus", **{field_name: value})
+        with pytest.raises(ValueError, match="unknown node"):
+            Cluster(spec)
+
+    def test_typoed_node_config_rejected(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            Cluster(ClusterSpec(node_configs={"Z": None}))
+
+    def test_wrong_length_coupler_faults_rejected(self):
+        spec = ClusterSpec(coupler_faults=[CouplerFault.NONE])
+        with pytest.raises(ValueError, match="one entry per channel"):
+            Cluster(spec)
+
+    def test_guardian_faults_rejected_on_star(self):
+        spec = ClusterSpec(topology="star",
+                           guardian_faults={"A": GuardianFault.BLOCK_ALL})
+        with pytest.raises(ValueError, match="star cluster has none"):
+            Cluster(spec)
+
+    def test_coupler_faults_rejected_on_bus(self):
+        spec = ClusterSpec(
+            topology="bus",
+            coupler_faults=[CouplerFault.OUT_OF_SLOT, CouplerFault.NONE])
+        with pytest.raises(ValueError, match="bus cluster has none"):
+            Cluster(spec)
+
+    def test_coupler_replay_knobs_rejected_on_bus(self):
+        with pytest.raises(ValueError, match="bus cluster has none"):
+            Cluster(ClusterSpec(topology="bus", coupler_replay_delay=50.0))
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            Cluster(ClusterSpec(topology="ring"))
+
+    def test_probability_range_validated(self):
+        with pytest.raises(ValueError, match="channel_drop_probability"):
+            Cluster(ClusterSpec(channel_drop_probability=1.5))
+
+    def test_frame_must_fit_the_slot(self):
+        # A 76-bit I-frame cannot fit a 50-unit slot at bit rate 1.
+        with pytest.raises(ValueError, match="raise slot_duration"):
+            Cluster(ClusterSpec(slot_duration=50.0))
+
+    def test_mode_zero_must_match_spec_names(self):
+        wrong = Medl.uniform(["A", "B", "C", "X"], slot_duration=100.0)
+        with pytest.raises(ValueError, match="slot order"):
+            Cluster(ClusterSpec(modes=[wrong]))
+
+    def test_mode_slot_durations_must_match_spec(self):
+        mode = Medl.uniform(DEFAULT_NODE_NAMES, slot_duration=200.0)
+        with pytest.raises(ValueError, match="slot_duration"):
+            Cluster(ClusterSpec(modes=[mode], slot_duration=100.0))
+
+
+class TestRunHorizonAcrossModes:
+    """``run(rounds=...)`` must follow the *active* schedule, not mode 0."""
+
+    SLOT = 2200.0  # wide enough for a full X-frame
+
+    def build(self):
+        names = list(DEFAULT_NODE_NAMES)
+        status = Medl.uniform(names, slot_duration=self.SLOT, frame_bits=76)
+        payload = Medl(slots=tuple(
+            SlotDescriptor(slot_id=index + 1, sender=name,
+                           duration=self.SLOT, frame_bits=2076)
+            for index, name in enumerate(names)))
+        spec = ClusterSpec(modes=[status, payload], slot_duration=self.SLOT)
+        return Cluster(spec)
+
+    def test_horizon_follows_the_active_mode(self):
+        cluster = Cluster(ClusterSpec())
+        cluster.power_on()
+        cluster.run(rounds=10)
+        assert cluster.active_mode() == 0
+        before = cluster.sim.now
+        cluster.run(rounds=3)
+        assert cluster.sim.now == pytest.approx(
+            before + 3 * cluster.active_medl().round_duration())
+
+    def test_mode_switch_keeps_round_granular_horizons(self):
+        cluster = self.build()
+        cluster.power_on()
+        cluster.run(rounds=15)
+        cluster.controllers["B"].request_mode_change(1)
+        cluster.run(rounds=3)
+        assert cluster.active_mode() == 1
+        # Mode sets are timing-compatible by construction, so the active
+        # schedule's round equals mode 0's -- the regression is that the
+        # horizon is *derived from* the active schedule.
+        before = cluster.sim.now
+        cluster.run(rounds=2)
+        assert cluster.sim.now == pytest.approx(
+            before + 2 * cluster.active_medl().round_duration())
+        assert cluster.active_medl().slots[0].frame_bits == 2076
+
+    def test_active_mode_is_zero_before_integration(self):
+        cluster = self.build()
+        assert cluster.active_mode() == 0
+        assert cluster.active_medl().slots[0].frame_bits == 76

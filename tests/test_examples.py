@@ -19,6 +19,8 @@ EXPECTED_MARKERS = {
     "data_continuity.py": ["0x0111", "out-of-slot replay fault"],
     "clock_drift.py": ["with FTA sync", "without sync"],
     "mode_switching.py": ["Deferred mode changes", "mode changes observed"],
+    "large_cluster_sweep.py": ["startup latency stays O(1) rounds",
+                               "containment across cluster sizes"],
 }
 
 

@@ -18,8 +18,11 @@ def test_field_range_validation():
         CState(global_time=1 << 16)
     with pytest.raises(ValueError):
         CState(medl_position=1 << 16)
+    # Slot ids are 1-based (bit 0 reserved), so the full 64-slot cluster
+    # legitimately sets bit 64; only 65+ is out of range.
+    CState(membership=frozenset({64}))
     with pytest.raises(ValueError):
-        CState(membership=frozenset({64}))
+        CState(membership=frozenset({65}))
     with pytest.raises(ValueError):
         CState(membership=frozenset({-1}))
 
