@@ -126,6 +126,19 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.preset is not None:
+        from repro.faults.campaign import run_adversarial_preset
+
+        result = run_adversarial_preset(args.preset, seed=args.seed,
+                                        rounds=args.rounds)
+        print(format_table(result.columns, result.rows,
+                           title=f"EXP-S5: {result.preset} (seed {args.seed})"))
+        for name, met in sorted(result.verdicts.items()):
+            print(f"  {name}: {'ok' if met else 'FAILED'}")
+        if args.jsonl is not None:
+            written = result.export_jsonl(args.jsonl)
+            print(f"  wrote {written} lines to {args.jsonl}")
+        return 0 if result.holds else 1
     from repro.faults.campaign import run_campaign
 
     result = run_campaign(rounds=args.rounds, jobs=args.jobs,
@@ -352,6 +365,20 @@ def _gen_config_from_args(args: argparse.Namespace):
         fault_overrides["coupler_faults"] = tuple(
             part.strip() for part in args.coupler_faults.split(",")
             if part.strip())
+    if args.collision_density is not None:
+        fault_overrides["collision_density"] = args.collision_density
+    if args.collision_types is not None:
+        fault_overrides["collision_types"] = tuple(
+            part.strip() for part in args.collision_types.split(",")
+            if part.strip())
+    if args.byzantine_density is not None:
+        fault_overrides["byzantine_density"] = args.byzantine_density
+    if args.byzantine_modes is not None:
+        fault_overrides["byzantine_modes"] = tuple(
+            part.strip() for part in args.byzantine_modes.split(",")
+            if part.strip())
+    if args.monitor_sampling is not None:
+        fault_overrides["monitor_sampling"] = args.monitor_sampling
     if fault_overrides:
         base_faults = base.faults.to_json()
         base_faults.update(
@@ -504,6 +531,18 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--jobs", type=_positive_int, default=None,
                           help="fan the fault x topology cells out over N "
                                "worker processes (default: serial)")
+    campaign.add_argument("--preset", default=None,
+                          choices=["adversarial-collision",
+                                   "adversarial-byzantine",
+                                   "adversarial-monitors"],
+                          help="run a seeded adversarial preset instead of "
+                               "the EXP-S2 matrix (exit 1 if any verdict "
+                               "fails)")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="preset seed (presets only)")
+    campaign.add_argument("--jsonl", default=None, metavar="PATH",
+                          help="export the preset's verdicts and event "
+                               "streams as JSONL (presets only)")
     _add_resilience_flags(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
@@ -655,6 +694,25 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="CSV",
                      help="per-channel coupler faults, 'none' for healthy "
                           "(e.g. coupler_out_of_slot,none; star topology)")
+    gen.add_argument("--collision-density", type=float, default=None,
+                     dest="collision_density",
+                     help="fraction of nodes running an active collision "
+                          "attack")
+    gen.add_argument("--collision-types", default=None,
+                     dest="collision_types", metavar="CSV",
+                     help="collision attacker types faulty nodes draw from "
+                          "(colliding_sender,mid_frame_jammer)")
+    gen.add_argument("--byzantine-density", type=float, default=None,
+                     dest="byzantine_density",
+                     help="fraction of nodes with a Byzantine clock")
+    gen.add_argument("--byzantine-modes", default=None,
+                     dest="byzantine_modes", metavar="CSV",
+                     help="Byzantine clock patterns faulty nodes draw from "
+                          "(rush,drag,oscillate,two_faced)")
+    gen.add_argument("--monitor-sampling", type=float, default=None,
+                     dest="monitor_sampling", metavar="RATE",
+                     help="decentralized-monitor event sampling rate in "
+                          "(0, 1]; sweeps attach per-node monitors below 1.0")
     gen.set_defaults(func=_cmd_gen)
 
     sweep = subparsers.add_parser(

@@ -120,6 +120,20 @@ class ClusterSpec:
             if not 0.0 <= value <= 1.0:
                 raise ValueError(
                     f"{probability_name} must be in [0, 1], got {value}")
+            if value > 0.0 and self.seed is None:
+                # Mirrors Channel's own guard: a fault probability with no
+                # random stream would silently never fire.
+                raise ValueError(
+                    f"{probability_name}={value} needs a seeded random "
+                    f"stream, but the spec's seed is None")
+        from repro.ttp.clock_sync import BYZANTINE_MODES
+
+        for name, config in self.node_configs.items():
+            if config.byzantine_mode not in BYZANTINE_MODES:
+                raise ValueError(
+                    f"node {name!r} has byzantine_mode "
+                    f"{config.byzantine_mode!r}; expected one of "
+                    f"{sorted(BYZANTINE_MODES)}")
         if self.topology == "star":
             if len(self.coupler_faults) != CHANNEL_COUNT:
                 raise ValueError(

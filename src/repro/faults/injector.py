@@ -22,6 +22,9 @@ _NODE_BEHAVIOUR = {
     FaultType.MASQUERADE_COLD_START: NodeFaultBehavior.MASQUERADE_COLD_START,
     FaultType.INVALID_C_STATE: NodeFaultBehavior.INVALID_C_STATE,
     FaultType.BABBLING_IDIOT: NodeFaultBehavior.BABBLING_IDIOT,
+    FaultType.COLLIDING_SENDER: NodeFaultBehavior.COLLIDING_SENDER,
+    FaultType.MID_FRAME_JAMMER: NodeFaultBehavior.MID_FRAME_JAMMER,
+    FaultType.BYZANTINE_CLOCK: NodeFaultBehavior.BYZANTINE_CLOCK,
 }
 
 _GUARDIAN_FAULT = {
@@ -53,7 +56,10 @@ def apply_fault(spec: ClusterSpec, fault: FaultDescriptor) -> ClusterSpec:
             masquerade_as=fault.masquerade_as,
             sos_level=fault.sos_level,
             sos_offset=fault.sos_offset,
-            fault_start_time=fault.fault_start_time)
+            fault_start_time=fault.fault_start_time,
+            jam_offset=fault.jam_offset,
+            byzantine_mode=fault.byzantine_mode,
+            byzantine_magnitude=fault.byzantine_magnitude)
         return spec
 
     if fault.fault_type in _GUARDIAN_FAULT:

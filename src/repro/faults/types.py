@@ -7,13 +7,18 @@ Sites and types mirror the paper's discussion:
   invalid C-states, babbling idiots;
 * guardian faults (Section 1): a local guardian that blocks everything;
 * coupler faults (Section 4.4): silence, bad frames, out-of-slot replay;
-* channel faults (fault hypothesis): passive corruption or loss.
+* channel faults (fault hypothesis): passive corruption or loss;
+* adversarial node faults (beyond the paper's benign hypothesis): active
+  collision attackers that deliberately overlap other senders' frames, and
+  Byzantine clocks that feed adversarial deviations into the FTA.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+
+from repro.ttp.clock_sync import BYZANTINE_MODES
 
 
 class FaultSite(enum.Enum):
@@ -33,6 +38,12 @@ class FaultType(enum.Enum):
     MASQUERADE_COLD_START = "masquerade_cold_start"
     INVALID_C_STATE = "invalid_c_state"
     BABBLING_IDIOT = "babbling_idiot"
+    # Adversarial node faults (active attackers, not in the benign
+    # fault hypothesis): blind collision flooding, targeted mid-frame
+    # jamming, and Byzantine clock behaviour against the FTA.
+    COLLIDING_SENDER = "colliding_sender"
+    MID_FRAME_JAMMER = "mid_frame_jammer"
+    BYZANTINE_CLOCK = "byzantine_clock"
     # Local guardian faults.
     GUARDIAN_BLOCK_ALL = "guardian_block_all"
     GUARDIAN_PASS_ALL = "guardian_pass_all"
@@ -51,6 +62,9 @@ SITE_OF_TYPE = {
     FaultType.MASQUERADE_COLD_START: FaultSite.NODE,
     FaultType.INVALID_C_STATE: FaultSite.NODE,
     FaultType.BABBLING_IDIOT: FaultSite.NODE,
+    FaultType.COLLIDING_SENDER: FaultSite.NODE,
+    FaultType.MID_FRAME_JAMMER: FaultSite.NODE,
+    FaultType.BYZANTINE_CLOCK: FaultSite.NODE,
     FaultType.GUARDIAN_BLOCK_ALL: FaultSite.LOCAL_GUARDIAN,
     FaultType.GUARDIAN_PASS_ALL: FaultSite.LOCAL_GUARDIAN,
     FaultType.COUPLER_SILENCE: FaultSite.STAR_COUPLER,
@@ -78,6 +92,24 @@ class FaultDescriptor:
     probability: float = 0.1
     #: Reference time at which the fault activates (0 = from power-on).
     fault_start_time: float = 0.0
+    #: How far into the victim slot a targeted jam lands (mid-frame jammer).
+    jam_offset: float = 30.0
+    #: Deviation pattern for a Byzantine clock (see BYZANTINE_MODES).
+    byzantine_mode: str = "rush"
+    #: Grid offset magnitude (reference time units) for a Byzantine clock.
+    byzantine_magnitude: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.byzantine_mode not in BYZANTINE_MODES:
+            raise ValueError(
+                f"byzantine_mode must be one of {sorted(BYZANTINE_MODES)}, "
+                f"got {self.byzantine_mode!r}")
+        if self.jam_offset < 0:
+            raise ValueError(
+                f"jam_offset must be non-negative, got {self.jam_offset!r}")
+        if self.byzantine_magnitude < 0:
+            raise ValueError("byzantine_magnitude must be non-negative, "
+                             f"got {self.byzantine_magnitude!r}")
 
     @property
     def site(self) -> FaultSite:

@@ -120,38 +120,66 @@ class FaultMix:
     #: Passive channel fault probabilities.
     channel_drop: float = 0.0
     channel_corrupt: float = 0.0
+    #: Fraction of nodes running an active collision attack.
+    collision_density: float = 0.0
+    #: Collision attacker types a collision-faulty node draws from.
+    collision_types: Tuple[str, ...] = ("colliding_sender",)
+    #: Fraction of nodes with a Byzantine clock.
+    byzantine_density: float = 0.0
+    #: Byzantine patterns a clock-faulty node draws from
+    #: (``repro.ttp.clock_sync.BYZANTINE_MODES`` names).
+    byzantine_modes: Tuple[str, ...] = ("rush",)
+    #: Event sampling rate of the decentralized monitors a sweep attaches
+    #: (1.0 = full-rate, draw-free observation; not a fault, so it does
+    #: not affect :attr:`benign`).
+    monitor_sampling: float = 1.0
 
     def __post_init__(self) -> None:
         for density_name in ("node_density", "guardian_density",
-                             "channel_drop", "channel_corrupt"):
+                             "channel_drop", "channel_corrupt",
+                             "collision_density", "byzantine_density"):
             value = getattr(self, density_name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(
                     f"{density_name} must be in [0, 1], got {value}")
+        if not 0.0 < self.monitor_sampling <= 1.0:
+            raise ValueError(f"monitor_sampling must be in (0, 1], "
+                             f"got {self.monitor_sampling}")
         if self.node_density > 0 and not self.node_types:
             raise ValueError("node_density > 0 needs node_types to draw from")
         if self.guardian_density > 0 and not self.guardian_types:
             raise ValueError(
                 "guardian_density > 0 needs guardian_types to draw from")
+        if self.collision_density > 0 and not self.collision_types:
+            raise ValueError(
+                "collision_density > 0 needs collision_types to draw from")
+        if self.byzantine_density > 0 and not self.byzantine_modes:
+            raise ValueError(
+                "byzantine_density > 0 needs byzantine_modes to draw from")
 
     @property
     def benign(self) -> bool:
         """No fault of any kind configured."""
         return (self.node_density == 0 and self.guardian_density == 0
                 and all(name == "none" for name in self.coupler_faults)
-                and self.channel_drop == 0 and self.channel_corrupt == 0)
+                and self.channel_drop == 0 and self.channel_corrupt == 0
+                and self.collision_density == 0
+                and self.byzantine_density == 0)
 
     def to_json(self) -> Dict:
         data = asdict(self)
         data["node_types"] = list(self.node_types)
         data["guardian_types"] = list(self.guardian_types)
         data["coupler_faults"] = list(self.coupler_faults)
+        data["collision_types"] = list(self.collision_types)
+        data["byzantine_modes"] = list(self.byzantine_modes)
         return data
 
     @classmethod
     def from_json(cls, data: Dict) -> "FaultMix":
         data = dict(data)
-        for tuple_field in ("node_types", "guardian_types", "coupler_faults"):
+        for tuple_field in ("node_types", "guardian_types", "coupler_faults",
+                            "collision_types", "byzantine_modes"):
             if tuple_field in data:
                 data[tuple_field] = tuple(data[tuple_field])
         return cls(**data)

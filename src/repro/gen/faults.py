@@ -13,6 +13,10 @@ from typing import List
 
 from repro.faults.types import SITE_OF_TYPE, FaultDescriptor, FaultSite, FaultType
 from repro.gen.config import GenConfig
+from repro.ttp.clock_sync import BYZANTINE_MODES
+
+#: The node fault types that are active collision attacks.
+COLLISION_TYPES = (FaultType.COLLIDING_SENDER, FaultType.MID_FRAME_JAMMER)
 
 
 def _validated_types(names, expected_site: FaultSite, label: str):
@@ -28,6 +32,27 @@ def _validated_types(names, expected_site: FaultSite, label: str):
     return types
 
 
+def _validated_collision_types(names):
+    types = []
+    for name in names:
+        fault_type = FaultType(name)
+        if fault_type not in COLLISION_TYPES:
+            raise ValueError(
+                f"faults.collision_types lists {name!r}; expected one of "
+                f"{sorted(entry.value for entry in COLLISION_TYPES)}")
+        types.append(fault_type)
+    return types
+
+
+def _validated_byzantine_modes(names):
+    for name in names:
+        if name not in BYZANTINE_MODES:
+            raise ValueError(
+                f"faults.byzantine_modes lists {name!r}; expected one of "
+                f"{sorted(BYZANTINE_MODES)}")
+    return list(names)
+
+
 def draw_fault_plan(config: GenConfig,
                     node_names: List[str]) -> List[FaultDescriptor]:
     """The fault descriptors this config's densities select."""
@@ -40,6 +65,10 @@ def draw_fault_plan(config: GenConfig,
     guardian_types = _validated_types(mix.guardian_types,
                                       FaultSite.LOCAL_GUARDIAN,
                                       "faults.guardian_types")
+    collision_types = _validated_collision_types(mix.collision_types)
+    byzantine_modes = _validated_byzantine_modes(mix.byzantine_modes)
+    # The adversarial draws use fresh substream names, so configs that
+    # leave the new densities at zero reproduce their old plans exactly.
     for name in node_names:
         stream = root.child(f"fault/{name}")
         if mix.node_density and stream.child("node").bernoulli(
@@ -53,6 +82,19 @@ def draw_fault_plan(config: GenConfig,
                 fault_type=stream.child("guardian_type").choice(
                     guardian_types),
                 target=name))
+        if mix.collision_density and stream.child("collision").bernoulli(
+                mix.collision_density):
+            plan.append(FaultDescriptor(
+                fault_type=stream.child("collision_type").choice(
+                    collision_types),
+                target=name))
+        if mix.byzantine_density and stream.child("byzantine").bernoulli(
+                mix.byzantine_density):
+            plan.append(FaultDescriptor(
+                fault_type=FaultType.BYZANTINE_CLOCK,
+                target=name,
+                byzantine_mode=stream.child("byzantine_mode").choice(
+                    byzantine_modes)))
 
     if config.topology == "star":
         for channel, name in enumerate(mix.coupler_faults):

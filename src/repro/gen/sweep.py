@@ -43,6 +43,17 @@ def sweep_cell(task: Dict[str, Any]) -> Dict[str, Any]:
     cluster = Cluster(spec)
     startup = StartupMonitor.for_cluster(cluster)
     victims = VictimMonitor.for_cluster(cluster)
+    # Sub-unit monitor_sampling additionally attaches the decentralized
+    # per-node monitors and reports their agreement with the central
+    # verdict; full-rate configs keep the exact report keys (and bytes)
+    # they always produced.
+    sampling = config.faults.monitor_sampling
+    network = None
+    if sampling < 1.0:
+        from repro.obs.decentralized import DecentralizedMonitorNetwork
+
+        network = DecentralizedMonitorNetwork.for_cluster(
+            cluster, sampling_rate=sampling, seed=config.seed)
     cluster.power_on()
     cluster.run(rounds=task["rounds"], pause_gc=True)
 
@@ -50,7 +61,7 @@ def sweep_cell(task: Dict[str, Any]) -> Dict[str, Any]:
     all_active = startup.all_active_time()
     harmed = victims.victims()
     faulty = bool(spec.injected_faults)
-    return {
+    cell = {
         "size": task["size"],
         "trial": task["trial"],
         "completed": all_active is not None,
@@ -64,6 +75,13 @@ def sweep_cell(task: Dict[str, Any]) -> Dict[str, Any]:
         "integrated": len(cluster.integrated_nodes()),
         "typed_events": sum(cluster.monitor.kind_counts.values()),
     }
+    if network is not None:
+        stats = network.sampling_stats()
+        cell["monitor_sampling"] = sampling
+        cell["sampled_events"] = stats["sampled"]
+        cell["skipped_events"] = stats["skipped"]
+        cell["victims_agree"] = network.victims() == harmed
+    return cell
 
 
 def _aggregate(size: int, cells: List[Dict[str, Any]]) -> Dict[str, Any]:

@@ -144,6 +144,13 @@ class Channel:
         self.name = name
         self.monitor = monitor
         self._source = f"channel:{name}"
+        if rng is None and (drop_probability > 0.0 or corrupt_probability > 0.0):
+            # Without an rng, _chance never fires: a configured fault rate
+            # would be a silent no-op, which is worse than refusing to build.
+            raise ValueError(
+                f"channel {name!r} has drop_probability={drop_probability!r}, "
+                f"corrupt_probability={corrupt_probability!r} but no rng; "
+                f"pass a RandomStream or zero the probabilities")
         self.drop_probability = drop_probability
         self.corrupt_probability = corrupt_probability
         self.rng = rng

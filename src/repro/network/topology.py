@@ -15,7 +15,7 @@ The difference is the path between a node and each channel:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.authority import CouplerAuthority
 from repro.network.channel import Channel, ChannelScheduler, Transmission
@@ -73,6 +73,55 @@ class _TopologyBase:
              shape: Optional[SignalShape] = None) -> None:
         raise NotImplementedError
 
+    def _drive(self, source: str, channel_index: int,
+               transmission: Transmission) -> None:
+        """Inject one transmission into a single channel's gate."""
+        raise NotImplementedError
+
+    def send_skewed(self, source: str, frame: Frame, duration: float,
+                    shape: Optional[SignalShape] = None,
+                    skews: Optional[List[float]] = None) -> None:
+        """Drive per-channel copies at staggered instants.
+
+        A healthy TTP/C controller clocks the same transmission onto both
+        channels simultaneously; a two-faced Byzantine clock shows each
+        channel a different face by skewing one copy.  ``skews[i]`` is the
+        reference-time delay of channel ``i``'s copy; each copy is its own
+        :class:`Transmission` (start times differ), gated by the same
+        guardian/coupler path as :meth:`send`.
+        """
+        sim = self.sim
+        resolved_shape = shape or NOMINAL_SHAPE
+        deferred: List[Tuple[float, int]] = []
+        for index, skew in enumerate(skews or []):
+            if index >= len(self.channels):
+                break
+            if skew < 0:
+                raise ValueError(f"skews must be non-negative, got {skew!r}")
+            if skew == 0:
+                self._drive(source, index, Transmission(
+                    frame=frame, source=source, start_time=sim.now,
+                    duration=duration, shape=resolved_shape))
+            else:
+                deferred.append((skew, index))
+        if not deferred:
+            return
+        # A single re-aimed event walks the skew ladder; all copies due
+        # at one instant drive in channel order before re-aiming.
+        deferred.sort()
+        base = sim.now
+
+        def fire() -> None:
+            while deferred and base + deferred[0][0] <= sim.now:
+                _, channel_index = deferred.pop(0)
+                self._drive(source, channel_index, Transmission(
+                    frame=frame, source=source, start_time=sim.now,
+                    duration=duration, shape=resolved_shape))
+            if deferred:
+                sim.schedule_at(base + deferred[0][0], fire)
+
+        sim.schedule_at(base + deferred[0][0], fire)
+
 
 class BusTopology(_TopologyBase):
     """Two shared buses; each node has one local guardian per channel."""
@@ -106,6 +155,10 @@ class BusTopology(_TopologyBase):
                                     shape=shape or NOMINAL_SHAPE)
         for guardian in self.guardians[source]:
             guardian.transmit(transmission)
+
+    def _drive(self, source: str, channel_index: int,
+               transmission: Transmission) -> None:
+        self.guardians[source][channel_index].transmit(transmission)
 
     def synchronize_guardians(self, round_start_ref_time: float) -> None:
         """Anchor every local guardian's slot schedule."""
@@ -163,6 +216,10 @@ class StarTopology(_TopologyBase):
                                     shape=shape or NOMINAL_SHAPE)
         for coupler in self.couplers:
             coupler.receive_uplink(transmission)
+
+    def _drive(self, source: str, channel_index: int,
+               transmission: Transmission) -> None:
+        self.couplers[channel_index].receive_uplink(transmission)
 
     def synchronize_couplers(self, round_start_ref_time: float) -> None:
         """Anchor both couplers' slot schedules."""

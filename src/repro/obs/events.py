@@ -29,6 +29,9 @@ dmc_latched           controller           latched a mode change from the bus
 mode_change           controller           cluster switched operating modes
 babble                controller           babbling-idiot fault traffic
 masquerade_send       controller           forged cold-start frame sent
+collision_jam         controller           deliberate overlapping transmission
+byzantine_tick        controller           Byzantine clock applied its pattern
+sync_round            controller           per-round FTA correction (opt-in)
 fault_activated       controller           injected node fault became active
 tx_start              channel              transmission started on a medium
 tx_complete           channel              transmission completed (corrupted?)
@@ -40,6 +43,7 @@ uplink_silenced       coupler              silent-coupler fault ate a frame
 out_of_slot_replay    coupler              buffered frame replayed out of slot
 buffer_occupancy      coupler              whole frame stored (full-shifting)
 fault_injected        injector             fault descriptor wired into the spec
+decentralized_verdict node monitor         per-node monitor verdict export
 task_started          runner               campaign/matrix task attempt began
 task_retried          runner               failed task re-queued (with reason)
 task_failed           runner               task permanently failed (budget spent)
@@ -277,6 +281,44 @@ class MasqueradeSend(Event):
 
 @_register
 @dataclass(frozen=True)
+class CollisionJam(Event):
+    """An attacker drove a deliberately overlapping transmission.
+
+    ``targeted`` distinguishes the mid-frame jammer (aimed a fixed offset
+    into the next slot of an observed sender's grid) from the blind
+    colliding sender (fires on its own tick grid).
+    """
+
+    kind: ClassVar[str] = "collision_jam"
+    targeted: bool = False
+
+
+@_register
+@dataclass(frozen=True)
+class ByzantineTick(Event):
+    """A Byzantine clock applied its deviation pattern this round."""
+
+    kind: ClassVar[str] = "byzantine_tick"
+    mode: str = ""
+    offset: float = 0.0
+
+
+@_register
+@dataclass(frozen=True)
+class SyncRound(Event):
+    """Per-round clock-sync verdict: the applied FTA correction.
+
+    Opt-in (``ControllerConfig.emit_sync_rounds``) so default traces --
+    including the conformance goldens -- are unchanged.
+    """
+
+    kind: ClassVar[str] = "sync_round"
+    correction: float = 0.0
+    measurements: int = 0
+
+
+@_register
+@dataclass(frozen=True)
 class FaultActivated(Event):
     """An injected node fault shaped wire traffic for the first time."""
 
@@ -387,6 +429,26 @@ class FaultInjected(Event):
     kind: ClassVar[str] = "fault_injected"
     fault_type: str = ""
     target: str = ""
+
+
+# -- decentralized-monitor events --------------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class DecentralizedVerdict(Event):
+    """One node monitor's locally inferred verdict (export stream).
+
+    Constructed by :class:`repro.obs.decentralized.DecentralizedMonitorNetwork`
+    when its verdicts are exported (CI artifacts, campaign presets); never
+    emitted on a cluster's main event bus.
+    """
+
+    kind: ClassVar[str] = "decentralized_verdict"
+    node: str = ""
+    verdict: str = ""
+    detail: str = ""
+    sampling_rate: float = 1.0
 
 
 # -- task-runner events ------------------------------------------------------

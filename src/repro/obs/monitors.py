@@ -16,6 +16,12 @@ every monitor works unchanged against a bounded ring-buffer bus.
 * :class:`NoCliqueFreezeMonitor` -- the paper's Section 5.1 property
   evaluated on the DES: no fault-free node is ever forced into the
   freeze state by the protocol.
+* :class:`CollisionAttackMonitor` -- the adversarial collision families:
+  how many jams an attacker fired, how many the guardians/couplers
+  blocked, and whether any reached the medium and corrupted deliveries.
+* :class:`FtaResilienceMonitor` -- per-round ensemble-precision verdicts
+  against the eq. (10) drift-ratio budget: did Byzantine clocks capture
+  the fault-tolerant average.
 """
 
 from __future__ import annotations
@@ -298,3 +304,197 @@ class RunnerHealthMonitor(OnlineMonitor):
     def retried_tasks(self) -> List[int]:
         """Distinct task indices that needed at least one retry, sorted."""
         return sorted({incident.index for incident in self.retries})
+
+
+class CollisionAttackMonitor(OnlineMonitor):
+    """Online verdict for the active collision-attack fault family.
+
+    Tracks the attacker side (``collision_jam`` emissions) and the
+    containment side: jams a guardian or coupler blocked before they
+    reached a channel, and deliveries that completed corrupted once the
+    attack was underway (the channel collision path marks every
+    overlapped transmission corrupted).  ``attack_contained`` is the
+    paper's Section 4 question -- did the topology keep the attacker's
+    interference away from the healthy traffic.
+    """
+
+    _BLOCK_KINDS = frozenset({"blocked_out_of_window", "blocked_semantic",
+                              "blocked_by_fault", "uplink_silenced"})
+
+    def __init__(self, attackers: Sequence[str]) -> None:
+        super().__init__()
+        self.attackers = set(attackers)
+        self.jams = 0
+        self.targeted_jams = 0
+        self.first_jam_time: Optional[float] = None
+        self.blocked_jams = 0
+        self.corrupted_deliveries = 0
+
+    @classmethod
+    def for_cluster(cls, cluster) -> "CollisionAttackMonitor":
+        """Watch every collision attacker of a built (not yet run) cluster."""
+        from repro.ttp.controller import NodeFaultBehavior
+
+        attacking = (NodeFaultBehavior.COLLIDING_SENDER,
+                     NodeFaultBehavior.MID_FRAME_JAMMER)
+        attackers = [name for name, controller in cluster.controllers.items()
+                     if controller.config.fault in attacking]
+        instance = cls(attackers=attackers)
+        instance.attach(cluster.monitor)
+        return instance
+
+    def on_event(self, event: Event) -> None:
+        kind = event.kind
+        if kind == "collision_jam":
+            node = _node_of(event.source)
+            if node is None or node not in self.attackers:
+                return
+            self.jams += 1
+            if event.details["targeted"]:
+                self.targeted_jams += 1
+            if self.first_jam_time is None:
+                self.first_jam_time = event.time
+        elif kind == "tx_complete":
+            if self.first_jam_time is not None and event.details["corrupted"]:
+                self.corrupted_deliveries += 1
+        elif kind in self._BLOCK_KINDS:
+            if event.details["sender"] in self.attackers:
+                self.blocked_jams += 1
+
+    @property
+    def attack_observed(self) -> bool:
+        """Whether any jam was fired."""
+        return self.jams > 0
+
+    @property
+    def attack_contained(self) -> bool:
+        """Whether no delivery completed corrupted after the first jam.
+
+        Meaningful once :attr:`attack_observed` is true; a benign run is
+        vacuously contained.
+        """
+        return self.corrupted_deliveries == 0
+
+    def verdict(self) -> Dict[str, object]:
+        """Summary row for campaign tables and CI assertions."""
+        return {"attackers": sorted(self.attackers),
+                "jams": self.jams,
+                "targeted_jams": self.targeted_jams,
+                "blocked_jams": self.blocked_jams,
+                "corrupted_deliveries": self.corrupted_deliveries,
+                "contained": self.attack_contained}
+
+
+@dataclass(frozen=True)
+class PrecisionViolation:
+    """One healthy node's FTA correction outside the eq. (10) budget."""
+
+    time: float
+    node: str
+    correction: float
+
+
+class FtaResilienceMonitor(OnlineMonitor):
+    """Per-round ensemble-precision verdicts against the eq. (10) budget.
+
+    Consumes the opt-in ``sync_round`` events (see
+    ``ControllerConfig.emit_sync_rounds``): every honest node's once-per-
+    round FTA correction.  Between resynchronizations an honest clock can
+    legitimately drift ``fta_precision_budget(ppm_band, round)`` from the
+    ensemble; a *larger* applied correction means the average was dragged
+    by measurements no honest clock could have produced -- the FTA
+    (``discard=k``) was captured by more than ``k`` Byzantine faces.
+    """
+
+    def __init__(self, watched_nodes: Sequence[str], budget: float) -> None:
+        super().__init__()
+        if budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget!r}")
+        self.watched_nodes = set(watched_nodes)
+        self.budget = budget
+        self.rounds_checked = 0
+        self.worst_correction = 0.0
+        self.violations: List[PrecisionViolation] = []
+        self.byzantine_nodes: Set[str] = set()
+
+    @classmethod
+    def for_cluster(cls, cluster, budget: Optional[float] = None,
+                    reading_error: float = 0.0) -> "FtaResilienceMonitor":
+        """Watch every fault-free node of a built (not yet run) cluster.
+
+        Without an explicit ``budget`` the eq. (10) bound is derived from
+        the cluster's own ppm band and round duration.
+        """
+        from repro.ttp.clock_sync import fta_precision_budget
+        from repro.ttp.controller import NodeFaultBehavior
+
+        watched = [name for name, controller in cluster.controllers.items()
+                   if controller.config.fault is NodeFaultBehavior.HEALTHY]
+        if budget is None:
+            band = max((abs(ppm) for ppm in cluster.spec.node_ppm.values()),
+                       default=0.0)
+            budget = fta_precision_budget(band, cluster.medl.round_duration(),
+                                          reading_error)
+            if budget <= 0:
+                # A zero-drift cluster still applies sub-float-epsilon
+                # corrections; give the gate a nonzero floor.
+                budget = 1e-9
+        instance = cls(watched_nodes=watched, budget=budget)
+        instance.attach(cluster.monitor)
+        return instance
+
+    def on_event(self, event: Event) -> None:
+        kind = event.kind
+        if kind == "sync_round":
+            node = _node_of(event.source)
+            if node is None or node not in self.watched_nodes:
+                return
+            correction = event.details["correction"]
+            self.rounds_checked += 1
+            if abs(correction) > abs(self.worst_correction):
+                self.worst_correction = correction
+            if abs(correction) > self.budget:
+                self.violations.append(PrecisionViolation(
+                    time=event.time, node=node, correction=correction))
+        elif kind == "byzantine_tick":
+            node = _node_of(event.source)
+            if node is not None:
+                self.byzantine_nodes.add(node)
+
+    @property
+    def holds(self) -> bool:
+        """Whether every checked round stayed inside the budget."""
+        return not self.violations
+
+    def verdict(self) -> Dict[str, object]:
+        """Summary row for campaign tables and CI assertions."""
+        return {"budget": self.budget,
+                "rounds_checked": self.rounds_checked,
+                "worst_correction": self.worst_correction,
+                "violations": len(self.violations),
+                "byzantine_nodes": sorted(self.byzantine_nodes),
+                "holds": self.holds}
+
+
+def replay_decentralized_verdicts(events: Sequence[Event]) -> Dict[str, Dict[str, object]]:
+    """Fold an exported ``decentralized_verdict`` stream back into a
+    per-node summary.
+
+    The decentralized monitor network (:mod:`repro.obs.decentralized`)
+    exports one verdict event per node; campaign presets and the CI smoke
+    job re-read those streams from JSONL and assert on the result of this
+    fold (last verdict per node wins, matching the monitors' own
+    monotonic updates).
+    """
+    summary: Dict[str, Dict[str, object]] = {}
+    for event in events:
+        if event.kind != "decentralized_verdict":
+            continue
+        detail = event.details
+        summary[detail["node"]] = {
+            "verdict": detail["verdict"],
+            "detail": detail["detail"],
+            "sampling_rate": detail["sampling_rate"],
+            "time": event.time,
+        }
+    return summary

@@ -14,6 +14,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+#: Deviation patterns a Byzantine clock adversary can follow.  ``rush``
+#: runs its grid early, ``drag`` runs it late, ``oscillate`` alternates,
+#: and ``two_faced`` keeps an honest grid but skews its transmissions
+#: per channel so every receiver collects two same-direction outlier
+#: measurements from one node (classic double voting against the FTA).
+BYZANTINE_MODES = ("rush", "drag", "oscillate", "two_faced")
+
+
+def byzantine_offset(mode: str, magnitude: float, round_index: int) -> float:
+    """Absolute grid offset a Byzantine clock targets in a given round.
+
+    The offset is relative to the honest grid the node held at fault
+    activation, not cumulative: a ``rush`` clock sits ``magnitude`` early
+    every round rather than running away, which keeps it inside the
+    receivers' precision window (``max_correction``) where it can actually
+    poison the FTA instead of being rejected outright.
+    """
+    if mode not in BYZANTINE_MODES:
+        raise ValueError(f"unknown Byzantine mode {mode!r}")
+    if mode == "rush":
+        return -magnitude
+    if mode == "drag":
+        return magnitude
+    if mode == "oscillate":
+        return magnitude if round_index % 2 else -magnitude
+    return 0.0  # two_faced keeps an honest grid; the skew is per channel
+
 
 def fault_tolerant_average(deviations: List[float], discard: int = 1) -> float:
     """FTA over a list of measured deviations.
@@ -100,3 +127,25 @@ def precision_bound(delta_rho: float, resync_interval: float,
     if delta_rho < 0 or resync_interval < 0 or reading_error < 0:
         raise ValueError("precision_bound arguments must be non-negative")
     return delta_rho * resync_interval + reading_error
+
+
+def fta_precision_budget(ppm_band: float, resync_interval: float,
+                         reading_error: float = 0.0) -> float:
+    """Eq. (10) drift-ratio budget for a cluster quoted at +/- ``ppm_band``.
+
+    The worst relative rate difference between two correct crystals drawn
+    from a +/- ``ppm_band`` tolerance band is
+    ``((1 + p) - (1 - p)) / (1 - p)`` with ``p = ppm_band * 1e-6``; over one
+    resynchronization interval that bounds how far any honest clock can
+    drift from the ensemble, and hence how large an honest node's per-round
+    FTA correction may legitimately be.  A correction outside this budget
+    means the FTA was captured by faulty measurements -- the quantity the
+    ``FtaResilienceMonitor`` gates on.
+    """
+    if ppm_band < 0:
+        raise ValueError(f"ppm_band must be non-negative, got {ppm_band!r}")
+    fraction = ppm_band * 1e-6
+    if fraction >= 1.0:
+        raise ValueError(f"ppm_band {ppm_band!r} is not a crystal tolerance")
+    delta_rho = 2.0 * fraction / (1.0 - fraction)
+    return precision_bound(delta_rho, resync_interval, reading_error)

@@ -98,6 +98,18 @@ class NodeFaultBehavior(enum.Enum):
     BABBLING_IDIOT = "babbling_idiot"
     #: Transmits marginal (slightly-off-specification) signals.
     SOS_SIGNAL = "sos_signal"
+    #: Active collision attacker: fires jam frames on its own tick grid
+    #: from the listen/cold-start states, deliberately overlapping other
+    #: senders' transmissions (the channel collision path corrupts both).
+    COLLIDING_SENDER = "colliding_sender"
+    #: Targeted collision attacker: observes completed frames and lands a
+    #: jam a fixed offset into the *next* slot of the victims' grid, so the
+    #: jam overlaps mid-frame rather than colliding by chance.
+    MID_FRAME_JAMMER = "mid_frame_jammer"
+    #: Byzantine clock: feeds adversarial deviations into the cluster's
+    #: fault-tolerant-average clock sync (rush/drag/oscillate patterns on
+    #: its own grid, or two-faced per-channel skews).
+    BYZANTINE_CLOCK = "byzantine_clock"
 
 
 @dataclass
@@ -148,6 +160,22 @@ class ControllerConfig:
     #: spec's precision window); larger measured deviations indicate a
     #: faulty frame and must not be chased.
     max_sync_correction: float = 5.0
+    #: How far into the victim slot a MID_FRAME_JAMMER's jam lands, in
+    #: local time units (must be < slot_duration; offsets shorter than the
+    #: frame airtime overlap the frame itself).
+    jam_offset: float = 30.0
+    #: Deviation pattern of a BYZANTINE_CLOCK node (see
+    #: :data:`repro.ttp.clock_sync.BYZANTINE_MODES`).
+    byzantine_mode: str = "rush"
+    #: Grid-offset magnitude of a BYZANTINE_CLOCK node, in local time
+    #: units.  Kept inside ``max_sync_correction`` by default: a larger
+    #: offset would be rejected by every receiver's precision window and
+    #: never reach the FTA.
+    byzantine_magnitude: float = 2.0
+    #: Emit a ``sync_round`` event with the applied FTA correction at each
+    #: once-per-round resynchronization.  Off by default so existing
+    #: traces (including the conformance goldens) are unchanged.
+    emit_sync_rounds: bool = False
 
 
 class TTPController:
@@ -225,6 +253,14 @@ class TTPController:
         self._slot_start_ref = 0.0
         self._sync_adjustment = 0.0
         self._last_sync_event: Optional[Tuple[int, float]] = None
+        #: Byzantine-clock bookkeeping: the absolute grid offset currently
+        #: held (corrections are deltas between targets) and the round
+        #: counter driving the oscillate pattern.
+        self._byz_offset = 0.0
+        self._byz_round = 0
+        #: Mid-frame jammer: last (frame identity, completion time) that
+        #: armed a jam, so channel replicas arm only one.
+        self._last_jam_key: Optional[Tuple[int, float]] = None
         #: Host interface: applications post payloads and read received
         #: state messages here.
         self.cni = CommunicationNetworkInterface(own_slot=self.own_slot)
@@ -278,6 +314,11 @@ class TTPController:
             return  # own frames are accounted for at send time
         now = self.sim.now
         if self.state is _LISTEN:
+            if self._faulty and self._collision_attack_active():
+                # An active collision attacker never phase-locks onto the
+                # cluster grid -- it keeps attacking from the listen state.
+                self._maybe_arm_targeted_jam(transmission)
+                return
             # Listening nodes react to frames as they arrive: integration
             # aligns the local slot grid to the observed cluster grid.
             self._listen_receive(transmission, corrupted)
@@ -509,7 +550,14 @@ class TTPController:
                 # Once-per-round resynchronization: a positive FTA value
                 # means frames arrive later than our grid expects (our
                 # clock runs fast), so the next round is stretched.
-                self._sync_adjustment = self.synchronizer.compute_correction()
+                measured = len(self.synchronizer.measurements)
+                correction = self.synchronizer.compute_correction()
+                self._sync_adjustment = correction
+                if self.config.emit_sync_rounds:
+                    self._emit(ev.SyncRound, correction=correction,
+                               measurements=measured)
+            if self._faulty:
+                self._apply_byzantine_clock()
             self._own_slot_actions()
         if self._faulty:
             self._maybe_inject_fault_traffic()
@@ -553,6 +601,12 @@ class TTPController:
                                 members, via="cold_start")
                 return
         if decision == "cold_start":
+            if (self._faulty
+                    and self.config.fault is NodeFaultBehavior.MID_FRAME_JAMMER
+                    and self._fault_active()):
+                # The targeted jammer never starts a cluster of its own: it
+                # stays parked in listen, observing traffic and jamming.
+                return
             self._enter_cold_start()
 
     def _listen_receive(self, transmission: Transmission, corrupted: bool) -> None:
@@ -1036,7 +1090,33 @@ class TTPController:
         duration = self._frame_duration_ref(frame)
         self._announce_fault_if_active()
         self._emit(ev.FrameSent, frame_kind=frame.kind_value, slot=self.slot)
+        if (self._faulty
+                and self.config.fault is NodeFaultBehavior.BYZANTINE_CLOCK
+                and self.config.byzantine_mode == "two_faced"
+                and self._fault_active()):
+            self._transmit_two_faced(frame, duration)
+            return
         self.topology.send(self.name, frame, duration, self._signal_shape())
+
+    def _transmit_two_faced(self, frame: Frame, duration: float) -> None:
+        """Two-faced Byzantine send: stagger the per-channel copies.
+
+        Both skews point the *same* way (``magnitude`` and ``2 *
+        magnitude`` late), so every receiver collects two same-direction
+        outlier measurements from this one node -- double voting that a
+        ``discard=1`` FTA cannot fully reject (opposite-sign faces would
+        both be discarded and are harmless).
+        """
+        magnitude_ref = self.config.byzantine_magnitude / self.clock.rate
+        skews = [(index + 1) * magnitude_ref
+                 for index in range(len(self.topology.channels))]
+        send_skewed = getattr(self.topology, "send_skewed", None)
+        if send_skewed is None:  # pragma: no cover - all topologies have it
+            self.topology.send(self.name, frame, duration, self._signal_shape())
+            return
+        self._emit(ev.ByzantineTick, mode="two_faced",
+                   offset=self.config.byzantine_magnitude)
+        send_skewed(self.name, frame, duration, self._signal_shape(), skews)
 
     # -- node fault traffic -------------------------------------------------------------------
 
@@ -1060,6 +1140,82 @@ class TTPController:
                 self._emit(ev.MasqueradeSend, claimed=self.config.masquerade_as)
                 duration = self._frame_duration_ref(bogus)
                 self.topology.send(self.name, bogus, duration, self._signal_shape())
+        elif self.config.fault is NodeFaultBehavior.COLLIDING_SENDER:
+            # The blind collision attacker fires on its own tick grid from
+            # the pre-integration states.  Its grid is phase-incoherent
+            # with the cluster's, so jams land mid-frame somewhere in
+            # (almost) every round; its own cold-start attempts collide
+            # with its jams, which keeps it cycling listen <-> cold start.
+            if (self.state in (_LISTEN, _COLD_START)
+                    and self._fault_active()):
+                self._send_jam(targeted=False)
+
+    def _collision_attack_active(self) -> bool:
+        fault = self.config.fault
+        return ((fault is NodeFaultBehavior.COLLIDING_SENDER
+                 or fault is NodeFaultBehavior.MID_FRAME_JAMMER)
+                and self._fault_active())
+
+    def _maybe_arm_targeted_jam(self, transmission: Transmission) -> None:
+        """Mid-frame jammer: aim a jam ``jam_offset`` into the next slot.
+
+        Each completed frame reveals where the victims' slot boundaries
+        are (the frame completes ``slot_duration - airtime`` before the
+        next boundary); the jam is scheduled to start ``jam_offset`` after
+        that boundary, overlapping the next frame mid-transmission.
+        """
+        if self.config.fault is not NodeFaultBehavior.MID_FRAME_JAMMER:
+            return
+        key = (id(transmission.frame), self.sim.now)
+        if key == self._last_jam_key:
+            return  # second-channel replica of the frame just observed
+        self._last_jam_key = key
+        rate = self.clock.rate
+        residual = self.config.slot_duration / rate - transmission.duration
+        delay = max(residual, 0.0) + self.config.jam_offset / rate
+        self.sim.schedule(delay, self._fire_targeted_jam)
+
+    def _fire_targeted_jam(self) -> None:
+        if self.state is _LISTEN and self._fault_active():
+            self._send_jam(targeted=True)
+
+    def _send_jam(self, targeted: bool) -> None:
+        """Drive a deliberately colliding frame (bypasses ``_transmit`` so
+        no ``send`` event is forged for scheduled traffic)."""
+        frame = NFrame(sender_slot=self.own_slot, cstate=self.cstate)
+        self._announce_fault_if_active()
+        self._emit(ev.CollisionJam, targeted=targeted)
+        duration = self._frame_duration_ref(frame)
+        self.topology.send(self.name, frame, duration, self._signal_shape())
+
+    def _apply_byzantine_clock(self) -> None:
+        """Override the honest resync with the Byzantine deviation pattern.
+
+        The rush/drag/oscillate patterns hold an *absolute* grid offset
+        (the applied correction is the delta between consecutive targets),
+        keeping the node inside the receivers' precision window where its
+        frames still poison the FTA.  Two-faced nodes keep an honest grid;
+        their attack lives in the per-channel send skews.
+        """
+        config = self.config
+        if (config.fault is not NodeFaultBehavior.BYZANTINE_CLOCK
+                or not self._fault_active()):
+            return
+        mode = config.byzantine_mode
+        if mode == "two_faced":
+            return
+        from repro.ttp.clock_sync import byzantine_offset
+
+        self._byz_round += 1
+        target = byzantine_offset(mode, config.byzantine_magnitude,
+                                  self._byz_round)
+        # A Byzantine clock does not follow the ensemble: drop the honest
+        # FTA correction (and any collected measurements) and steer the
+        # grid to the target offset instead.
+        self.synchronizer.reset()
+        self._sync_adjustment = target - self._byz_offset
+        self._byz_offset = target
+        self._emit(ev.ByzantineTick, mode=mode, offset=target)
 
     # -- bookkeeping ----------------------------------------------------------------------------
 

@@ -1,0 +1,88 @@
+"""Generator knobs for the adversarial fault families."""
+
+import pytest
+
+from repro.faults.types import FaultType
+from repro.gen.config import FaultMix, GenConfig
+from repro.gen.faults import draw_fault_plan
+from repro.gen.materialize import materialize
+
+NAMES = [f"N{index:02d}" for index in range(12)]
+
+
+def test_new_knobs_default_benign_and_draw_free():
+    """Configs that never touch the new knobs keep their old fault plans
+    byte-for-byte (the adversarial draws use fresh substream names)."""
+    old_style = GenConfig(name="stable", nodes=12,
+                          faults=FaultMix(node_density=0.4))
+    baseline = draw_fault_plan(old_style, NAMES)
+    with_knobs = GenConfig(name="stable", nodes=12, faults=FaultMix(
+        node_density=0.4, collision_density=0.0, byzantine_density=0.0,
+        monitor_sampling=0.5))
+    assert draw_fault_plan(with_knobs, NAMES) == baseline
+
+
+def test_collision_and_byzantine_draws_are_deterministic():
+    config = GenConfig(name="adv", nodes=12, faults=FaultMix(
+        collision_density=0.5,
+        collision_types=("colliding_sender", "mid_frame_jammer"),
+        byzantine_density=0.5,
+        byzantine_modes=("rush", "drag", "oscillate", "two_faced")))
+    plan = draw_fault_plan(config, NAMES)
+    assert plan == draw_fault_plan(config, NAMES)
+    collision = [fault for fault in plan if fault.fault_type in
+                 (FaultType.COLLIDING_SENDER, FaultType.MID_FRAME_JAMMER)]
+    byzantine = [fault for fault in plan
+                 if fault.fault_type is FaultType.BYZANTINE_CLOCK]
+    assert collision and byzantine  # density 0.5 over 12 nodes
+    assert all(fault.byzantine_mode in
+               ("rush", "drag", "oscillate", "two_faced")
+               for fault in byzantine)
+
+
+def test_growing_the_cluster_keeps_existing_draws():
+    config = GenConfig(name="adv", nodes=12, faults=FaultMix(
+        collision_density=0.5, byzantine_density=0.5))
+    small = draw_fault_plan(config, NAMES[:6])
+    large = draw_fault_plan(config.with_nodes(12), NAMES)
+    assert [fault for fault in large if fault.target in NAMES[:6]] == small
+
+
+def test_invalid_knob_values_rejected():
+    with pytest.raises(ValueError, match="collision_density"):
+        FaultMix(collision_density=1.5)
+    with pytest.raises(ValueError, match="monitor_sampling"):
+        FaultMix(monitor_sampling=0.0)
+    with pytest.raises(ValueError, match="collision_types"):
+        draw_fault_plan(GenConfig(faults=FaultMix(
+            collision_density=0.5, collision_types=("sos_signal",))),
+            NAMES[:4])
+    with pytest.raises(ValueError, match="byzantine_modes"):
+        draw_fault_plan(GenConfig(faults=FaultMix(
+            byzantine_density=0.5, byzantine_modes=("sneaky",))),
+            NAMES[:4])
+
+
+def test_knobs_round_trip_through_canonical_json():
+    config = GenConfig(name="adv", faults=FaultMix(
+        collision_density=0.25, collision_types=("mid_frame_jammer",),
+        byzantine_density=0.25, byzantine_modes=("drag", "two_faced"),
+        monitor_sampling=0.2))
+    assert GenConfig.loads(config.dumps()) == config
+    assert not config.faults.benign
+    # monitor_sampling alone is observation, not a fault
+    assert FaultMix(monitor_sampling=0.5).benign
+
+
+def test_materialize_wires_adversarial_faults_into_spec():
+    config = GenConfig(name="adv", nodes=8, topology="star",
+                       faults=FaultMix(byzantine_density=0.9,
+                                       byzantine_modes=("drag",)))
+    spec = materialize(config)
+    byzantine = [fault for fault in spec.injected_faults
+                 if fault.fault_type is FaultType.BYZANTINE_CLOCK]
+    assert byzantine
+    from repro.ttp.controller import NodeFaultBehavior
+
+    assert any(node_config.fault is NodeFaultBehavior.BYZANTINE_CLOCK
+               for node_config in spec.node_configs.values())

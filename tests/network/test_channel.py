@@ -96,9 +96,13 @@ def test_corrupt_probability_one_corrupts_everything():
     assert deliveries == [True]
 
 
-def test_probabilities_inactive_without_rng():
+def test_probabilities_without_rng_rejected_at_build():
+    # A fault rate with no rng would be a silent no-op; the channel
+    # refuses to build rather than quietly delivering everything.
     sim = Simulator()
-    channel = Channel(sim, "ch0", drop_probability=1.0)  # no rng -> no faults
+    with pytest.raises(ValueError, match="no rng"):
+        Channel(sim, "ch0", drop_probability=1.0)
+    channel = Channel(sim, "ch0")  # zero probabilities stay rng-free
     deliveries = []
     channel.subscribe(lambda tx_, corrupted: deliveries.append(tx_))
     sim.schedule(0.0, lambda: channel.transmit(tx("A", 0.0)))

@@ -1,0 +1,121 @@
+"""Property tests for the channel collision path (the delivery machinery
+the active collision attackers drive)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ClusterSpec
+from repro.network.channel import Channel, Transmission
+from repro.sim.engine import Simulator
+from repro.sim.monitor import TraceMonitor
+from repro.sim.rng import RandomStream
+from repro.ttp.frames import IFrame
+
+
+def _tx(source, start, duration=76.0):
+    return Transmission(frame=IFrame(sender_slot=1), source=source,
+                        start_time=start, duration=duration)
+
+
+@st.composite
+def overlap_offsets(draw):
+    """Start offsets that all overlap a [0, 76) transmission."""
+    count = draw(st.integers(min_value=1, max_value=4))
+    return draw(st.lists(
+        st.floats(min_value=0.0, max_value=75.0, allow_nan=False),
+        min_size=count, max_size=count))
+
+
+@given(offsets=overlap_offsets())
+@settings(max_examples=50, deadline=None)
+def test_overlapping_transmissions_corrupt_every_subscriber(offsets):
+    """Every transmission overlapping another is delivered corrupted to
+    *all* subscribers, regardless of how many attackers pile on."""
+    sim = Simulator()
+    channel = Channel(sim, name="ch0")
+    seen_a, seen_b = [], []
+    channel.subscribe(lambda tx, corrupted: seen_a.append((tx.source, corrupted)))
+    channel.subscribe(lambda tx, corrupted: seen_b.append((tx.source, corrupted)))
+    sim.schedule(0.0, lambda: channel.transmit(_tx("victim", 0.0)))
+    for index, offset in enumerate(sorted(offsets)):
+        jam = _tx(f"jam{index}", offset)
+        sim.schedule(offset, lambda jam=jam: channel.transmit(jam))
+    sim.run()
+    assert len(seen_a) == len(offsets) + 1
+    assert seen_a == seen_b
+    assert all(corrupted for _, corrupted in seen_a)
+    assert channel.corrupted_count == len(offsets) + 1
+
+
+@given(offset=st.floats(min_value=0.0, max_value=75.0, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_collision_is_per_channel_identity_not_equality(offset):
+    """The same frozen (by-value-equal) Transmission object rides both
+    channels; a collision on channel 0 must not corrupt the copy that
+    completed cleanly on channel 1."""
+    sim = Simulator()
+    ch0 = Channel(sim, name="ch0")
+    ch1 = Channel(sim, name="ch1")
+    results = {}
+    ch0.subscribe(lambda tx, corrupted: results.setdefault("ch0", corrupted))
+    ch1.subscribe(lambda tx, corrupted: results.setdefault("ch1", corrupted))
+    shared = _tx("victim", 0.0)
+
+    def start():
+        ch0.transmit(shared)
+        ch1.transmit(shared)
+
+    sim.schedule(0.0, start)
+    sim.schedule(offset, lambda: ch0.transmit(_tx("victim", offset)))
+    sim.run()
+    assert results["ch0"] is True
+    assert results["ch1"] is False
+    assert ch0.corrupted_count == 2
+    assert ch1.corrupted_count == 0
+
+
+@given(jams=st.integers(min_value=1, max_value=6),
+       capacity=st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_channel_counters_survive_ring_buffer_eviction(jams, capacity):
+    """delivered/corrupted counters are plain integers, not queries over
+    the (bounded, evicting) event buffer."""
+    sim = Simulator()
+    monitor = TraceMonitor(capacity=capacity)
+    channel = Channel(sim, name="ch0", monitor=monitor)
+    channel.subscribe(lambda tx, corrupted: None)
+    sim.schedule(0.0, lambda: channel.transmit(_tx("victim", 0.0)))
+    for index in range(jams):
+        offset = 5.0 + index
+        jam = _tx(f"jam{index}", offset)
+        sim.schedule(offset, lambda jam=jam: channel.transmit(jam))
+    sim.run()
+    assert channel.delivered_count == jams + 1
+    assert channel.corrupted_count == jams + 1
+    assert len(monitor) <= capacity
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"drop_probability": 0.1},
+    {"corrupt_probability": 0.1},
+    {"drop_probability": 0.5, "corrupt_probability": 0.5},
+])
+def test_channel_rejects_probabilities_without_rng(kwargs):
+    sim = Simulator()
+    with pytest.raises(ValueError, match="no rng"):
+        Channel(sim, name="ch0", **kwargs)
+
+
+def test_channel_accepts_probabilities_with_rng():
+    sim = Simulator()
+    channel = Channel(sim, name="ch0", drop_probability=0.1,
+                      rng=RandomStream(seed=1, path="test"))
+    assert channel.drop_probability == 0.1
+
+
+def test_cluster_spec_rejects_channel_faults_without_seed():
+    spec = ClusterSpec(channel_drop_probability=0.1, seed=None)
+    with pytest.raises(ValueError, match="seed"):
+        spec.validate()
+    spec_ok = ClusterSpec(channel_drop_probability=0.1, seed=3)
+    spec_ok.validate()

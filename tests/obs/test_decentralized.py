@@ -1,0 +1,124 @@
+"""Differential tests: decentralized monitors vs the central trio.
+
+At sampling rate 1.0 the per-node partition plus gossip-free aggregation
+must reproduce the central ``VictimMonitor`` / ``StartupMonitor`` /
+``NoCliqueFreezeMonitor`` verdicts *exactly* -- pinned here on both paper
+conformance traces and on an adversarial cluster with real victims.
+"""
+
+import pytest
+
+from repro.conformance import SCENARIOS
+from repro.faults.campaign import injection_cluster
+from repro.faults.types import FaultDescriptor, FaultType
+from repro.obs.decentralized import DecentralizedMonitorNetwork, NodeMonitor
+from repro.obs.monitors import (NoCliqueFreezeMonitor, StartupMonitor,
+                                VictimMonitor, replay_decentralized_verdicts)
+
+
+def _central_trio(cluster):
+    return (VictimMonitor.for_cluster(cluster),
+            StartupMonitor.for_cluster(cluster),
+            NoCliqueFreezeMonitor.for_cluster(cluster))
+
+
+def _assert_agrees(network, victims, startup, clique):
+    assert network.victims() == victims.victims()
+    assert network.completed == startup.completed
+    assert network.all_active_time() == startup.all_active_time()
+    assert network.holds == clique.holds
+    assert network.violations() == sorted(
+        clique.violations, key=lambda entry: (entry.time, entry.node))
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_full_rate_matches_central_on_conformance_traces(scenario):
+    cluster = SCENARIOS[scenario].build_cluster(monitor_capacity=60000)
+    victims, startup, clique = _central_trio(cluster)
+    network = DecentralizedMonitorNetwork.for_cluster(cluster,
+                                                      sampling_rate=1.0)
+    cluster.power_on()
+    cluster.run(rounds=30.0)
+    _assert_agrees(network, victims, startup, clique)
+    assert network.sampling_stats()["skipped"] == 0
+
+
+def test_full_rate_matches_central_under_collision_attack():
+    cluster = injection_cluster(
+        FaultDescriptor(FaultType.COLLIDING_SENDER, target="B"), "bus")
+    victims, startup, clique = _central_trio(cluster)
+    network = DecentralizedMonitorNetwork.for_cluster(cluster,
+                                                      sampling_rate=1.0)
+    cluster.power_on()
+    cluster.run(rounds=40.0)
+    assert victims.victims()  # the attack really harms someone
+    _assert_agrees(network, victims, startup, clique)
+
+
+def test_faulty_node_reported_faulty_not_victim():
+    cluster = injection_cluster(
+        FaultDescriptor(FaultType.COLLIDING_SENDER, target="B"), "bus")
+    network = DecentralizedMonitorNetwork.for_cluster(cluster)
+    cluster.power_on()
+    cluster.run(rounds=40.0)
+    verdicts = {event.node: event.verdict
+                for event in network.verdict_events()}
+    assert verdicts["B"] == "faulty"
+    assert all(verdicts[name] == "victim" for name in ("A", "C", "D"))
+
+
+def test_sampling_below_one_is_deterministic_and_skips_events():
+    def run(rate, seed):
+        cluster = SCENARIOS["trace1"].build_cluster(monitor_capacity=60000)
+        network = DecentralizedMonitorNetwork.for_cluster(
+            cluster, sampling_rate=rate, seed=seed)
+        cluster.power_on()
+        cluster.run(rounds=30.0)
+        return network
+
+    first = run(0.5, seed=7)
+    second = run(0.5, seed=7)
+    assert first.sampling_stats() == second.sampling_stats()
+    assert first.victims() == second.victims()
+    assert first.sampling_stats()["skipped"] > 0
+
+
+def test_node_monitor_rejects_bad_sampling_setup():
+    with pytest.raises(ValueError, match="sampling_rate"):
+        NodeMonitor("A", round_duration=400.0, sampling_rate=0.0)
+    with pytest.raises(ValueError, match="no rng"):
+        NodeMonitor("A", round_duration=400.0, sampling_rate=0.5)
+
+
+def test_node_monitor_only_sees_its_own_node():
+    monitor = NodeMonitor("A", round_duration=400.0)
+    from repro.obs.events import Activated, StateChange
+
+    monitor.on_event(StateChange(time=1.0, source="node:B", state="active"))
+    monitor.on_event(Activated(time=2.0, source="node:A", round_start=3.0))
+    summary = monitor.summary()
+    assert summary.state is None  # B's event was not locally observable
+    assert summary.ever_activated
+    assert summary.sampled_events == 1
+
+
+def test_replay_decentralized_verdicts_round_trip(tmp_path):
+    cluster = injection_cluster(
+        FaultDescriptor(FaultType.COLLIDING_SENDER, target="B"), "bus")
+    network = DecentralizedMonitorNetwork.for_cluster(cluster)
+    cluster.power_on()
+    cluster.run(rounds=40.0)
+    events = network.verdict_events()
+
+    from repro.sim.monitor import TraceMonitor
+
+    export = TraceMonitor()
+    for event in events:
+        export.emit(event)
+    path = tmp_path / "verdicts.jsonl"
+    export.export_jsonl(str(path))
+    replayed = replay_decentralized_verdicts(TraceMonitor.read_jsonl(str(path)))
+    assert set(replayed) == set(cluster.controllers)
+    assert replayed["B"]["verdict"] == "faulty"
+    assert replayed["A"]["verdict"] == "victim"
+    assert replayed["A"]["sampling_rate"] == 1.0

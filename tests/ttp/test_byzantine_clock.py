@@ -1,0 +1,91 @@
+"""The FTA resilience gate: how many Byzantine clocks ``discard=1`` takes.
+
+The study cluster is the adversarial-byzantine preset's: six nodes on a
+star with crystals spread over the +/-50 ppm band, every controller
+emitting its per-round ``sync_round`` corrections.  The eq. (10) budget
+for that cluster is ``fta_precision_budget(50, 600) = 0.06``.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.faults.injector import apply_fault
+from repro.faults.types import FaultDescriptor, FaultType
+from repro.obs.monitors import FtaResilienceMonitor
+from repro.ttp.clock_sync import fta_precision_budget
+from repro.ttp.controller import ControllerConfig
+
+NAMES = ["A", "B", "C", "D", "E", "F"]
+PPM = {"A": 50.0, "B": -50.0, "C": 30.0, "D": -30.0, "E": 10.0, "F": -10.0}
+
+
+def _run(faults, rounds=15.0):
+    spec = ClusterSpec(topology="star", node_names=list(NAMES),
+                       node_ppm=dict(PPM), monitor_capacity=60000,
+                       node_configs={name: ControllerConfig(
+                           emit_sync_rounds=True) for name in NAMES})
+    for fault in faults:
+        spec = apply_fault(spec, fault)
+    cluster = Cluster(spec)
+    monitor = FtaResilienceMonitor.for_cluster(cluster)
+    cluster.power_on()
+    cluster.run(rounds=rounds)
+    return cluster, monitor
+
+
+def _byz(target, mode, magnitude):
+    return FaultDescriptor(FaultType.BYZANTINE_CLOCK, target=target,
+                           byzantine_mode=mode,
+                           byzantine_magnitude=magnitude,
+                           fault_start_time=3000.0)
+
+
+def test_budget_matches_cluster_parameters():
+    cluster, monitor = _run([], rounds=2.0)
+    assert monitor.budget == pytest.approx(
+        fta_precision_budget(50.0, cluster.medl.round_duration()))
+    assert monitor.budget == pytest.approx(0.06, rel=1e-3)
+
+
+def test_benign_cluster_stays_inside_budget():
+    _, monitor = _run([])
+    assert monitor.rounds_checked > 0
+    assert monitor.holds
+    assert monitor.byzantine_nodes == set()
+
+
+def test_one_byzantine_clock_is_tolerated():
+    """``discard=1`` drops the single dragged measurement each round, so
+    the honest ensemble never chases it."""
+    _, monitor = _run([_byz("E", "drag", 2.0)])
+    assert monitor.byzantine_nodes == {"E"}
+    assert monitor.rounds_checked > 0
+    assert monitor.holds, monitor.verdict()
+
+
+def test_two_byzantine_clocks_blow_the_budget():
+    """A second drag puts a Byzantine measurement inside the kept set:
+    honest corrections jump orders of magnitude past eq. (10)."""
+    _, monitor = _run([_byz("E", "drag", 2.0), _byz("F", "drag", 1.6)])
+    assert monitor.byzantine_nodes == {"E", "F"}
+    assert not monitor.holds
+    assert abs(monitor.worst_correction) > 5 * monitor.budget
+    violating = {violation.node for violation in monitor.violations}
+    assert violating  # healthy nodes were dragged
+    assert violating.isdisjoint({"E", "F"})
+
+
+def test_one_two_faced_clock_defeats_discard_one():
+    """A two-faced clock skews its per-channel copies so every receiver
+    collects two same-direction outliers from one node -- double voting
+    that beats ``discard=1`` with a single faulty node."""
+    _, monitor = _run([_byz("E", "two_faced", 2.0)])
+    assert monitor.byzantine_nodes == {"E"}
+    assert not monitor.holds
+    assert abs(monitor.worst_correction) > 5 * monitor.budget
+
+
+def test_byzantine_ticks_are_fault_gated():
+    """No Byzantine machinery leaks into a benign cluster's stream."""
+    cluster, _ = _run([], rounds=5.0)
+    assert cluster.monitor.kind_counts.get("byzantine_tick", 0) == 0

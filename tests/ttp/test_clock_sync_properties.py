@@ -1,0 +1,126 @@
+"""Property tests for the fault-tolerant average and its Byzantine bound."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ttp.clock_sync import (BYZANTINE_MODES, ClockSynchronizer,
+                                  byzantine_offset, fault_tolerant_average,
+                                  fta_precision_budget)
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+def _within(low, result, high):
+    """Bounds check with a tiny relative slack: the mean of N equal values
+    can land an ulp outside them."""
+    slack = 1e-9 * max(abs(low), abs(high), 1e-300)
+    return low - slack <= result <= high + slack
+
+
+@given(deviations=st.lists(finite, min_size=1, max_size=20),
+       discard=st.integers(min_value=0, max_value=3))
+@settings(max_examples=100, deadline=None)
+def test_fta_stays_within_measurement_range(deviations, discard):
+    result = fault_tolerant_average(deviations, discard=discard)
+    assert _within(min(deviations), result, max(deviations))
+
+
+@given(deviations=st.lists(finite, min_size=7, max_size=20),
+       discard=st.integers(min_value=1, max_value=3))
+@settings(max_examples=100, deadline=None)
+def test_fta_discard_drops_the_extremes(deviations, discard):
+    """With enough measurements, the result is bounded by the kept set
+    (the values surviving after the k largest and k smallest go)."""
+    if len(deviations) < 2 * discard + 1:
+        deviations = deviations + [0.0] * (2 * discard + 1 - len(deviations))
+    kept = sorted(deviations)[discard:-discard]
+    result = fault_tolerant_average(deviations, discard=discard)
+    assert _within(kept[0], result, kept[-1])
+
+
+@given(honest=st.lists(st.floats(min_value=-1.0, max_value=1.0,
+                                 allow_nan=False),
+                       min_size=3, max_size=12),
+       outliers=st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                                   allow_nan=False),
+                         min_size=0, max_size=1),
+       discard=st.integers(min_value=1, max_value=2))
+@settings(max_examples=100, deadline=None)
+def test_fta_byzantine_envelope(honest, outliers, discard):
+    """Up to ``discard`` arbitrary measurements cannot pull the FTA
+    outside the honest range (the Lamport bound the paper leans on)."""
+    outliers = outliers[:discard]
+    combined = honest + outliers
+    if len(combined) < 2 * discard + 1:
+        return  # too few measurements for any discarding to apply
+    result = fault_tolerant_average(combined, discard=discard)
+    assert _within(min(honest), result, max(honest))
+
+
+def test_fta_rejects_negative_discard():
+    with pytest.raises(ValueError):
+        fault_tolerant_average([1.0], discard=-1)
+
+
+def test_fta_empty_is_zero():
+    assert fault_tolerant_average([], discard=1) == 0.0
+
+
+@given(deviations=st.lists(finite, min_size=1, max_size=15),
+       max_correction=st.floats(min_value=0.1, max_value=100.0,
+                                allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_synchronizer_clamps_to_precision_window(deviations, max_correction):
+    sync = ClockSynchronizer(discard=1, max_correction=max_correction)
+    for index, deviation in enumerate(deviations):
+        sync.observe(slot_id=index, expected_arrival=0.0,
+                     actual_arrival=deviation)
+    assert sync.pending_count() == len(deviations)
+    correction = sync.compute_correction()
+    assert abs(correction) <= max_correction
+    assert sync.pending_count() == 0  # measurement set cleared
+    assert sync.corrections_applied == 1
+    assert sync.last_correction == correction
+
+
+@given(magnitude=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+       round_index=st.integers(min_value=0, max_value=100))
+@settings(max_examples=100, deadline=None)
+def test_byzantine_offset_bounded_by_magnitude(magnitude, round_index):
+    for mode in BYZANTINE_MODES:
+        offset = byzantine_offset(mode, magnitude, round_index)
+        assert abs(offset) <= magnitude
+
+
+def test_byzantine_offset_patterns():
+    assert byzantine_offset("rush", 2.0, 5) == -2.0
+    assert byzantine_offset("drag", 2.0, 5) == 2.0
+    assert byzantine_offset("oscillate", 2.0, 4) == -2.0
+    assert byzantine_offset("oscillate", 2.0, 5) == 2.0
+    assert byzantine_offset("two_faced", 2.0, 5) == 0.0
+    with pytest.raises(ValueError):
+        byzantine_offset("lazy", 2.0, 0)
+
+
+@given(band=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+       interval=st.floats(min_value=0.0, max_value=1e5, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_fta_precision_budget_monotone(band, interval):
+    budget = fta_precision_budget(band, interval)
+    assert budget >= 0.0
+    assert fta_precision_budget(band + 1.0, interval) >= budget
+    assert fta_precision_budget(band, interval + 1.0) >= budget
+
+
+def test_fta_precision_budget_paper_cluster():
+    """+/-50 ppm over a 600-unit round: the gate the Byzantine preset uses."""
+    budget = fta_precision_budget(50.0, 600.0)
+    assert budget == pytest.approx(0.06, rel=1e-3)
+
+
+def test_fta_precision_budget_rejects_bad_bands():
+    with pytest.raises(ValueError):
+        fta_precision_budget(-1.0, 100.0)
+    with pytest.raises(ValueError):
+        fta_precision_budget(1e6, 100.0)
